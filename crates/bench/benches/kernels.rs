@@ -1,0 +1,49 @@
+//! E7 bench: the EREW PRAM kernels — phased tournament vs model reduction vs
+//! rayon-backed reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmsf_pram::kernels::{rayon_entrywise_min, rayon_min_index};
+use pdmsf_pram::{erew_tournament_min, par_entrywise_min, par_min_index, CostMeter};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_kernels");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [1usize << 10, 1 << 14, 1 << 18] {
+        let xs: Vec<u64> = (0..size as u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("model_min", size), &xs, |b, xs| {
+            b.iter(|| par_min_index(xs, &mut CostMeter::new()))
+        });
+        group.bench_with_input(BenchmarkId::new("phased_tournament", size), &xs, |b, xs| {
+            b.iter(|| erew_tournament_min(xs, &mut CostMeter::new(), None))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon_min", size), &xs, |b, xs| {
+            b.iter(|| rayon_min_index(xs))
+        });
+        let src: Vec<u64> = xs.iter().rev().copied().collect();
+        group.bench_with_input(BenchmarkId::new("entrywise_min", size), &xs, |b, xs| {
+            b.iter(|| {
+                let mut dst = xs.clone();
+                par_entrywise_min(&mut dst, &src, &mut CostMeter::new());
+                dst
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rayon_entrywise_min", size),
+            &xs,
+            |b, xs| {
+                b.iter(|| {
+                    let mut dst = xs.clone();
+                    rayon_entrywise_min(&mut dst, &src);
+                    dst
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

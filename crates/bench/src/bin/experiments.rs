@@ -1,0 +1,267 @@
+//! Experiment driver: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p pdmsf-bench --bin experiments            # all experiments
+//! cargo run --release -p pdmsf-bench --bin experiments -- e2 e6   # a selection
+//! cargo run --release -p pdmsf-bench --bin experiments -- quick   # smaller sizes
+//! ```
+
+use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
+use pdmsf_bench::{
+    drive, drive_updates_only, failure_stream, grid_stream, mixed_stream, pram_profile,
+    seq_mean_update_time,
+};
+use pdmsf_core::{seq::default_sequential_k, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf};
+use pdmsf_pram::{erew_tournament_min, par_min_index, AccessLog, CostMeter};
+use std::time::Duration;
+
+fn micros(d: Duration, ops: usize) -> f64 {
+    if ops == 0 {
+        0.0
+    } else {
+        d.as_secs_f64() * 1e6 / ops as f64
+    }
+}
+
+struct Config {
+    sizes: Vec<usize>,
+    ops: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let config = if quick {
+        Config {
+            sizes: vec![1 << 8, 1 << 10, 1 << 12],
+            ops: 400,
+        }
+    } else {
+        Config {
+            sizes: vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16],
+            ops: 1_500,
+        }
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with('e'))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if want("e1") {
+        e1_update_time(&config);
+    }
+    if want("e2") || want("e3") || want("e4") {
+        e2_e3_e4_pram_scaling(&config);
+    }
+    if want("e5") {
+        e5_workloads(&config);
+    }
+    if want("e6") {
+        e6_sparsification(&config);
+    }
+    if want("e7") {
+        e7_kernels();
+    }
+    if want("e8") {
+        e8_chunk_size(&config);
+    }
+    if want("e9") {
+        e9_mwr_cost(&config);
+    }
+}
+
+/// E1: per-update wall clock vs n — paper structure vs baselines.
+fn e1_update_time(cfg: &Config) {
+    println!("\n== E1: sequential update time vs n (mixed stream, m ≈ 2n) ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "n", "kpr-seq (µs)", "naive (µs)", "recompute (µs)"
+    );
+    for &n in &cfg.sizes {
+        let stream = mixed_stream(n, 2 * n, cfg.ops, 11);
+        let mut seq = SeqDynamicMsf::new(n);
+        let (t_seq, ops) = drive_updates_only(&mut seq, &stream);
+        // The O(m)-per-update baselines become painfully slow at large n;
+        // scale their measured op-count down and extrapolate per-op cost.
+        let baseline_ops = cfg.ops.min(300);
+        let small_stream = mixed_stream(n, 2 * n, baseline_ops, 11);
+        let mut naive = NaiveDynamicMsf::new(n);
+        let (t_naive, ops_naive) = drive_updates_only(&mut naive, &small_stream);
+        let (t_rec, ops_rec) = if n <= 1 << 12 {
+            let mut rec = RecomputeMsf::new(n);
+            drive_updates_only(&mut rec, &small_stream)
+        } else {
+            (Duration::ZERO, 0)
+        };
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>14.2}",
+            n,
+            micros(t_seq, ops),
+            micros(t_naive, ops_naive),
+            micros(t_rec, ops_rec),
+        );
+    }
+}
+
+/// E2/E3/E4: PRAM depth, work and processors per update vs n.
+fn e2_e3_e4_pram_scaling(cfg: &Config) {
+    println!("\n== E2/E3/E4: EREW PRAM scaling of the parallel structure ==");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>14} {:>14} {:>12} {:>10}",
+        "n", "K", "worst depth", "mean depth", "worst work", "mean work", "peak procs", "sqrt(n)"
+    );
+    for &n in &cfg.sizes {
+        let run = pram_profile(n, cfg.ops, 21);
+        println!(
+            "{:>8} {:>6} {:>12} {:>12.1} {:>14} {:>14.1} {:>12} {:>10.0}",
+            run.n,
+            run.k,
+            run.worst.depth,
+            run.mean_depth,
+            run.worst.work,
+            run.mean_work,
+            run.peak_processors,
+            (n as f64).sqrt()
+        );
+    }
+}
+
+/// E5: realistic workloads (grid failures/repairs, sliding windows).
+fn e5_workloads(cfg: &Config) {
+    println!("\n== E5: workload throughput (updates/s) ==");
+    println!(
+        "{:>24} {:>10} {:>14} {:>14}",
+        "workload", "n", "kpr-seq", "naive"
+    );
+    let side = (cfg.sizes[cfg.sizes.len() / 2] as f64).sqrt() as usize;
+    let scenarios = vec![
+        ("grid failures/repairs", grid_stream(side, side, cfg.ops, 3)),
+        (
+            "random mixed",
+            mixed_stream(side * side, 2 * side * side, cfg.ops, 4),
+        ),
+    ];
+    for (name, stream) in scenarios {
+        let n = stream.num_vertices;
+        let mut seq = SeqDynamicMsf::new(n);
+        let (t_seq, ops) = drive_updates_only(&mut seq, &stream);
+        let mut naive = NaiveDynamicMsf::new(n);
+        let (t_naive, ops_n) = drive_updates_only(&mut naive, &stream);
+        let rate = |t: Duration, o: usize| {
+            if t.is_zero() {
+                0.0
+            } else {
+                o as f64 / t.as_secs_f64()
+            }
+        };
+        println!(
+            "{:>24} {:>10} {:>14.0} {:>14.0}",
+            name,
+            n,
+            rate(t_seq, ops),
+            rate(t_naive, ops_n)
+        );
+    }
+}
+
+/// E6: update time vs density with and without sparsification.
+fn e6_sparsification(cfg: &Config) {
+    println!("\n== E6: density sweep (fixed n, growing m) ==");
+    let n = cfg.sizes[0].max(256);
+    println!(
+        "{:>8} {:>8} {:>18} {:>18} {:>14}",
+        "n", "m/n", "sparsified (µs)", "naive scan (µs)", "levels"
+    );
+    for density in [2usize, 4, 8, 16, 32] {
+        let m = density * n;
+        let ops = cfg.ops.min(400);
+        let stream = mixed_stream(n, m, ops, 31);
+        let mut sparse = SparsifiedMsf::new_with_capacity(n, 2 * m, SeqDynamicMsf::new);
+        let levels = sparse.num_levels();
+        let (t_sparse, o1) = drive_updates_only(&mut sparse, &stream);
+        let mut naive = NaiveDynamicMsf::new(n);
+        let (t_naive, o2) = drive_updates_only(&mut naive, &stream);
+        println!(
+            "{:>8} {:>8} {:>18.2} {:>18.2} {:>14}",
+            n,
+            density,
+            micros(t_sparse, o1),
+            micros(t_naive, o2),
+            levels
+        );
+    }
+}
+
+/// E7: the EREW kernels — correctness of the phased tournament under the
+/// access checker plus wall-clock of the model kernels.
+fn e7_kernels() {
+    println!("\n== E7: EREW kernel check (phased tournament of Lemma 3.1) ==");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "elements", "depth", "work", "accesses", "EREW clean"
+    );
+    for size in [1usize << 8, 1 << 10, 1 << 12, 1 << 14] {
+        let xs: Vec<u64> = (0..size as u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut meter = CostMeter::new();
+        let mut log = AccessLog::new();
+        let winner = erew_tournament_min(&xs, &mut meter, Some(&mut log)).unwrap();
+        let mut check_meter = CostMeter::new();
+        assert_eq!(Some(winner), par_min_index(&xs, &mut check_meter));
+        println!(
+            "{:>10} {:>12} {:>12} {:>14} {:>12}",
+            size,
+            meter.total().depth,
+            meter.total().work,
+            log.num_accesses(),
+            log.is_exclusive()
+        );
+    }
+}
+
+/// E8: chunk-parameter ablation around the paper's K = sqrt(n log n).
+fn e8_chunk_size(cfg: &Config) {
+    println!("\n== E8: chunk-size ablation (sequential structure) ==");
+    let n = cfg.sizes[cfg.sizes.len() / 2];
+    let k_star = default_sequential_k(n);
+    println!("n = {n}, paper K* = {k_star}");
+    println!("{:>10} {:>12} {:>18}", "K/K*", "K", "mean update (µs)");
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let k = ((k_star as f64 * factor) as usize).max(2);
+        let t = seq_mean_update_time(n, k, cfg.ops.min(600), 41);
+        println!(
+            "{:>10.2} {:>12} {:>18.2}",
+            factor,
+            k,
+            t.as_secs_f64() * 1e6
+        );
+    }
+}
+
+/// E9: MWR-heavy streams (delete-only) — per-delete cost vs n.
+fn e9_mwr_cost(cfg: &Config) {
+    println!("\n== E9: deletion-only (MWR-heavy) streams ==");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "n", "kpr-seq (µs)", "naive (µs)", "par depth (worst)"
+    );
+    for &n in &cfg.sizes {
+        let stream = failure_stream(n, 2 * n, 51);
+        let mut seq = SeqDynamicMsf::new(n);
+        let (t_seq, o1) = drive_updates_only(&mut seq, &stream);
+        let small = failure_stream(n.min(1 << 12), 2 * n.min(1 << 12), 51);
+        let mut naive = NaiveDynamicMsf::new(small.num_vertices);
+        let (t_naive, o2) = drive_updates_only(&mut naive, &small);
+        let mut par = ParDynamicMsf::new(n);
+        drive(&mut par, &stream);
+        println!(
+            "{:>8} {:>16.2} {:>16.2} {:>16}",
+            n,
+            micros(t_seq, o1),
+            micros(t_naive, o2),
+            par.meter().worst_op().depth
+        );
+    }
+}

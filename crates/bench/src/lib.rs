@@ -1,0 +1,177 @@
+//! Shared harness code for the benchmark suite and the `experiments` binary.
+//!
+//! The paper has no experimental section, so `EXPERIMENTS.md` defines the
+//! evaluation (experiments E1–E9) that validates each of its analytical
+//! claims. This crate provides the common machinery: stream construction,
+//! structure drivers, wall-clock measurement and the PRAM cost extraction
+//! used by both the Criterion benches and the table-printing binary.
+
+use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf};
+use pdmsf_graph::{
+    DynamicMsf, GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec,
+};
+use pdmsf_pram::CostReport;
+use std::time::{Duration, Instant};
+
+/// Standard mixed insert/delete stream over a random sparse graph.
+pub fn mixed_stream(n: usize, m: usize, ops: usize, seed: u64) -> UpdateStream {
+    UpdateStream::generate(&UpdateStreamSpec {
+        base: GraphSpec::RandomSparse { n, m, seed },
+        ops,
+        kind: StreamKind::Mixed {
+            insert_permille: 500,
+        },
+        seed: seed ^ 0x5EED,
+    })
+}
+
+/// Grid ("road network") failure/repair stream.
+pub fn grid_stream(rows: usize, cols: usize, ops: usize, seed: u64) -> UpdateStream {
+    UpdateStream::generate(&UpdateStreamSpec {
+        base: GraphSpec::Grid { rows, cols, seed },
+        ops,
+        kind: StreamKind::Mixed {
+            insert_permille: 500,
+        },
+        seed: seed ^ 0x60D5,
+    })
+}
+
+/// Delete-only failure stream (adversarial for the MWR search).
+pub fn failure_stream(n: usize, m: usize, seed: u64) -> UpdateStream {
+    UpdateStream::generate(&UpdateStreamSpec {
+        base: GraphSpec::RandomSparse { n, m, seed },
+        ops: m,
+        kind: StreamKind::Failures,
+        seed: seed ^ 0xFA11,
+    })
+}
+
+/// Drive a structure through a stream (base graph + all operations).
+/// Returns the wall-clock time spent inside the structure's updates.
+pub fn drive<M: DynamicMsf>(structure: &mut M, stream: &UpdateStream) -> Duration {
+    let mut elapsed = Duration::ZERO;
+    stream.replay_with(|mirror, op| match op {
+        None => {
+            let start = Instant::now();
+            for e in mirror.edges() {
+                structure.insert(e);
+            }
+            elapsed += start.elapsed();
+        }
+        Some(UpdateOp::Insert { .. }) => {
+            let newest = mirror.edges().max_by_key(|e| e.id).unwrap();
+            let start = Instant::now();
+            structure.insert(newest);
+            elapsed += start.elapsed();
+        }
+        Some(UpdateOp::Delete { id }) => {
+            let start = Instant::now();
+            structure.delete(*id);
+            elapsed += start.elapsed();
+        }
+    });
+    elapsed
+}
+
+/// Drive only the update portion (the base graph is loaded outside the
+/// timed region). Returns (updates-only wall clock, number of updates).
+pub fn drive_updates_only<M: DynamicMsf>(
+    structure: &mut M,
+    stream: &UpdateStream,
+) -> (Duration, usize) {
+    let mut elapsed = Duration::ZERO;
+    let mut updates = 0usize;
+    stream.replay_with(|mirror, op| match op {
+        None => {
+            for e in mirror.edges() {
+                structure.insert(e);
+            }
+        }
+        Some(UpdateOp::Insert { .. }) => {
+            let newest = mirror.edges().max_by_key(|e| e.id).unwrap();
+            let start = Instant::now();
+            structure.insert(newest);
+            elapsed += start.elapsed();
+            updates += 1;
+        }
+        Some(UpdateOp::Delete { id }) => {
+            let start = Instant::now();
+            structure.delete(*id);
+            elapsed += start.elapsed();
+            updates += 1;
+        }
+    });
+    (elapsed, updates)
+}
+
+/// Summary of a PRAM-cost run of the parallel structure.
+#[derive(Clone, Copy, Debug)]
+pub struct PramRun {
+    /// Number of vertices.
+    pub n: usize,
+    /// Chunk parameter used.
+    pub k: usize,
+    /// Worst single update.
+    pub worst: CostReport,
+    /// Mean parallel depth per update.
+    pub mean_depth: f64,
+    /// Mean work per update.
+    pub mean_work: f64,
+    /// Peak processors over the run.
+    pub peak_processors: u64,
+}
+
+/// Run the parallel (EREW-accounted) structure over a standard mixed stream
+/// and collect its PRAM cost profile.
+pub fn pram_profile(n: usize, ops: usize, seed: u64) -> PramRun {
+    let stream = mixed_stream(n, 2 * n, ops, seed);
+    let mut msf = ParDynamicMsf::new(n);
+    drive(&mut msf, &stream);
+    PramRun {
+        n,
+        k: msf.chunk_parameter(),
+        worst: msf.meter().worst_op(),
+        mean_depth: msf.meter().mean_depth(),
+        mean_work: msf.meter().mean_work(),
+        peak_processors: msf.meter().total().peak_processors,
+    }
+}
+
+/// Per-update mean wall-clock of the sequential structure with an explicit
+/// chunk parameter (used by the K-ablation experiment).
+pub fn seq_mean_update_time(n: usize, k: usize, ops: usize, seed: u64) -> Duration {
+    let stream = mixed_stream(n, 2 * n, ops, seed);
+    let mut msf = SeqDynamicMsf::with_chunk_parameter(n, k);
+    let (elapsed, updates) = drive_updates_only(&mut msf, &stream);
+    if updates == 0 {
+        Duration::ZERO
+    } else {
+        elapsed / updates as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmsf_baselines::NaiveDynamicMsf;
+
+    #[test]
+    fn drivers_produce_consistent_forests() {
+        let stream = mixed_stream(24, 48, 100, 5);
+        let mut a = SeqDynamicMsf::new(24);
+        let mut b = NaiveDynamicMsf::new(24);
+        drive(&mut a, &stream);
+        drive(&mut b, &stream);
+        assert_eq!(a.forest_edges(), b.forest_edges());
+    }
+
+    #[test]
+    fn pram_profile_reports_costs() {
+        let run = pram_profile(128, 100, 3);
+        assert!(run.worst.depth > 0);
+        assert!(run.mean_work > 0.0);
+        assert!(run.peak_processors > 0);
+        assert_eq!(run.n, 128);
+    }
+}

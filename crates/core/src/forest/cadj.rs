@@ -1,0 +1,303 @@
+//! Chunk ids (`slots`), `CAdj` rows and their aggregation upkeep.
+//!
+//! A chunk's `CAdj` row stores, for every other chunk id, the minimum weight
+//! of a graph edge whose endpoints have their principal copies in the two
+//! chunks (Section 2.2). This module owns:
+//!
+//! * slot allocation / release (short lists carry no id — Section 6),
+//! * full row rebuilds by scanning the `O(K)` edges adjacent to a chunk
+//!   (Lemma 2.2; in the EREW model this is the tournament-tree construction
+//!   of Lemma 3.1),
+//! * the symmetric "cross update" of every other chunk's row,
+//! * the global per-entry refresh of aggregate vectors (the second half of
+//!   `UpdateAdj`, Lemma 2.3).
+
+use super::{ChunkedEulerForest, NONE};
+use pdmsf_graph::WKey;
+use pdmsf_pram::kernels::log2_ceil;
+
+impl ChunkedEulerForest {
+    /// Allocate a chunk id, growing the id space (and every existing row)
+    /// when necessary.
+    fn alloc_slot(&mut self, owner: u32) -> u32 {
+        if self.slot_free.is_empty() {
+            let old_cap = self.slot_owner.len();
+            let new_cap = (old_cap * 2).max(16);
+            self.slot_owner.resize(new_cap, NONE);
+            for s in (old_cap..new_cap).rev() {
+                self.slot_free.push(s as u32);
+            }
+            // Grow every existing vector to the new capacity.
+            for chunk in &mut self.chunks {
+                if chunk.alive && chunk.slot != NONE {
+                    chunk.base.resize(new_cap, WKey::PLUS_INF);
+                    chunk.agg.resize(new_cap, WKey::PLUS_INF);
+                    chunk.memb.resize(new_cap, false);
+                }
+            }
+            self.charge(
+                (new_cap * self.chunks.len().max(1)) as u64,
+                1,
+                new_cap as u64,
+            );
+        }
+        let s = self.slot_free.pop().expect("slot free list refilled above");
+        self.slot_owner[s as usize] = owner;
+        s
+    }
+
+    /// Give chunk `c` an id: allocate vectors, rebuild its row from its
+    /// adjacent edges, propagate the symmetric entries and refresh every
+    /// aggregate that mentions the new id.
+    pub(crate) fn give_slot(&mut self, c: u32) {
+        if self.chunks[c as usize].slot != NONE {
+            return;
+        }
+        let s = self.alloc_slot(c);
+        let cap = self.slot_cap();
+        {
+            let ch = &mut self.chunks[c as usize];
+            ch.slot = s;
+            ch.base = vec![WKey::PLUS_INF; cap];
+            ch.agg = vec![WKey::PLUS_INF; cap];
+            ch.memb = vec![false; cap];
+        }
+        self.rebuild_row(c);
+    }
+
+    /// Take chunk `c`'s id away (it became the only chunk of its list):
+    /// remove every reference to the id from other rows and aggregates.
+    pub(crate) fn drop_slot(&mut self, c: u32) {
+        let s = self.chunks[c as usize].slot;
+        if s == NONE {
+            return;
+        }
+        // Clear the column `s` in every other row.
+        let mut work = 0u64;
+        for other in 0..self.chunks.len() {
+            let other = other as u32;
+            if other == c || !self.chunks[other as usize].alive {
+                continue;
+            }
+            if self.chunks[other as usize].slot != NONE {
+                self.chunks[other as usize].base[s as usize] = WKey::PLUS_INF;
+                work += 1;
+            }
+        }
+        {
+            let ch = &mut self.chunks[c as usize];
+            ch.slot = NONE;
+            ch.base = Vec::new();
+            ch.agg = Vec::new();
+            ch.memb = Vec::new();
+        }
+        self.slot_owner[s as usize] = NONE;
+        self.slot_free.push(s);
+        self.charge(work + 1, 1, work.max(1));
+        self.refresh_entry_everywhere(s);
+    }
+
+    /// Recompute chunk `c`'s entire `CAdj` row by scanning the edges adjacent
+    /// to it, propagate the symmetric entries into every other row, and
+    /// refresh all aggregates (path refresh via splay + global entry
+    /// refresh). This is the workhorse of Lemma 2.2 / 3.1.
+    pub(crate) fn rebuild_row(&mut self, c: u32) {
+        let s = self.chunks[c as usize].slot;
+        if s == NONE {
+            return;
+        }
+        let cap = self.slot_cap();
+        let mut row = vec![WKey::PLUS_INF; cap];
+        let occ_ids: Vec<u32> = self.chunks[c as usize].occs.clone();
+        let mut scanned = 0u64;
+        for o in occ_ids {
+            let v = self.occs[o as usize].vertex;
+            if self.principal[v.index()] != o {
+                continue;
+            }
+            for &eid in &self.adj[v.index()] {
+                scanned += 1;
+                let e = self.edges[&eid];
+                let other = e.other(v);
+                let pother = self.principal[other.index()];
+                let co = self.occs[pother as usize].chunk;
+                let so = self.chunks[co as usize].slot;
+                if so == NONE {
+                    continue;
+                }
+                let key = WKey::new(e.weight, eid);
+                if key < row[so as usize] {
+                    row[so as usize] = key;
+                }
+            }
+        }
+        // Cross update: symmetric entries in every other row.
+        let mut cross = 0u64;
+        for other_slot in 0..cap {
+            let owner = self.slot_owner[other_slot];
+            if owner == NONE || owner == c {
+                continue;
+            }
+            self.chunks[owner as usize].base[s as usize] = row[other_slot];
+            cross += 1;
+        }
+        self.chunks[c as usize].base = row;
+        // Sequential: O(K + J). EREW: tournament trees of depth O(log K) with
+        // O(K) processors build the row, then O(1) rounds with O(J)
+        // processors perform the cross update (Lemma 3.1).
+        let occs = self.chunks[c as usize].occs.len() as u64;
+        self.charge(
+            scanned + occs + cross + cap as u64,
+            log2_ceil((scanned as usize).max(2)) + 1,
+            (scanned + cross).max(1),
+        );
+        // Path refresh in c's own list (first half of UpdateAdj) …
+        self.splay(c);
+        // … and entry refresh everywhere else (second half of UpdateAdj).
+        self.refresh_entry_everywhere(s);
+    }
+
+    /// Recompute entry `s` of the aggregate vectors of every chunk that
+    /// carries vectors, bottom-up per list. `O(J)` sequential work,
+    /// `O(log J)` depth with `O(J)` processors in the EREW model (the
+    /// per-entry trees `S_j` of Section 3).
+    pub(crate) fn refresh_entry_everywhere(&mut self, s: u32) {
+        // Find the roots of every list that contains at least one chunk with
+        // an id (short lists have no vectors and never mention `s`).
+        let mut roots: Vec<u32> = Vec::new();
+        for slot in 0..self.slot_owner.len() {
+            let owner = self.slot_owner[slot];
+            if owner == NONE {
+                continue;
+            }
+            let root = self.tree_root(owner);
+            roots.push(root);
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        let mut visited = 0u64;
+        for root in roots {
+            visited += self.refresh_entry_subtree(root, s);
+        }
+        self.charge(
+            visited.max(1),
+            log2_ceil((visited as usize).max(2)) + 1,
+            visited.max(1),
+        );
+    }
+
+    /// Post-order recomputation of entry `s` in the subtree rooted at `c`.
+    /// Returns the number of chunks visited.
+    fn refresh_entry_subtree(&mut self, c: u32, s: u32) -> u64 {
+        // Explicit post-order traversal (children before parents).
+        let mut order = Vec::new();
+        let mut stack = vec![c];
+        while let Some(node) = stack.pop() {
+            order.push(node);
+            let (l, r) = (
+                self.chunks[node as usize].left,
+                self.chunks[node as usize].right,
+            );
+            if l != NONE {
+                stack.push(l);
+            }
+            if r != NONE {
+                stack.push(r);
+            }
+        }
+        for &node in order.iter().rev() {
+            let ch = &self.chunks[node as usize];
+            if ch.slot == NONE {
+                continue;
+            }
+            let mut agg = ch.base[s as usize];
+            let mut memb = ch.slot == s;
+            for child in [ch.left, ch.right] {
+                if child == NONE {
+                    continue;
+                }
+                let cc = &self.chunks[child as usize];
+                if cc.agg[s as usize] < agg {
+                    agg = cc.agg[s as usize];
+                }
+                memb |= cc.memb[s as usize];
+            }
+            let ch = &mut self.chunks[node as usize];
+            ch.agg[s as usize] = agg;
+            ch.memb[s as usize] = memb;
+        }
+        order.len() as u64
+    }
+
+    /// Cheap path for a *single* new edge between two id-bearing chunks
+    /// (edge-insertion case of Section 2.6): lower the two symmetric entries
+    /// and refresh the two leaf-to-root paths.
+    pub(crate) fn note_edge_between(&mut self, c1: u32, c2: u32, key: WKey) {
+        let s1 = self.chunks[c1 as usize].slot;
+        let s2 = self.chunks[c2 as usize].slot;
+        if s1 == NONE || s2 == NONE {
+            return;
+        }
+        let mut touched1 = false;
+        if key < self.chunks[c1 as usize].base[s2 as usize] {
+            self.chunks[c1 as usize].base[s2 as usize] = key;
+            touched1 = true;
+        }
+        let mut touched2 = false;
+        if key < self.chunks[c2 as usize].base[s1 as usize] {
+            self.chunks[c2 as usize].base[s1 as usize] = key;
+            touched2 = true;
+        }
+        self.charge(2, 1, 2);
+        if touched1 {
+            self.splay(c1);
+        }
+        if touched2 && c2 != c1 {
+            self.splay(c2);
+        }
+    }
+
+    /// Recompute the single pair entry between `c1` and `c2` by scanning the
+    /// edges adjacent to `c1` (edge-deletion case of Section 2.6), then
+    /// refresh the two leaf-to-root paths.
+    pub(crate) fn recompute_pair_entry(&mut self, c1: u32, c2: u32) {
+        let s1 = self.chunks[c1 as usize].slot;
+        let s2 = self.chunks[c2 as usize].slot;
+        if s1 == NONE || s2 == NONE {
+            return;
+        }
+        let occ_ids: Vec<u32> = self.chunks[c1 as usize].occs.clone();
+        let mut best = WKey::PLUS_INF;
+        let mut scanned = 0u64;
+        for o in occ_ids {
+            let v = self.occs[o as usize].vertex;
+            if self.principal[v.index()] != o {
+                continue;
+            }
+            for &eid in &self.adj[v.index()] {
+                scanned += 1;
+                let e = self.edges[&eid];
+                let other = e.other(v);
+                let pother = self.principal[other.index()];
+                if self.occs[pother as usize].chunk != c2 {
+                    continue;
+                }
+                let key = WKey::new(e.weight, eid);
+                if key < best {
+                    best = key;
+                }
+            }
+        }
+        self.chunks[c1 as usize].base[s2 as usize] = best;
+        self.chunks[c2 as usize].base[s1 as usize] = best;
+        self.charge(
+            scanned + 2,
+            log2_ceil((scanned as usize).max(2)) + 1,
+            scanned.max(1),
+        );
+        self.splay(c1);
+        if c2 != c1 {
+            self.splay(c2);
+        }
+    }
+}

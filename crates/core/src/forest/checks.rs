@@ -1,0 +1,219 @@
+//! Exhaustive structural validation used by the test-suite.
+//!
+//! [`ChunkedEulerForest::validate`] brute-force checks every invariant the
+//! algorithm relies on: occurrence bookkeeping, Euler-tour/arc consistency,
+//! the tour-per-tree correspondence, principal copies, adjacency counts,
+//! `CAdj` rows and the LSDS aggregates. It is `O(n·m)` and only meant for
+//! tests on small inputs.
+
+use super::{ChunkedEulerForest, NONE};
+use pdmsf_graph::{Edge, UnionFind, WKey};
+use std::collections::HashMap;
+
+impl ChunkedEulerForest {
+    /// Validate every structural invariant against the given set of forest
+    /// edges (the caller's view of the current MSF). Panics with a
+    /// description on the first violation.
+    pub fn validate(&self, tree_edges: &[Edge]) {
+        // ---- occurrence / chunk bookkeeping ----
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            if !chunk.alive {
+                continue;
+            }
+            assert!(!chunk.occs.is_empty(), "chunk {ci} is empty");
+            for (pos, &o) in chunk.occs.iter().enumerate() {
+                let occ = &self.occs[o as usize];
+                assert!(occ.alive, "dead occurrence {o} referenced by chunk {ci}");
+                assert_eq!(occ.chunk as usize, ci, "occurrence {o} has wrong chunk");
+                assert_eq!(occ.pos as usize, pos, "occurrence {o} has wrong position");
+            }
+        }
+        for (v, occ_list) in self.vertex_occs.iter().enumerate() {
+            for (vpos, &o) in occ_list.iter().enumerate() {
+                let occ = &self.occs[o as usize];
+                assert!(occ.alive);
+                assert_eq!(occ.vertex.index(), v);
+                assert_eq!(occ.vpos as usize, vpos);
+            }
+            let p = self.principal[v];
+            assert_ne!(p, NONE, "vertex {v} has no principal copy");
+            assert!(occ_list.contains(&p), "principal of {v} is not an occurrence of {v}");
+        }
+
+        // ---- forest structure: components and degrees ----
+        let n = self.num_vertices();
+        let mut uf = UnionFind::new(n);
+        let mut deg = vec![0usize; n];
+        for e in tree_edges {
+            uf.union(e.u.index(), e.v.index());
+            deg[e.u.index()] += 1;
+            deg[e.v.index()] += 1;
+        }
+        let mut uf = uf;
+        // Occurrence count of v must be max(deg_T(v), 1).
+        for v in 0..n {
+            assert_eq!(
+                self.vertex_occs[v].len(),
+                deg[v].max(1),
+                "vertex {v} has {} occurrences, expected {}",
+                self.vertex_occs[v].len(),
+                deg[v].max(1)
+            );
+        }
+        // All occurrences of a tree's vertices must live in the same list,
+        // and different trees in different lists.
+        let mut component_root: HashMap<usize, u32> = HashMap::new();
+        for v in 0..n {
+            let comp = uf.find(v);
+            for &o in &self.vertex_occs[v] {
+                let root = self.tree_root(self.occs[o as usize].chunk);
+                match component_root.get(&comp) {
+                    None => {
+                        component_root.insert(comp, root);
+                    }
+                    Some(&r) => assert_eq!(
+                        r, root,
+                        "vertex {v} (component {comp}) is split across lists"
+                    ),
+                }
+            }
+        }
+        let mut seen_roots: Vec<u32> = component_root.values().copied().collect();
+        seen_roots.sort_unstable();
+        let before = seen_roots.len();
+        seen_roots.dedup();
+        assert_eq!(before, seen_roots.len(), "two components share a list");
+
+        // ---- arcs: each forest edge has two valid arc tails ----
+        assert_eq!(self.arcs.len(), tree_edges.len(), "arc count mismatch");
+        for e in tree_edges {
+            let &(fwd, bwd) = self
+                .arcs
+                .get(&e.id)
+                .unwrap_or_else(|| panic!("{:?} has no arcs", e.id));
+            assert_eq!(self.occs[fwd as usize].vertex, e.u);
+            assert_eq!(self.occs[bwd as usize].vertex, e.v);
+            assert_eq!(self.occs[fwd as usize].arc, Some((e.id, true)));
+            assert_eq!(self.occs[bwd as usize].arc, Some((e.id, false)));
+            let succ_fwd = self.cyclic_succ(fwd);
+            let succ_bwd = self.cyclic_succ(bwd);
+            assert_eq!(
+                self.occs[succ_fwd as usize].vertex, e.v,
+                "forward arc of {:?} does not point at an occurrence of {:?}",
+                e.id, e.v
+            );
+            assert_eq!(
+                self.occs[succ_bwd as usize].vertex, e.u,
+                "backward arc of {:?} does not point at an occurrence of {:?}",
+                e.id, e.u
+            );
+        }
+        // Conversely, every occurrence's arc must be registered.
+        for (oi, occ) in self.occs.iter().enumerate() {
+            if !occ.alive {
+                continue;
+            }
+            if let Some((eid, fwd)) = occ.arc {
+                let &(f, b) = self
+                    .arcs
+                    .get(&eid)
+                    .unwrap_or_else(|| panic!("occurrence {oi} refers to unknown arc {eid:?}"));
+                assert_eq!(if fwd { f } else { b }, oi as u32);
+            }
+        }
+
+        // ---- adjacency counts ----
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            if !chunk.alive {
+                continue;
+            }
+            let mut expected = 0usize;
+            for &o in &chunk.occs {
+                let v = self.occs[o as usize].vertex;
+                if self.principal[v.index()] == o {
+                    expected += self.adj[v.index()].len();
+                }
+            }
+            assert_eq!(chunk.adj_count, expected, "chunk {ci} adj_count mismatch");
+        }
+
+        // ---- slot discipline: single-chunk lists have no id, multi-chunk
+        // lists have ids on every chunk ----
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            if !chunk.alive {
+                continue;
+            }
+            let root = self.tree_root(ci as u32);
+            let multi = self.chunks[root as usize].size > 1;
+            if multi {
+                assert_ne!(chunk.slot, NONE, "chunk {ci} of a multi-chunk list has no id");
+            } else {
+                assert_eq!(chunk.slot, NONE, "single-chunk list {ci} carries an id");
+            }
+            if chunk.slot != NONE {
+                assert_eq!(self.slot_owner[chunk.slot as usize], ci as u32);
+            }
+        }
+
+        // ---- CAdj rows against brute force ----
+        let cap = self.slot_cap();
+        let mut brute = vec![vec![WKey::PLUS_INF; cap]; cap];
+        for (&eid, e) in &self.edges {
+            let cu = self.occs[self.principal[e.u.index()] as usize].chunk;
+            let cv = self.occs[self.principal[e.v.index()] as usize].chunk;
+            let su = self.chunks[cu as usize].slot;
+            let sv = self.chunks[cv as usize].slot;
+            if su == NONE || sv == NONE {
+                continue;
+            }
+            let key = WKey::new(e.weight, eid);
+            if key < brute[su as usize][sv as usize] {
+                brute[su as usize][sv as usize] = key;
+                brute[sv as usize][su as usize] = key;
+            }
+        }
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            if !chunk.alive || chunk.slot == NONE {
+                continue;
+            }
+            let s = chunk.slot as usize;
+            for t in 0..cap {
+                assert_eq!(
+                    chunk.base[t], brute[s][t],
+                    "CAdj[{ci}][slot {t}] is stale (slot {s})"
+                );
+            }
+        }
+
+        // ---- LSDS aggregates at every slotted chunk ----
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            if !chunk.alive || chunk.slot == NONE {
+                continue;
+            }
+            // Expected aggregate: entry-wise min / OR over the subtree.
+            let mut expected_agg = vec![WKey::PLUS_INF; cap];
+            let mut expected_memb = vec![false; cap];
+            let mut stack = vec![ci as u32];
+            let mut subtree = 0u32;
+            while let Some(node) = stack.pop() {
+                subtree += 1;
+                let nd = &self.chunks[node as usize];
+                for t in 0..cap {
+                    if nd.base[t] < expected_agg[t] {
+                        expected_agg[t] = nd.base[t];
+                    }
+                }
+                expected_memb[nd.slot as usize] = true;
+                if nd.left != NONE {
+                    stack.push(nd.left);
+                }
+                if nd.right != NONE {
+                    stack.push(nd.right);
+                }
+            }
+            assert_eq!(chunk.size, subtree, "chunk {ci} subtree size mismatch");
+            assert_eq!(chunk.agg, expected_agg, "chunk {ci} aggregate is stale");
+            assert_eq!(chunk.memb, expected_memb, "chunk {ci} membership is stale");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Graph-edge registration: adjacency lists, adjacency counts and the `CAdj`
+//! entry maintenance performed at the start of every edge insertion /
+//! deletion (Section 2.6).
+
+use super::ChunkedEulerForest;
+use pdmsf_graph::{Edge, EdgeId, WKey};
+
+impl ChunkedEulerForest {
+    /// Whether the given edge is currently registered.
+    pub fn has_edge(&self, id: EdgeId) -> bool {
+        self.edges.contains_key(&id)
+    }
+
+    /// The registered edge with the given id, if any.
+    pub fn edge(&self, id: EdgeId) -> Option<Edge> {
+        self.edges.get(&id).copied()
+    }
+
+    /// Whether the given edge is currently a forest (tree) edge.
+    pub fn is_tree_edge(&self, id: EdgeId) -> bool {
+        self.arcs.contains_key(&id)
+    }
+
+    /// Register a new graph edge: adjacency lists, adjacency counts of the
+    /// chunks holding the endpoints' principal copies, and the `CAdj` pair
+    /// entry. Does **not** touch the forest.
+    pub fn insert_graph_edge(&mut self, e: Edge) {
+        assert!(
+            !self.edges.contains_key(&e.id),
+            "edge {:?} already registered",
+            e.id
+        );
+        self.edges.insert(e.id, e);
+        self.adj[e.u.index()].push(e.id);
+        if e.v != e.u {
+            self.adj[e.v.index()].push(e.id);
+        }
+        let c1 = self.occs[self.principal[e.u.index()] as usize].chunk;
+        let c2 = self.occs[self.principal[e.v.index()] as usize].chunk;
+        self.chunks[c1 as usize].adj_count += 1;
+        if e.v != e.u {
+            self.chunks[c2 as usize].adj_count += 1;
+        }
+        self.note_edge_between(c1, c2, WKey::new(e.weight, e.id));
+        self.touched.insert(c1);
+        self.touched.insert(c2);
+        self.charge(2, 1, 2);
+        self.flush_rebalance();
+    }
+
+    /// Unregister a graph edge (which must not be a forest edge anymore — the
+    /// caller cuts forest edges *after* calling this, exactly as in the
+    /// paper's deletion procedure where `CAdj` is updated first). Returns the
+    /// removed edge.
+    pub fn delete_graph_edge(&mut self, id: EdgeId) -> Edge {
+        let e = self
+            .edges
+            .remove(&id)
+            .unwrap_or_else(|| panic!("edge {id:?} is not registered"));
+        self.adj[e.u.index()].retain(|&x| x != id);
+        if e.v != e.u {
+            self.adj[e.v.index()].retain(|&x| x != id);
+        }
+        let c1 = self.occs[self.principal[e.u.index()] as usize].chunk;
+        let c2 = self.occs[self.principal[e.v.index()] as usize].chunk;
+        self.chunks[c1 as usize].adj_count -= 1;
+        if e.v != e.u {
+            self.chunks[c2 as usize].adj_count -= 1;
+        }
+        self.recompute_pair_entry(c1, c2);
+        self.touched.insert(c1);
+        self.touched.insert(c2);
+        self.charge(2, 1, 2);
+        self.flush_rebalance();
+        e
+    }
+}

@@ -1,0 +1,358 @@
+//! The chunked Euler-tour forest — the paper's central data structure.
+//!
+//! One [`ChunkedEulerForest`] instance stores, for the dynamic graph it is
+//! given:
+//!
+//! * the **graph edges** (adjacency lists keyed by vertex),
+//! * the **Euler tour of every tree** of the maintained spanning forest,
+//!   represented as a cyclic list of *vertex occurrences* (Section 2.1 /
+//!   Lemma 2.1) partitioned into **chunks** of `Θ(K)` elements
+//!   (Invariant 1),
+//! * one designated **principal copy** per vertex (Section 2.2),
+//! * per-chunk **CAdj rows** (minimum-weight edge between chunk pairs) and
+//!   **Memb** information, aggregated per list by a balanced **list sum data
+//!   structure** (here a splay-based sequence tree over the chunks — an
+//!   amortised stand-in for the paper's 2-3 tree, see DESIGN.md),
+//! * the **surgical operations** (split / join / reroot of tours) that edge
+//!   insertions and deletions reduce to, and
+//! * the **minimum-weight-replacement (MWR) search** of Lemma 2.4 / 3.3.
+//!
+//! The structure is deliberately *degree-agnostic*: it is correct for any
+//! vertex degree; the `K ≤ n_c ≤ 3K` bound of Invariant 1 is only guaranteed
+//! when the caller bounds the degree (the paper does so via Frederickson's
+//! reduction, available as [`pdmsf_graph::DegreeReduced`]).
+//!
+//! Cost accounting: every non-trivial primitive charges its cost to an
+//! embedded [`CostMeter`], either as sequential work (Theorem 1.2 accounting)
+//! or as EREW PRAM rounds (Theorem 3.1 accounting) depending on the
+//! configured [`CostModel`]. The two front-ends `seq::SeqDynamicMsf` and
+//! `par::ParDynamicMsf` differ only in the chunk parameter `K` and in this
+//! cost model.
+
+mod cadj;
+mod checks;
+mod edges;
+mod mwr;
+mod splay;
+mod surgery;
+
+#[cfg(test)]
+mod tests;
+
+use pdmsf_graph::{Edge, EdgeId, VertexId, WKey};
+use pdmsf_pram::CostMeter;
+use std::collections::{BTreeSet, HashMap};
+
+/// Sentinel index ("null pointer") used by every arena in this module.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// How primitive operations are charged to the cost meter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Sequential accounting (Theorem 1.2): every primitive is charged as
+    /// work performed by a single processor.
+    #[default]
+    Sequential,
+    /// EREW PRAM accounting (Theorem 3.1): scans become tournament trees /
+    /// parallel sweeps of logarithmic depth using one processor per element.
+    Erew,
+}
+
+/// One occurrence of a vertex in the Euler tour of its tree.
+#[derive(Clone, Debug)]
+pub(crate) struct Occ {
+    pub vertex: VertexId,
+    /// Chunk holding this occurrence.
+    pub chunk: u32,
+    /// Position within the chunk's `occs` vector.
+    pub pos: u32,
+    /// Position within `vertex_occs[vertex]`.
+    pub vpos: u32,
+    /// The forest arc (edge id, `true` = the `u -> v` direction of that edge)
+    /// whose *tail* this occurrence is, if any. The head of the arc is always
+    /// the cyclically next occurrence in the list.
+    pub arc: Option<(EdgeId, bool)>,
+    pub alive: bool,
+}
+
+/// A chunk of consecutive occurrences, which is simultaneously a node of its
+/// list's aggregation tree (the LSDS).
+#[derive(Clone, Debug)]
+pub(crate) struct Chunk {
+    pub alive: bool,
+    /// Occurrence ids, in list order.
+    pub occs: Vec<u32>,
+    /// Number of graph edges adjacent to this chunk (edges incident to
+    /// vertices whose principal copy lies here). `n_c = occs.len() + adj_count`.
+    pub adj_count: usize,
+    /// Chunk id (`id_c` in the paper); `NONE` when the chunk is the only
+    /// chunk of its list (Section 6, "short lists").
+    pub slot: u32,
+    // ---- LSDS (splay sequence tree) fields ----
+    pub parent: u32,
+    pub left: u32,
+    pub right: u32,
+    /// Number of chunks in this subtree.
+    pub size: u32,
+    /// Own CAdj row (indexed by slot). Empty when `slot == NONE`.
+    pub base: Vec<WKey>,
+    /// Entry-wise minimum of `base` over the subtree.
+    pub agg: Vec<WKey>,
+    /// Membership of slots in the subtree (`Memb` of the paper).
+    pub memb: Vec<bool>,
+}
+
+impl Chunk {
+    fn new_singleton() -> Self {
+        Chunk {
+            alive: true,
+            occs: Vec::new(),
+            adj_count: 0,
+            slot: NONE,
+            parent: NONE,
+            left: NONE,
+            right: NONE,
+            size: 1,
+            base: Vec::new(),
+            agg: Vec::new(),
+            memb: Vec::new(),
+        }
+    }
+
+    /// `n_c` of Invariant 1.
+    pub(crate) fn nc(&self) -> usize {
+        self.occs.len() + self.adj_count
+    }
+}
+
+/// Aggregate statistics used by tests and the benchmark harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForestStats {
+    /// Number of live chunks.
+    pub chunks: usize,
+    /// Number of allocated chunk ids (`J` in the paper's terms).
+    pub slots: usize,
+    /// Number of live occurrences across all Euler tours.
+    pub occurrences: usize,
+    /// Largest `n_c` over all chunks.
+    pub max_nc: usize,
+    /// Number of live graph edges.
+    pub edges: usize,
+    /// Configured chunk parameter `K`.
+    pub k: usize,
+}
+
+/// The chunked Euler-tour forest (see module docs).
+pub struct ChunkedEulerForest {
+    /// Chunk-size parameter `K`.
+    pub(crate) k: usize,
+    pub(crate) model: CostModel,
+    /// PRAM / sequential cost meter.
+    pub meter: CostMeter,
+
+    // ---- graph storage ----
+    pub(crate) edges: HashMap<EdgeId, Edge>,
+    pub(crate) adj: Vec<Vec<EdgeId>>,
+
+    // ---- occurrences ----
+    pub(crate) occs: Vec<Occ>,
+    pub(crate) occ_free: Vec<u32>,
+    pub(crate) vertex_occs: Vec<Vec<u32>>,
+    pub(crate) principal: Vec<u32>,
+
+    // ---- forest arcs: edge id -> (tail of u->v arc, tail of v->u arc) ----
+    pub(crate) arcs: HashMap<EdgeId, (u32, u32)>,
+
+    // ---- chunks / LSDS ----
+    pub(crate) chunks: Vec<Chunk>,
+    pub(crate) chunk_free: Vec<u32>,
+
+    // ---- chunk id (slot) allocation ----
+    pub(crate) slot_owner: Vec<u32>,
+    pub(crate) slot_free: Vec<u32>,
+
+    // ---- scratch buffers reused by pull_up ----
+    pub(crate) scratch_agg: Vec<WKey>,
+    pub(crate) scratch_memb: Vec<bool>,
+
+    /// Chunks touched by the current operation, pending Invariant-1 fix-up.
+    pub(crate) touched: BTreeSet<u32>,
+}
+
+impl ChunkedEulerForest {
+    /// A forest over `n` isolated vertices with chunk parameter `k` and the
+    /// given cost model.
+    pub fn new(n: usize, k: usize, model: CostModel) -> Self {
+        let mut forest = ChunkedEulerForest {
+            k: k.max(2),
+            model,
+            meter: CostMeter::new(),
+            edges: HashMap::new(),
+            adj: Vec::new(),
+            occs: Vec::new(),
+            occ_free: Vec::new(),
+            vertex_occs: Vec::new(),
+            principal: Vec::new(),
+            arcs: HashMap::new(),
+            chunks: Vec::new(),
+            chunk_free: Vec::new(),
+            slot_owner: Vec::new(),
+            slot_free: Vec::new(),
+            scratch_agg: Vec::new(),
+            scratch_memb: Vec::new(),
+            touched: BTreeSet::new(),
+        };
+        for _ in 0..n {
+            forest.add_vertex();
+        }
+        forest
+    }
+
+    /// Chunk parameter `K`.
+    pub fn chunk_parameter(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live graph edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a new isolated vertex: one occurrence, one single-chunk list.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = VertexId::from(self.adj.len());
+        self.adj.push(Vec::new());
+        self.vertex_occs.push(Vec::new());
+        self.principal.push(NONE);
+        let c = self.alloc_chunk();
+        let o = self.alloc_occ(v);
+        self.chunks[c as usize].occs.push(o);
+        self.occs[o as usize].chunk = c;
+        self.occs[o as usize].pos = 0;
+        self.principal[v.index()] = o;
+        v
+    }
+
+    /// Current structural statistics.
+    pub fn stats(&self) -> ForestStats {
+        let mut chunks = 0;
+        let mut occurrences = 0;
+        let mut max_nc = 0;
+        for c in &self.chunks {
+            if c.alive {
+                chunks += 1;
+                occurrences += c.occs.len();
+                max_nc = max_nc.max(c.nc());
+            }
+        }
+        ForestStats {
+            chunks,
+            slots: self.slot_owner.len() - self.slot_free.len(),
+            occurrences,
+            max_nc,
+            edges: self.edges.len(),
+            k: self.k,
+        }
+    }
+
+    // ---- arena helpers -------------------------------------------------
+
+    pub(crate) fn alloc_occ(&mut self, v: VertexId) -> u32 {
+        let occ = Occ {
+            vertex: v,
+            chunk: NONE,
+            pos: 0,
+            vpos: self.vertex_occs[v.index()].len() as u32,
+            arc: None,
+            alive: true,
+        };
+        let id = if let Some(id) = self.occ_free.pop() {
+            self.occs[id as usize] = occ;
+            id
+        } else {
+            self.occs.push(occ);
+            (self.occs.len() - 1) as u32
+        };
+        self.vertex_occs[v.index()].push(id);
+        id
+    }
+
+    pub(crate) fn free_occ(&mut self, o: u32) {
+        let v = self.occs[o as usize].vertex;
+        let vpos = self.occs[o as usize].vpos as usize;
+        // Remove from vertex_occs with swap_remove, fixing the moved entry.
+        let list = &mut self.vertex_occs[v.index()];
+        let last = list.len() - 1;
+        list.swap(vpos, last);
+        list.pop();
+        if vpos < list.len() {
+            let moved = list[vpos];
+            self.occs[moved as usize].vpos = vpos as u32;
+        }
+        self.occs[o as usize].alive = false;
+        self.occ_free.push(o);
+    }
+
+    pub(crate) fn alloc_chunk(&mut self) -> u32 {
+        if let Some(id) = self.chunk_free.pop() {
+            self.chunks[id as usize] = Chunk::new_singleton();
+            id
+        } else {
+            self.chunks.push(Chunk::new_singleton());
+            (self.chunks.len() - 1) as u32
+        }
+    }
+
+    pub(crate) fn free_chunk(&mut self, c: u32) {
+        debug_assert!(self.chunks[c as usize].slot == NONE);
+        self.chunks[c as usize].alive = false;
+        self.chunks[c as usize].occs.clear();
+        self.chunk_free.push(c);
+        self.touched.remove(&c);
+    }
+
+    // ---- cost charging -------------------------------------------------
+
+    /// Charge a primitive whose sequential cost is `seq_work` and whose EREW
+    /// parallelisation (per the paper's Lemmas 3.1-3.3) takes `par_depth`
+    /// rounds on `par_procs` processors.
+    pub(crate) fn charge(&mut self, seq_work: u64, par_depth: u64, par_procs: u64) {
+        match self.model {
+            CostModel::Sequential => self.meter.sequential(seq_work),
+            CostModel::Erew => self
+                .meter
+                .round(par_procs.max(1), par_depth.max(1), seq_work.max(1)),
+        }
+    }
+
+    /// Degree of a vertex in the maintained graph.
+    pub(crate) fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The chunks of each Euler-tour list, in list order — one entry per
+    /// tree of the maintained forest plus one per isolated vertex. Intended
+    /// for diagnostics, tests and the benchmark harness.
+    pub fn lists(&self) -> Vec<Vec<usize>> {
+        let mut roots: Vec<u32> = Vec::new();
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            if chunk.alive && chunk.parent == NONE {
+                roots.push(ci as u32);
+            }
+        }
+        roots
+            .into_iter()
+            .map(|r| {
+                self.chunks_of_list(r)
+                    .into_iter()
+                    .map(|c| c as usize)
+                    .collect()
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimum-weight-replacement (MWR) edge search — Lemma 2.4 sequentially,
+//! Lemma 3.3 in the EREW model.
+//!
+//! After a forest-edge deletion splits a tree's Euler tour into two lists,
+//! the replacement edge is the minimum-weight graph edge with one endpoint's
+//! principal copy in each list:
+//!
+//! * if both lists carry chunk ids, the search uses the `γ` array (root
+//!   `CAdj` aggregate of one list masked by the root `Memb` aggregate of the
+//!   other), then scans the `O(K)` edges of the winning chunk,
+//! * if either list is *short* (single chunk, no id — Section 6), that list
+//!   is scanned directly in `O(K)` time (`O(log K)` parallel depth with a
+//!   tournament tree).
+
+use super::{ChunkedEulerForest, NONE};
+use pdmsf_graph::{Edge, WKey};
+use pdmsf_pram::kernels::log2_ceil;
+
+impl ChunkedEulerForest {
+    /// The minimum-weight edge with one endpoint (principal copy) in the list
+    /// rooted at `root_a` and the other in the list rooted at `root_b`.
+    pub fn find_mwr(&mut self, root_a: u32, root_b: u32) -> Option<Edge> {
+        debug_assert_ne!(root_a, root_b, "MWR requires two distinct lists");
+        let a_short = self.chunks[root_a as usize].size == 1
+            && self.chunks[root_a as usize].slot == NONE;
+        let b_short = self.chunks[root_b as usize].size == 1
+            && self.chunks[root_b as usize].slot == NONE;
+        if a_short {
+            self.scan_short_list(root_a, root_b)
+        } else if b_short {
+            self.scan_short_list(root_b, root_a)
+        } else {
+            self.gamma_search(root_a, root_b)
+        }
+    }
+
+    /// Direct scan used when `short_root` is a short list: examine every edge
+    /// incident to its principal copies and keep the lightest one whose other
+    /// endpoint lies in the list rooted at `other_root`.
+    fn scan_short_list(&mut self, short_root: u32, other_root: u32) -> Option<Edge> {
+        let mut best: Option<(WKey, Edge)> = None;
+        let mut scanned = 0u64;
+        let occ_ids = self.chunks[short_root as usize].occs.clone();
+        for o in occ_ids {
+            let v = self.occs[o as usize].vertex;
+            if self.principal[v.index()] != o {
+                continue;
+            }
+            for &eid in &self.adj[v.index()] {
+                scanned += 1;
+                let e = self.edges[&eid];
+                let other = e.other(v);
+                let pother = self.principal[other.index()];
+                let co = self.occs[pother as usize].chunk;
+                if self.tree_root(co) != other_root {
+                    continue;
+                }
+                let key = WKey::new(e.weight, eid);
+                if best.map_or(true, |(bk, _)| key < bk) {
+                    best = Some((key, e));
+                }
+            }
+        }
+        self.charge(
+            scanned + 1,
+            log2_ceil((scanned as usize).max(2)) + 1,
+            scanned.max(1),
+        );
+        best.map(|(_, e)| e)
+    }
+
+    /// The `γ`-array search of Lemma 2.4: `γ[i] = CAdj_{root_a}[i]` masked by
+    /// `Memb_{root_b}[i]`; the winning chunk of the other list is then
+    /// scanned for the witness edge.
+    fn gamma_search(&mut self, root_a: u32, root_b: u32) -> Option<Edge> {
+        let cap = self.slot_cap();
+        let mut best_slot: Option<(WKey, usize)> = None;
+        {
+            let ra = &self.chunks[root_a as usize];
+            let rb = &self.chunks[root_b as usize];
+            debug_assert!(ra.slot != NONE && rb.slot != NONE);
+            for i in 0..cap {
+                if !rb.memb[i] {
+                    continue;
+                }
+                let key = ra.agg[i];
+                if key.is_inf() {
+                    continue;
+                }
+                if best_slot.map_or(true, |(bk, _)| key < bk) {
+                    best_slot = Some((key, i));
+                }
+            }
+        }
+        // Sequentially: O(J) to build and scan γ. EREW: O(1) rounds with O(J)
+        // processors to build it, then a tournament tree of depth O(log J).
+        self.charge(cap as u64, log2_ceil(cap.max(2)) + 1, cap as u64);
+        let (expected_key, slot) = best_slot?;
+
+        // Scan the O(K) edges adjacent to the winning chunk, verifying the
+        // other endpoint against the membership of `root_a`.
+        let chunk = self.slot_owner[slot];
+        debug_assert_ne!(chunk, NONE);
+        let occ_ids = self.chunks[chunk as usize].occs.clone();
+        let mut best: Option<(WKey, Edge)> = None;
+        let mut scanned = 0u64;
+        for o in occ_ids {
+            let v = self.occs[o as usize].vertex;
+            if self.principal[v.index()] != o {
+                continue;
+            }
+            for &eid in &self.adj[v.index()] {
+                scanned += 1;
+                let e = self.edges[&eid];
+                let other = e.other(v);
+                let pother = self.principal[other.index()];
+                let co = self.occs[pother as usize].chunk;
+                let so = self.chunks[co as usize].slot;
+                if so == NONE || !self.chunks[root_a as usize].memb[so as usize] {
+                    continue;
+                }
+                let key = WKey::new(e.weight, eid);
+                if best.map_or(true, |(bk, _)| key < bk) {
+                    best = Some((key, e));
+                }
+            }
+        }
+        self.charge(
+            scanned + 1,
+            log2_ceil((scanned as usize).max(2)) + 1,
+            scanned.max(1),
+        );
+        let (found_key, edge) = best.expect("γ promised an edge between the two lists");
+        debug_assert_eq!(
+            found_key, expected_key,
+            "γ aggregate and chunk scan disagree on the MWR edge"
+        );
+        Some(edge)
+    }
+}

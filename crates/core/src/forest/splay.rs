@@ -1,0 +1,325 @@
+//! The list sum data structure (LSDS): a splay-based sequence tree over the
+//! chunks of each Euler-tour list.
+//!
+//! The paper implements the LSDS as a 2-3 tree with worst-case `O(log J)`
+//! structural operations; we use a splay tree keyed by list position, which
+//! supports the same operation set (insert / delete / split / join /
+//! leaf-to-root refresh) with amortised `O(log J)` structural cost. Every
+//! touched node recomputes its `O(J)`-sized aggregate vectors, exactly as in
+//! Lemma 2.3, so the per-operation aggregate cost is `O(J log J)` amortised.
+
+use super::{ChunkedEulerForest, NONE};
+use pdmsf_graph::WKey;
+
+impl ChunkedEulerForest {
+    /// Current chunk-id capacity (`J` upper bound); rows/aggregates are sized
+    /// to this.
+    pub(crate) fn slot_cap(&self) -> usize {
+        self.slot_owner.len()
+    }
+
+    /// Recompute `size`, `agg` and `memb` of `c` from its own data and its
+    /// children. `O(slot_cap)` when the chunk carries vectors, `O(1)`
+    /// otherwise.
+    pub(crate) fn pull_up(&mut self, c: u32) {
+        let (l, r, slot) = {
+            let ch = &self.chunks[c as usize];
+            (ch.left, ch.right, ch.slot)
+        };
+        let mut size = 1;
+        if l != NONE {
+            size += self.chunks[l as usize].size;
+        }
+        if r != NONE {
+            size += self.chunks[r as usize].size;
+        }
+        self.chunks[c as usize].size = size;
+        if slot == NONE {
+            debug_assert!(l == NONE && r == NONE, "slotless chunk with children");
+            return;
+        }
+        let cap = self.slot_cap();
+        let mut agg = std::mem::take(&mut self.scratch_agg);
+        let mut memb = std::mem::take(&mut self.scratch_memb);
+        agg.clear();
+        agg.extend_from_slice(&self.chunks[c as usize].base);
+        agg.resize(cap, WKey::PLUS_INF);
+        memb.clear();
+        memb.resize(cap, false);
+        memb[slot as usize] = true;
+        for child in [l, r] {
+            if child == NONE {
+                continue;
+            }
+            let chd = &self.chunks[child as usize];
+            debug_assert!(chd.slot != NONE, "child chunk without a slot");
+            for i in 0..cap {
+                if chd.agg[i] < agg[i] {
+                    agg[i] = chd.agg[i];
+                }
+                if chd.memb[i] {
+                    memb[i] = true;
+                }
+            }
+        }
+        self.scratch_agg = std::mem::replace(&mut self.chunks[c as usize].agg, agg);
+        self.scratch_memb = std::mem::replace(&mut self.chunks[c as usize].memb, memb);
+    }
+
+    fn rotate(&mut self, x: u32) {
+        let p = self.chunks[x as usize].parent;
+        let g = self.chunks[p as usize].parent;
+        let dir = (self.chunks[p as usize].right == x) as usize;
+        let b = if dir == 1 {
+            self.chunks[x as usize].left
+        } else {
+            self.chunks[x as usize].right
+        };
+        // p adopts b where x used to be.
+        if dir == 1 {
+            self.chunks[p as usize].right = b;
+        } else {
+            self.chunks[p as usize].left = b;
+        }
+        if b != NONE {
+            self.chunks[b as usize].parent = p;
+        }
+        // x adopts p.
+        if dir == 1 {
+            self.chunks[x as usize].left = p;
+        } else {
+            self.chunks[x as usize].right = p;
+        }
+        self.chunks[p as usize].parent = x;
+        // g adopts x.
+        self.chunks[x as usize].parent = g;
+        if g != NONE {
+            if self.chunks[g as usize].left == p {
+                self.chunks[g as usize].left = x;
+            } else {
+                self.chunks[g as usize].right = x;
+            }
+        }
+        self.pull_up(p);
+        self.pull_up(x);
+    }
+
+    /// Splay `c` to the root of its list's tree (this is also the paper's
+    /// `UpdateAdj` path refresh: every node on the leaf-to-root path has its
+    /// aggregate vectors recomputed).
+    pub(crate) fn splay(&mut self, c: u32) {
+        let mut rotations: u64 = 0;
+        while self.chunks[c as usize].parent != NONE {
+            let p = self.chunks[c as usize].parent;
+            let g = self.chunks[p as usize].parent;
+            if g != NONE {
+                let zig_zig =
+                    (self.chunks[g as usize].right == p) == (self.chunks[p as usize].right == c);
+                if zig_zig {
+                    self.rotate(p);
+                } else {
+                    self.rotate(c);
+                }
+                rotations += 2;
+            } else {
+                rotations += 1;
+            }
+            self.rotate(c);
+        }
+        self.pull_up(c);
+        let cap = self.slot_cap() as u64;
+        // Lemma 2.3 / 3.2: O(J) per touched node sequentially; O(log J) depth
+        // with O(J) processors in the EREW model (per-entry trees S_j).
+        self.charge(
+            (rotations + 1) * cap.max(1),
+            pdmsf_pram::kernels::log2_ceil(self.slot_cap().max(2)) + 1,
+            cap.max(1),
+        );
+    }
+
+    /// Root of the list containing `c`, without restructuring.
+    pub(crate) fn tree_root(&self, c: u32) -> u32 {
+        let mut cur = c;
+        while self.chunks[cur as usize].parent != NONE {
+            cur = self.chunks[cur as usize].parent;
+        }
+        cur
+    }
+
+    /// Whether the list containing `c` consists of a single chunk.
+    pub(crate) fn list_is_single_chunk(&self, c: u32) -> bool {
+        let root = self.tree_root(c);
+        self.chunks[root as usize].size == 1
+    }
+
+    /// First (leftmost) chunk of the list rooted at `root`.
+    pub(crate) fn first_chunk(&self, root: u32) -> u32 {
+        let mut cur = root;
+        while self.chunks[cur as usize].left != NONE {
+            cur = self.chunks[cur as usize].left;
+        }
+        cur
+    }
+
+    /// Last (rightmost) chunk of the list rooted at `root`.
+    pub(crate) fn last_chunk(&self, root: u32) -> u32 {
+        let mut cur = root;
+        while self.chunks[cur as usize].right != NONE {
+            cur = self.chunks[cur as usize].right;
+        }
+        cur
+    }
+
+    /// In-order successor chunk within the same list, if any.
+    pub(crate) fn next_chunk(&self, c: u32) -> Option<u32> {
+        if self.chunks[c as usize].right != NONE {
+            return Some(self.first_chunk(self.chunks[c as usize].right));
+        }
+        let mut cur = c;
+        let mut p = self.chunks[cur as usize].parent;
+        while p != NONE {
+            if self.chunks[p as usize].left == cur {
+                return Some(p);
+            }
+            cur = p;
+            p = self.chunks[cur as usize].parent;
+        }
+        None
+    }
+
+    /// In-order predecessor chunk within the same list, if any.
+    pub(crate) fn prev_chunk(&self, c: u32) -> Option<u32> {
+        if self.chunks[c as usize].left != NONE {
+            return Some(self.last_chunk(self.chunks[c as usize].left));
+        }
+        let mut cur = c;
+        let mut p = self.chunks[cur as usize].parent;
+        while p != NONE {
+            if self.chunks[p as usize].right == cur {
+                return Some(p);
+            }
+            cur = p;
+            p = self.chunks[cur as usize].parent;
+        }
+        None
+    }
+
+    /// 0-based position of chunk `c` within its list (number of chunks before
+    /// it). Does not restructure the tree.
+    pub(crate) fn chunk_rank(&self, c: u32) -> usize {
+        let left = self.chunks[c as usize].left;
+        let mut rank = if left != NONE {
+            self.chunks[left as usize].size as usize
+        } else {
+            0
+        };
+        let mut cur = c;
+        let mut p = self.chunks[cur as usize].parent;
+        while p != NONE {
+            if self.chunks[p as usize].right == cur {
+                let pl = self.chunks[p as usize].left;
+                rank += 1 + if pl != NONE {
+                    self.chunks[pl as usize].size as usize
+                } else {
+                    0
+                };
+            }
+            cur = p;
+            p = self.chunks[cur as usize].parent;
+        }
+        rank
+    }
+
+    /// Concatenate the list rooted at `a` with the list rooted at `b`
+    /// (`a` first). Either may be `NONE`. Returns the new root.
+    pub(crate) fn tree_join(&mut self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        let last = self.last_chunk(a);
+        self.splay(last);
+        debug_assert_eq!(self.chunks[last as usize].right, NONE);
+        self.chunks[last as usize].right = b;
+        self.chunks[b as usize].parent = last;
+        self.pull_up(last);
+        last
+    }
+
+    /// Split the list containing `c` immediately after chunk `c`. Returns the
+    /// roots `(left, right)`; `right` is `NONE` when `c` is the last chunk.
+    pub(crate) fn tree_split_after(&mut self, c: u32) -> (u32, u32) {
+        self.splay(c);
+        let r = self.chunks[c as usize].right;
+        if r != NONE {
+            self.chunks[r as usize].parent = NONE;
+            self.chunks[c as usize].right = NONE;
+            self.pull_up(c);
+        }
+        (c, r)
+    }
+
+    /// Insert chunk `c_new` (currently a detached singleton) immediately after
+    /// `c_exist` in its list.
+    pub(crate) fn tree_insert_after(&mut self, c_exist: u32, c_new: u32) {
+        debug_assert_eq!(self.chunks[c_new as usize].parent, NONE);
+        debug_assert_eq!(self.chunks[c_new as usize].left, NONE);
+        debug_assert_eq!(self.chunks[c_new as usize].right, NONE);
+        self.splay(c_exist);
+        let r = self.chunks[c_exist as usize].right;
+        self.chunks[c_new as usize].right = r;
+        if r != NONE {
+            self.chunks[r as usize].parent = c_new;
+        }
+        self.chunks[c_exist as usize].right = c_new;
+        self.chunks[c_new as usize].parent = c_exist;
+        self.pull_up(c_new);
+        self.pull_up(c_exist);
+    }
+
+    /// Detach chunk `c` from its list, leaving it as a singleton tree.
+    /// Returns the root of the remaining list (`NONE` if `c` was alone).
+    pub(crate) fn tree_remove(&mut self, c: u32) -> u32 {
+        self.splay(c);
+        let l = self.chunks[c as usize].left;
+        let r = self.chunks[c as usize].right;
+        if l != NONE {
+            self.chunks[l as usize].parent = NONE;
+        }
+        if r != NONE {
+            self.chunks[r as usize].parent = NONE;
+        }
+        self.chunks[c as usize].left = NONE;
+        self.chunks[c as usize].right = NONE;
+        self.pull_up(c);
+        self.tree_join(l, r)
+    }
+
+    /// Collect the chunks of the list rooted at `root`, in list order.
+    /// Read-only (does not restructure the tree).
+    pub(crate) fn chunks_of_list(&self, root: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        if root == NONE {
+            return out;
+        }
+        // Iterative in-order traversal with an explicit stack.
+        let mut stack = Vec::new();
+        let mut cur = root;
+        loop {
+            while cur != NONE {
+                stack.push(cur);
+                cur = self.chunks[cur as usize].left;
+            }
+            match stack.pop() {
+                None => break,
+                Some(node) => {
+                    out.push(node);
+                    cur = self.chunks[node as usize].right;
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,517 @@
+//! Occurrence-level and list-level surgical operations (Lemma 2.1), chunk
+//! splitting / merging (Lemma 2.2 / 3.1), principal-copy management and the
+//! Invariant-1 rebalancing loop.
+//!
+//! Euler tours are kept as *cyclic* sequences of vertex occurrences stored in
+//! linear chunked lists: consecutive occurrences (and the wrap-around pair)
+//! are the arcs of the tour. For every forest edge `{u, v}` the structure
+//! remembers the two arc *tails*: the occurrence of `u` immediately followed
+//! by an occurrence of `v` and vice versa. Linking and cutting a forest edge
+//! then reduces to `O(1)` list splits / joins plus `O(1)` occurrence
+//! insertions / deletions, exactly as Lemma 2.1 prescribes.
+
+use super::{ChunkedEulerForest, NONE};
+use pdmsf_graph::{Edge, VertexId};
+use pdmsf_pram::kernels::log2_ceil;
+
+impl ChunkedEulerForest {
+    // ------------------------------------------------------------------
+    // Occurrence-level helpers
+    // ------------------------------------------------------------------
+
+    /// The occurrence immediately preceding `o` in its (linear) list.
+    pub(crate) fn pred_occ(&self, o: u32) -> Option<u32> {
+        let occ = &self.occs[o as usize];
+        let chunk = &self.chunks[occ.chunk as usize];
+        if occ.pos > 0 {
+            return Some(chunk.occs[occ.pos as usize - 1]);
+        }
+        let prev = self.prev_chunk(occ.chunk)?;
+        self.chunks[prev as usize].occs.last().copied()
+    }
+
+    /// The occurrence immediately following `o` in its (linear) list.
+    pub(crate) fn succ_occ(&self, o: u32) -> Option<u32> {
+        let occ = &self.occs[o as usize];
+        let chunk = &self.chunks[occ.chunk as usize];
+        if (occ.pos as usize) + 1 < chunk.occs.len() {
+            return Some(chunk.occs[occ.pos as usize + 1]);
+        }
+        let next = self.next_chunk(occ.chunk)?;
+        self.chunks[next as usize].occs.first().copied()
+    }
+
+    /// First occurrence of the list rooted at `root`.
+    pub(crate) fn first_occ_of_list(&self, root: u32) -> u32 {
+        let c = self.first_chunk(root);
+        *self.chunks[c as usize]
+            .occs
+            .first()
+            .expect("chunks are never empty")
+    }
+
+    /// Last occurrence of the list rooted at `root`.
+    pub(crate) fn last_occ_of_list(&self, root: u32) -> u32 {
+        let c = self.last_chunk(root);
+        *self.chunks[c as usize]
+            .occs
+            .last()
+            .expect("chunks are never empty")
+    }
+
+    /// The cyclic successor of `o` (wraps to the first occurrence).
+    pub(crate) fn cyclic_succ(&self, o: u32) -> u32 {
+        match self.succ_occ(o) {
+            Some(s) => s,
+            None => {
+                let root = self.tree_root(self.occs[o as usize].chunk);
+                self.first_occ_of_list(root)
+            }
+        }
+    }
+
+    /// Whether the list containing occurrence `o` consists of exactly one
+    /// occurrence (its vertex is isolated in the forest).
+    pub(crate) fn occ_list_is_singleton(&self, o: u32) -> bool {
+        let c = self.occs[o as usize].chunk;
+        self.chunks[c as usize].occs.len() == 1 && self.list_is_single_chunk(c)
+    }
+
+    /// Linear position of `o` within its list, as (chunk rank, in-chunk pos).
+    fn occ_rank(&self, o: u32) -> (usize, u32) {
+        let occ = &self.occs[o as usize];
+        (self.chunk_rank(occ.chunk), occ.pos)
+    }
+
+    /// Insert a fresh (non-principal) occurrence of `v` immediately after
+    /// occurrence `after` and return it. `O(K)` for the in-chunk reindexing.
+    pub(crate) fn insert_occ_after(&mut self, after: u32, v: VertexId) -> u32 {
+        let o = self.alloc_occ(v);
+        let c = self.occs[after as usize].chunk;
+        let pos = self.occs[after as usize].pos as usize + 1;
+        self.chunks[c as usize].occs.insert(pos, o);
+        self.occs[o as usize].chunk = c;
+        let len = self.chunks[c as usize].occs.len();
+        for p in pos..len {
+            let oc = self.chunks[c as usize].occs[p];
+            self.occs[oc as usize].pos = p as u32;
+        }
+        self.touched.insert(c);
+        self.charge((len - pos) as u64 + 1, 1, (len - pos) as u64 + 1);
+        o
+    }
+
+    /// Remove an occurrence that is neither a principal copy nor the tail of
+    /// any live arc. `O(K)` for the in-chunk reindexing.
+    pub(crate) fn delete_occ(&mut self, o: u32) {
+        debug_assert!(self.occs[o as usize].arc.is_none(), "occurrence still carries an arc");
+        let v = self.occs[o as usize].vertex;
+        debug_assert_ne!(
+            self.principal[v.index()],
+            o,
+            "cannot delete a principal copy; re-designate first"
+        );
+        let c = self.occs[o as usize].chunk;
+        let pos = self.occs[o as usize].pos as usize;
+        self.chunks[c as usize].occs.remove(pos);
+        let len = self.chunks[c as usize].occs.len();
+        for p in pos..len {
+            let oc = self.chunks[c as usize].occs[p];
+            self.occs[oc as usize].pos = p as u32;
+        }
+        self.free_occ(o);
+        self.charge((len - pos) as u64 + 1, 1, (len - pos) as u64 + 1);
+        if len == 0 {
+            // The chunk became empty: retire it and, if its list shrank to a
+            // single chunk, retire that chunk's id as well (Section 6).
+            let rest = self.tree_remove(c);
+            self.drop_slot(c);
+            self.free_chunk(c);
+            if rest != NONE && self.chunks[rest as usize].size == 1 {
+                self.drop_slot(rest);
+                self.touched.insert(rest);
+            }
+        } else {
+            self.touched.insert(c);
+        }
+    }
+
+    /// Move the principal copy of `v` to `new_occ` (an existing occurrence of
+    /// `v`), updating the adjacency counts and `CAdj` rows of the chunks
+    /// involved.
+    pub(crate) fn set_principal(&mut self, v: VertexId, new_occ: u32) {
+        let old = self.principal[v.index()];
+        if old == new_occ {
+            return;
+        }
+        debug_assert_eq!(self.occs[new_occ as usize].vertex, v);
+        self.principal[v.index()] = new_occ;
+        let c_old = self.occs[old as usize].chunk;
+        let c_new = self.occs[new_occ as usize].chunk;
+        if c_old == c_new {
+            return;
+        }
+        let deg = self.degree(v);
+        self.chunks[c_old as usize].adj_count -= deg;
+        self.chunks[c_new as usize].adj_count += deg;
+        self.rebuild_row(c_old);
+        self.rebuild_row(c_new);
+        self.touched.insert(c_old);
+        self.touched.insert(c_new);
+    }
+
+    /// Recompute a chunk's adjacency count from scratch.
+    pub(crate) fn recompute_adj_count(&mut self, c: u32) {
+        let mut count = 0;
+        for i in 0..self.chunks[c as usize].occs.len() {
+            let o = self.chunks[c as usize].occs[i];
+            let v = self.occs[o as usize].vertex;
+            if self.principal[v.index()] == o {
+                count += self.degree(v);
+            }
+        }
+        self.chunks[c as usize].adj_count = count;
+    }
+
+    // ------------------------------------------------------------------
+    // Chunk split / merge (Lemma 2.2, parallelised in Lemma 3.1)
+    // ------------------------------------------------------------------
+
+    /// Split chunk `c` after in-chunk position `p` (`0 <= p < len-1`). The
+    /// new chunk holding the tail is inserted immediately after `c` in the
+    /// list and both chunks' rows are rebuilt. Returns the new chunk.
+    pub(crate) fn split_chunk_after(&mut self, c: u32, p: usize) -> u32 {
+        let len = self.chunks[c as usize].occs.len();
+        debug_assert!(p + 1 < len, "split position must leave both sides non-empty");
+        let tail: Vec<u32> = self.chunks[c as usize].occs.split_off(p + 1);
+        let c2 = self.alloc_chunk();
+        for (i, &o) in tail.iter().enumerate() {
+            self.occs[o as usize].chunk = c2;
+            self.occs[o as usize].pos = i as u32;
+        }
+        self.chunks[c2 as usize].occs = tail;
+        self.recompute_adj_count(c);
+        self.recompute_adj_count(c2);
+        self.charge(
+            len as u64,
+            log2_ceil(len.max(2)) + 1,
+            len as u64,
+        );
+        // After the split the list has at least two chunks, so both carry ids.
+        if self.chunks[c as usize].slot == NONE {
+            self.give_slot(c);
+        } else {
+            self.rebuild_row(c);
+        }
+        self.give_slot(c2);
+        self.tree_insert_after(c, c2);
+        self.touched.insert(c);
+        self.touched.insert(c2);
+        c2
+    }
+
+    /// Merge the next chunk of `c` into `c`. The caller guarantees a next
+    /// chunk exists. Afterwards `c` holds both occurrence runs; the absorbed
+    /// chunk is freed.
+    pub(crate) fn merge_with_next(&mut self, c: u32) {
+        let nxt = self.next_chunk(c).expect("merge_with_next requires a successor");
+        let moved: Vec<u32> = std::mem::take(&mut self.chunks[nxt as usize].occs);
+        let offset = self.chunks[c as usize].occs.len();
+        for (i, &o) in moved.iter().enumerate() {
+            self.occs[o as usize].chunk = c;
+            self.occs[o as usize].pos = (offset + i) as u32;
+        }
+        let moved_len = moved.len();
+        self.chunks[c as usize].occs.extend(moved);
+        let nxt_adj = self.chunks[nxt as usize].adj_count;
+        self.chunks[c as usize].adj_count += nxt_adj;
+        self.charge(
+            moved_len as u64 + 1,
+            log2_ceil(moved_len.max(2)) + 1,
+            moved_len as u64 + 1,
+        );
+        // Detach the absorbed chunk from the list, retire its id, free it.
+        self.tree_remove(nxt);
+        self.drop_slot(nxt);
+        self.free_chunk(nxt);
+        // `c` may now be the only chunk of its list (then it loses its id) or
+        // still one of several (then its row is rebuilt to include the
+        // absorbed edges).
+        if self.list_is_single_chunk(c) {
+            self.drop_slot(c);
+        } else {
+            self.rebuild_row(c);
+        }
+        self.touched.insert(c);
+    }
+
+    // ------------------------------------------------------------------
+    // List-level surgical operations
+    // ------------------------------------------------------------------
+
+    /// Split the list containing `o` immediately after occurrence `o`.
+    /// Returns the roots of the two resulting lists (`right` may be `NONE`).
+    pub(crate) fn list_split_after_occ(&mut self, o: u32) -> (u32, u32) {
+        let c = self.occs[o as usize].chunk;
+        let pos = self.occs[o as usize].pos as usize;
+        let split_chunk = if pos + 1 < self.chunks[c as usize].occs.len() {
+            // The split point is inside the chunk: split the chunk first.
+            self.split_chunk_after(c, pos);
+            c
+        } else {
+            c
+        };
+        let (l, r) = self.tree_split_after(split_chunk);
+        for side in [l, r] {
+            if side != NONE && self.chunks[side as usize].size == 1 {
+                self.drop_slot(side);
+                self.touched.insert(side);
+            }
+        }
+        (l, r)
+    }
+
+    /// Concatenate two lists (either root may be `NONE`). Single-chunk sides
+    /// are given ids first so that every chunk of a multi-chunk list carries
+    /// an id. Returns the root of the concatenation.
+    pub(crate) fn list_join(&mut self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        if self.chunks[a as usize].size == 1 && self.chunks[a as usize].slot == NONE {
+            self.give_slot(a);
+        }
+        if self.chunks[b as usize].size == 1 && self.chunks[b as usize].slot == NONE {
+            self.give_slot(b);
+        }
+        self.tree_join(a, b)
+    }
+
+    // ------------------------------------------------------------------
+    // Euler-tour link / cut (the forest-edge surgical operations)
+    // ------------------------------------------------------------------
+
+    /// Make `e` a forest edge: merge the Euler tours of its endpoints'
+    /// trees. The endpoints must currently be in different trees and `e`
+    /// must already be a (live) graph edge.
+    pub(crate) fn link_tree_edge(&mut self, e: Edge) {
+        let (u, v) = (e.u, e.v);
+        let a = self.principal[u.index()];
+        let b = self.principal[v.index()];
+        let a_single = self.occ_list_is_singleton(a);
+        let b_single = self.occ_list_is_singleton(b);
+        debug_assert_ne!(
+            self.tree_root(self.occs[a as usize].chunk),
+            self.tree_root(self.occs[b as usize].chunk),
+            "link endpoints must be in different trees"
+        );
+
+        // Rotate v's tour so that it starts at the principal copy of v.
+        let root_b = self.tree_root(self.occs[b as usize].chunk);
+        let rotated_b = match self.pred_occ(b) {
+            None => root_b,
+            Some(pred) => {
+                let (left, right) = self.list_split_after_occ(pred);
+                self.list_join(right, left)
+            }
+        };
+
+        // Append the occurrences that close the two new arcs.
+        let last_b = self.last_occ_of_list(rotated_b);
+        let mut after = last_b;
+        let v_new = if !b_single {
+            let o = self.insert_occ_after(last_b, v);
+            after = o;
+            Some(o)
+        } else {
+            None
+        };
+        let u_new = if !a_single {
+            Some(self.insert_occ_after(after, u))
+        } else {
+            None
+        };
+
+        // Splice the rotated tour of v's tree into u's tour right after `a`.
+        let (a1, a2) = self.list_split_after_occ(a);
+        let mid_root = self.tree_root(self.occs[b as usize].chunk);
+        let joined = self.list_join(a1, mid_root);
+        self.list_join(joined, a2);
+
+        // Arc bookkeeping.
+        if let Some(un) = u_new {
+            let old_arc = self.occs[a as usize]
+                .arc
+                .take()
+                .expect("non-singleton tours have an arc at every occurrence tail");
+            self.occs[un as usize].arc = Some(old_arc);
+            let entry = self
+                .arcs
+                .get_mut(&old_arc.0)
+                .expect("transferred arc must be registered");
+            if old_arc.1 {
+                entry.0 = un;
+            } else {
+                entry.1 = un;
+            }
+        }
+        self.occs[a as usize].arc = Some((e.id, true));
+        let bwd_tail = v_new.unwrap_or(b);
+        self.occs[bwd_tail as usize].arc = Some((e.id, false));
+        self.arcs.insert(e.id, (a, bwd_tail));
+        self.charge(4, 2, 2);
+        self.flush_rebalance();
+    }
+
+    /// Remove forest edge `e` from the Euler tours, splitting its tree's tour
+    /// into the two sub-tours. Returns the list roots `(root_u, root_v)` of
+    /// the sides containing `e.u` and `e.v`.
+    pub(crate) fn cut_tree_edge(&mut self, e: Edge) -> (u32, u32) {
+        let (x, y) = self
+            .arcs
+            .remove(&e.id)
+            .unwrap_or_else(|| panic!("{:?} is not a forest edge", e.id));
+        debug_assert_eq!(self.occs[x as usize].vertex, e.u);
+        debug_assert_eq!(self.occs[y as usize].vertex, e.v);
+        debug_assert_eq!(self.occs[x as usize].arc, Some((e.id, true)));
+        debug_assert_eq!(self.occs[y as usize].arc, Some((e.id, false)));
+        self.occs[x as usize].arc = None;
+        self.occs[y as usize].arc = None;
+
+        // Split the cyclic tour at the two arcs. The side of `v` is the
+        // cyclic interval (x, y]; the side of `u` is (y, x].
+        let (rank_x, rank_y) = (self.occ_rank(x), self.occ_rank(y));
+        if rank_x < rank_y {
+            let (p1, rest) = self.list_split_after_occ(x);
+            debug_assert_ne!(rest, NONE);
+            let (_p2, p3) = self.list_split_after_occ(y);
+            // v-side = p2 (succ(x) ..= y); u-side = p3 ++ p1 (cyclic wrap).
+            self.list_join(p3, p1);
+        } else {
+            let (q1, rest) = self.list_split_after_occ(y);
+            debug_assert_ne!(rest, NONE);
+            let (_q2, q3) = self.list_split_after_occ(x);
+            // u-side = q2 (succ(y) ..= x); v-side = q3 ++ q1 (cyclic wrap).
+            self.list_join(q3, q1);
+        }
+
+        // Each endpoint loses one occurrence unless it became (or stays) the
+        // only occurrence of its tour.
+        self.remove_redundant_occurrence(x, e.u);
+        self.remove_redundant_occurrence(y, e.v);
+        self.charge(4, 2, 2);
+        self.flush_rebalance();
+
+        let root_u = self.tree_root(self.occs[self.principal[e.u.index()] as usize].chunk);
+        let root_v = self.tree_root(self.occs[self.principal[e.v.index()] as usize].chunk);
+        (root_u, root_v)
+    }
+
+    /// After a cut, occurrence `o` of vertex `v` is redundant (its arc was
+    /// removed) unless it is the vertex's only occurrence. Re-designate the
+    /// principal copy if necessary, then delete it.
+    fn remove_redundant_occurrence(&mut self, o: u32, v: VertexId) {
+        if self.vertex_occs[v.index()].len() < 2 {
+            return;
+        }
+        if self.principal[v.index()] == o {
+            let replacement = self.vertex_occs[v.index()]
+                .iter()
+                .copied()
+                .find(|&other| other != o)
+                .expect("vertex has another occurrence");
+            self.set_principal(v, replacement);
+        }
+        self.delete_occ(o);
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant 1 maintenance
+    // ------------------------------------------------------------------
+
+    /// Restore Invariant 1 for every chunk touched by the current operation.
+    pub(crate) fn flush_rebalance(&mut self) {
+        while let Some(&c) = self.touched.iter().next() {
+            self.touched.remove(&c);
+            self.rebalance(c);
+        }
+    }
+
+    fn rebalance(&mut self, mut c: u32) {
+        loop {
+            if !self.chunks[c as usize].alive {
+                return;
+            }
+            let nc = self.chunks[c as usize].nc();
+            let single = self.list_is_single_chunk(c);
+            if nc > 3 * self.k && self.chunks[c as usize].occs.len() >= 2 {
+                // Split roughly in half by n_c contribution.
+                if let Some(p) = self.balanced_split_position(c) {
+                    let c2 = self.split_chunk_after(c, p);
+                    self.touched.insert(c2);
+                    continue;
+                }
+                // A single occurrence dominates n_c (possible only without
+                // the degree-3 reduction); nothing further to do.
+                break;
+            } else if !single && nc < self.k {
+                // Merge with a neighbour, but never create a chunk that
+                // immediately violates the upper bound again (possible when a
+                // single high-degree principal dominates `n_c`, i.e. when the
+                // caller did not apply the degree-3 reduction) — that would
+                // make the split/merge loop cycle.
+                let next_ok = self
+                    .next_chunk(c)
+                    .map(|nx| nc + self.chunks[nx as usize].nc() <= 3 * self.k);
+                let prev_ok = self
+                    .prev_chunk(c)
+                    .map(|pv| nc + self.chunks[pv as usize].nc() <= 3 * self.k);
+                if next_ok == Some(true) {
+                    self.merge_with_next(c);
+                    continue;
+                }
+                if prev_ok == Some(true) {
+                    let prev = self.prev_chunk(c).expect("checked above");
+                    self.merge_with_next(prev);
+                    c = prev;
+                    continue;
+                }
+                break;
+            } else if single && self.chunks[c as usize].slot != NONE {
+                self.drop_slot(c);
+                break;
+            } else if !single && self.chunks[c as usize].slot == NONE {
+                self.give_slot(c);
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Find a split position that balances `n_c` between the two halves, or
+    /// `None` if no valid position exists.
+    fn balanced_split_position(&self, c: u32) -> Option<usize> {
+        let chunk = &self.chunks[c as usize];
+        let total = chunk.nc();
+        let mut acc = 0usize;
+        let mut best: Option<usize> = None;
+        for (i, &o) in chunk.occs.iter().enumerate() {
+            let v = self.occs[o as usize].vertex;
+            acc += 1;
+            if self.principal[v.index()] == o {
+                acc += self.degree(v);
+            }
+            if i + 1 < chunk.occs.len() {
+                best = Some(i);
+                if acc * 2 >= total {
+                    return Some(i);
+                }
+            }
+        }
+        best
+    }
+}

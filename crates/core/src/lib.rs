@@ -1,0 +1,32 @@
+//! # pdmsf-core
+//!
+//! The paper's contribution: worst-case deterministic (parallel) dynamic
+//! minimum spanning forest built from chunked Euler tours, `CAdj`/`Memb`
+//! connectivity vectors, a list-sum data structure (LSDS) and
+//! minimum-weight-replacement (MWR) search.
+//!
+//! * [`forest`] — the central data structure shared by the sequential and
+//!   parallel front-ends: Euler tours of the MSF trees stored as lists of
+//!   vertex occurrences, partitioned into chunks (Invariant 1), with
+//!   per-chunk `CAdj` rows, per-list aggregation trees and the surgical
+//!   operations of Lemma 2.1.
+//! * [`seq`] — [`seq::SeqDynamicMsf`], the sequential structure of Theorem
+//!   1.2 (`O(sqrt(n log n))` worst-case time per update with
+//!   `K = sqrt(n log n)`).
+//! * [`par`] — [`par::ParDynamicMsf`], the EREW PRAM structure of Theorem
+//!   3.1 / 1.1 (`K = sqrt n`, `O(log n)` parallel depth, `O(sqrt n)`
+//!   processors, `O(sqrt n log n)` work), executed through the cost-model
+//!   substrate of `pdmsf-pram`.
+//! * [`sparsify`] — the sparsification tree of Section 5 (Eppstein et al.),
+//!   generic over the per-level dynamic-MSF structure, which removes the
+//!   sparsity assumption (`m = O(n)`) without changing the asymptotic costs.
+
+pub mod forest;
+pub mod par;
+pub mod seq;
+pub mod sparsify;
+
+pub use forest::{ChunkedEulerForest, CostModel, ForestStats};
+pub use par::ParDynamicMsf;
+pub use seq::SeqDynamicMsf;
+pub use sparsify::SparsifiedMsf;

@@ -1,0 +1,554 @@
+//! Link-cut trees over splay trees, with maximum-`WKey` path aggregation.
+
+use pdmsf_graph::{EdgeId, VertexId, WKey};
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    parent: u32,
+    child: [u32; 2],
+    /// Lazy "reverse this splay subtree" flag (needed for `make_root`).
+    flip: bool,
+    /// The node's own key: `Some` for edge nodes, `None` for vertex nodes.
+    val: Option<WKey>,
+    /// Maximum key in this node's splay subtree (including `val`).
+    agg: Option<WKey>,
+}
+
+impl Node {
+    fn new(val: Option<WKey>) -> Self {
+        Node {
+            parent: NONE,
+            child: [NONE, NONE],
+            flip: false,
+            val,
+            agg: val,
+        }
+    }
+}
+
+/// A forest of rooted trees supporting `link`, `cut`, `connected` and
+/// "heaviest edge on the path between two vertices" queries, all in
+/// amortised `O(log n)`.
+///
+/// Vertices are identified by [`VertexId`]; forest edges carry an [`EdgeId`]
+/// and a [`WKey`] and are represented internally as their own nodes.
+#[derive(Clone, Debug, Default)]
+pub struct LinkCutForest {
+    nodes: Vec<Node>,
+    /// Internal node index of each vertex.
+    vertex_node: Vec<u32>,
+    /// edge id -> (internal node, endpoint u, endpoint v), for live edges.
+    edge_info: HashMap<EdgeId, (u32, VertexId, VertexId)>,
+    /// Free list of edge nodes available for reuse.
+    free_nodes: Vec<u32>,
+    num_edges: usize,
+}
+
+impl LinkCutForest {
+    /// A forest of `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        let mut forest = LinkCutForest::default();
+        for _ in 0..n {
+            forest.add_vertex();
+        }
+        forest
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_node.len()
+    }
+
+    /// Number of live forest edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Append a new isolated vertex.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let node = self.alloc_node(None);
+        let id = VertexId::from(self.vertex_node.len());
+        self.vertex_node.push(node);
+        id
+    }
+
+    /// Whether the forest currently contains the given edge.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edge_info.contains_key(&e)
+    }
+
+    /// The endpoints of a live forest edge.
+    pub fn edge_endpoints(&self, e: EdgeId) -> Option<(VertexId, VertexId)> {
+        self.edge_info.get(&e).map(|&(_, u, v)| (u, v))
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        let (nu, nv) = (self.vertex_node[u.index()], self.vertex_node[v.index()]);
+        let ru = self.find_root(nu);
+        let rv = self.find_root(nv);
+        ru == rv
+    }
+
+    /// Add the edge `e = {u, v}` with key `key` to the forest.
+    ///
+    /// # Panics
+    /// Panics if `u` and `v` are already connected, if `u == v`, or if `e` is
+    /// already present.
+    pub fn link(&mut self, u: VertexId, v: VertexId, e: EdgeId, key: WKey) {
+        assert!(u != v, "cannot link a vertex to itself");
+        assert!(!self.contains_edge(e), "edge {e:?} already in the forest");
+        assert!(
+            !self.connected(u, v),
+            "link({u:?}, {v:?}) would create a cycle"
+        );
+        let enode = self.alloc_node(Some(key));
+        let nu = self.vertex_node[u.index()];
+        let nv = self.vertex_node[v.index()];
+        // Attach u - enode - v.
+        self.make_root(nu);
+        self.nodes[nu as usize].parent = enode; // path-parent pointer
+        self.make_root(enode);
+        self.nodes[enode as usize].parent = nv;
+        self.edge_info.insert(e, (enode, u, v));
+        self.num_edges += 1;
+    }
+
+    /// Remove the edge `e` from the forest.
+    ///
+    /// # Panics
+    /// Panics if the edge is not present.
+    pub fn cut(&mut self, e: EdgeId) {
+        let (enode, u, v) = self
+            .edge_info
+            .remove(&e)
+            .unwrap_or_else(|| panic!("edge {e:?} is not in the forest"));
+        let nu = self.vertex_node[u.index()];
+        let nv = self.vertex_node[v.index()];
+        // Detach enode from u, then from v.
+        self.cut_adjacent(nu, enode);
+        self.cut_adjacent(enode, nv);
+        self.free_nodes.push(enode);
+        self.num_edges -= 1;
+    }
+
+    /// The heaviest edge (by `WKey`) on the path from `u` to `v`, or `None`
+    /// if `u == v` or they are not connected.
+    pub fn path_max(&mut self, u: VertexId, v: VertexId) -> Option<WKey> {
+        if u == v || !self.connected(u, v) {
+            return None;
+        }
+        let nu = self.vertex_node[u.index()];
+        let nv = self.vertex_node[v.index()];
+        self.make_root(nu);
+        self.access(nv);
+        self.nodes[nv as usize].agg
+    }
+
+    // ------------------------------------------------------------------
+    // Internal splay-tree machinery.
+    // ------------------------------------------------------------------
+
+    fn alloc_node(&mut self, val: Option<WKey>) -> u32 {
+        if let Some(idx) = self.free_nodes.pop() {
+            self.nodes[idx as usize] = Node::new(val);
+            idx
+        } else {
+            self.nodes.push(Node::new(val));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn is_splay_root(&self, x: u32) -> bool {
+        let p = self.nodes[x as usize].parent;
+        p == NONE || (self.nodes[p as usize].child[0] != x && self.nodes[p as usize].child[1] != x)
+    }
+
+    #[inline]
+    fn push_down(&mut self, x: u32) {
+        if self.nodes[x as usize].flip {
+            let [l, r] = self.nodes[x as usize].child;
+            self.nodes[x as usize].child = [r, l];
+            for c in [l, r] {
+                if c != NONE {
+                    self.nodes[c as usize].flip ^= true;
+                }
+            }
+            self.nodes[x as usize].flip = false;
+        }
+    }
+
+    #[inline]
+    fn pull_up(&mut self, x: u32) {
+        let mut agg = self.nodes[x as usize].val;
+        for c in self.nodes[x as usize].child {
+            if c != NONE {
+                agg = match (agg, self.nodes[c as usize].agg) {
+                    (Some(a), Some(b)) => Some(if a >= b { a } else { b }),
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                };
+            }
+        }
+        self.nodes[x as usize].agg = agg;
+    }
+
+    fn rotate(&mut self, x: u32) {
+        let p = self.nodes[x as usize].parent;
+        let g = self.nodes[p as usize].parent;
+        let dir = (self.nodes[p as usize].child[1] == x) as usize;
+        let b = self.nodes[x as usize].child[1 - dir];
+
+        // p adopts b in x's former place.
+        self.nodes[p as usize].child[dir] = b;
+        if b != NONE {
+            self.nodes[b as usize].parent = p;
+        }
+        // x adopts p.
+        self.nodes[x as usize].child[1 - dir] = p;
+        self.nodes[p as usize].parent = x;
+        // g adopts x (or x becomes a splay root keeping the path-parent).
+        self.nodes[x as usize].parent = g;
+        if g != NONE {
+            if self.nodes[g as usize].child[0] == p {
+                self.nodes[g as usize].child[0] = x;
+            } else if self.nodes[g as usize].child[1] == p {
+                self.nodes[g as usize].child[1] = x;
+            }
+        }
+        self.pull_up(p);
+        self.pull_up(x);
+    }
+
+    fn splay(&mut self, x: u32) {
+        // Push pending flips from the splay root down to x first.
+        let mut stack = vec![x];
+        let mut cur = x;
+        while !self.is_splay_root(cur) {
+            cur = self.nodes[cur as usize].parent;
+            stack.push(cur);
+        }
+        while let Some(node) = stack.pop() {
+            self.push_down(node);
+        }
+
+        while !self.is_splay_root(x) {
+            let p = self.nodes[x as usize].parent;
+            if !self.is_splay_root(p) {
+                let g = self.nodes[p as usize].parent;
+                let zig_zig = (self.nodes[g as usize].child[1] == p)
+                    == (self.nodes[p as usize].child[1] == x);
+                if zig_zig {
+                    self.rotate(p);
+                } else {
+                    self.rotate(x);
+                }
+            }
+            self.rotate(x);
+        }
+        self.pull_up(x);
+    }
+
+    /// Make the path from `x` to the root of its represented tree preferred,
+    /// and splay `x` to the root of its splay tree. Returns the last
+    /// path-parent jump (the classical `access` return value).
+    fn access(&mut self, x: u32) -> u32 {
+        self.splay(x);
+        // Detach the preferred child below x.
+        let right = self.nodes[x as usize].child[1];
+        if right != NONE {
+            self.nodes[x as usize].child[1] = NONE;
+            // `right` keeps x as its path-parent (parent pointer stays).
+            self.pull_up(x);
+        }
+        let mut last = x;
+        while self.nodes[x as usize].parent != NONE {
+            let p = self.nodes[x as usize].parent;
+            self.splay(p);
+            // Replace p's preferred child with x.
+            let old = self.nodes[p as usize].child[1];
+            self.nodes[p as usize].child[1] = x;
+            if old != NONE {
+                // old keeps p as path-parent.
+            }
+            self.pull_up(p);
+            self.splay(x);
+            last = p;
+        }
+        last
+    }
+
+    /// Make `x` the root of its represented tree.
+    fn make_root(&mut self, x: u32) {
+        self.access(x);
+        self.nodes[x as usize].flip ^= true;
+        self.push_down(x);
+    }
+
+    /// Root of the represented tree containing `x`.
+    fn find_root(&mut self, x: u32) -> u32 {
+        self.access(x);
+        let mut cur = x;
+        loop {
+            self.push_down(cur);
+            let left = self.nodes[cur as usize].child[0];
+            if left == NONE {
+                break;
+            }
+            cur = left;
+        }
+        self.splay(cur);
+        cur
+    }
+
+    /// Cut the represented-tree edge between adjacent nodes `a` and `b`
+    /// (where "adjacent" means consecutive on a preferred path once `a` is
+    /// the root).
+    fn cut_adjacent(&mut self, a: u32, b: u32) {
+        self.make_root(a);
+        self.access(b);
+        // After make_root(a) + access(b), the splay tree rooted at b contains
+        // exactly the path a..b, and a is b's left child.
+        debug_assert_eq!(self.nodes[b as usize].child[0], a, "nodes are not adjacent");
+        self.nodes[b as usize].child[0] = NONE;
+        self.nodes[a as usize].parent = NONE;
+        self.pull_up(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmsf_graph::Weight;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn key(w: i64, e: u32) -> WKey {
+        WKey::new(Weight::new(w), EdgeId(e))
+    }
+
+    /// Brute-force forest oracle: adjacency lists + BFS path search.
+    #[derive(Default)]
+    struct Oracle {
+        adj: Vec<Vec<(usize, WKey)>>,
+        edges: std::collections::HashMap<EdgeId, (usize, usize, WKey)>,
+    }
+
+    impl Oracle {
+        fn new(n: usize) -> Self {
+            Oracle {
+                adj: vec![Vec::new(); n],
+                edges: Default::default(),
+            }
+        }
+        fn link(&mut self, u: usize, v: usize, e: EdgeId, k: WKey) {
+            self.adj[u].push((v, k));
+            self.adj[v].push((u, k));
+            self.edges.insert(e, (u, v, k));
+        }
+        fn cut(&mut self, e: EdgeId) {
+            let (u, v, k) = self.edges.remove(&e).unwrap();
+            self.adj[u].retain(|&(x, kk)| !(x == v && kk == k));
+            self.adj[v].retain(|&(x, kk)| !(x == u && kk == k));
+        }
+        fn path(&self, u: usize, v: usize) -> Option<Vec<WKey>> {
+            // DFS returning the edge keys along the unique path, if any.
+            fn dfs(
+                adj: &[Vec<(usize, WKey)>],
+                cur: usize,
+                target: usize,
+                parent: usize,
+                path: &mut Vec<WKey>,
+            ) -> bool {
+                if cur == target {
+                    return true;
+                }
+                for &(next, k) in &adj[cur] {
+                    if next == parent {
+                        continue;
+                    }
+                    path.push(k);
+                    if dfs(adj, next, target, cur, path) {
+                        return true;
+                    }
+                    path.pop();
+                }
+                false
+            }
+            let mut path = Vec::new();
+            if dfs(&self.adj, u, v, usize::MAX, &mut path) {
+                Some(path)
+            } else {
+                None
+            }
+        }
+        fn connected(&self, u: usize, v: usize) -> bool {
+            self.path(u, v).is_some()
+        }
+        fn path_max(&self, u: usize, v: usize) -> Option<WKey> {
+            let p = self.path(u, v)?;
+            p.into_iter().max()
+        }
+    }
+
+    #[test]
+    fn single_path_queries() {
+        let mut f = LinkCutForest::new(5);
+        f.link(VertexId(0), VertexId(1), EdgeId(0), key(5, 0));
+        f.link(VertexId(1), VertexId(2), EdgeId(1), key(9, 1));
+        f.link(VertexId(2), VertexId(3), EdgeId(2), key(2, 2));
+        assert!(f.connected(VertexId(0), VertexId(3)));
+        assert!(!f.connected(VertexId(0), VertexId(4)));
+        assert_eq!(f.path_max(VertexId(0), VertexId(3)), Some(key(9, 1)));
+        assert_eq!(f.path_max(VertexId(2), VertexId(3)), Some(key(2, 2)));
+        assert_eq!(f.path_max(VertexId(0), VertexId(0)), None);
+        assert_eq!(f.path_max(VertexId(0), VertexId(4)), None);
+    }
+
+    #[test]
+    fn cut_splits_tree() {
+        let mut f = LinkCutForest::new(4);
+        f.link(VertexId(0), VertexId(1), EdgeId(0), key(1, 0));
+        f.link(VertexId(1), VertexId(2), EdgeId(1), key(2, 1));
+        f.link(VertexId(2), VertexId(3), EdgeId(2), key(3, 2));
+        f.cut(EdgeId(1));
+        assert!(f.connected(VertexId(0), VertexId(1)));
+        assert!(f.connected(VertexId(2), VertexId(3)));
+        assert!(!f.connected(VertexId(1), VertexId(2)));
+        assert_eq!(f.num_edges(), 2);
+        // Relink differently.
+        f.link(VertexId(0), VertexId(3), EdgeId(3), key(7, 3));
+        assert!(f.connected(VertexId(1), VertexId(2)));
+        assert_eq!(f.path_max(VertexId(1), VertexId(2)), Some(key(7, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn linking_connected_vertices_panics() {
+        let mut f = LinkCutForest::new(3);
+        f.link(VertexId(0), VertexId(1), EdgeId(0), key(1, 0));
+        f.link(VertexId(1), VertexId(2), EdgeId(1), key(1, 1));
+        f.link(VertexId(0), VertexId(2), EdgeId(2), key(1, 2));
+    }
+
+    #[test]
+    fn edge_endpoints_are_reported() {
+        let mut f = LinkCutForest::new(3);
+        f.link(VertexId(2), VertexId(0), EdgeId(5), key(4, 5));
+        assert_eq!(
+            f.edge_endpoints(EdgeId(5)),
+            Some((VertexId(2), VertexId(0)))
+        );
+        assert!(f.contains_edge(EdgeId(5)));
+        f.cut(EdgeId(5));
+        assert!(!f.contains_edge(EdgeId(5)));
+        assert_eq!(f.edge_endpoints(EdgeId(5)), None);
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xDECAF);
+        for trial in 0..30 {
+            let n = 2 + (trial % 9) * 7;
+            let mut f = LinkCutForest::new(n);
+            let mut oracle = Oracle::new(n);
+            let mut live: Vec<EdgeId> = Vec::new();
+            let mut next_edge = 0u32;
+            for _step in 0..300 {
+                let op = rng.gen_range(0..10);
+                if op < 4 {
+                    // Try to link two random vertices if they are disconnected.
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u != v && !oracle.connected(u, v) {
+                        let k = key(rng.gen_range(1..100), next_edge);
+                        let e = EdgeId(next_edge);
+                        next_edge += 1;
+                        f.link(VertexId::from(u), VertexId::from(v), e, k);
+                        oracle.link(u, v, e, k);
+                        live.push(e);
+                    }
+                } else if op < 6 && !live.is_empty() {
+                    let idx = rng.gen_range(0..live.len());
+                    let e = live.swap_remove(idx);
+                    f.cut(e);
+                    oracle.cut(e);
+                } else {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    assert_eq!(
+                        f.connected(VertexId::from(u), VertexId::from(v)),
+                        oracle.connected(u, v),
+                        "connectivity mismatch (n={n}, u={u}, v={v})"
+                    );
+                    if u != v {
+                        assert_eq!(
+                            f.path_max(VertexId::from(u), VertexId::from(v)),
+                            oracle.path_max(u, v),
+                            "path_max mismatch (n={n}, u={u}, v={v})"
+                        );
+                    }
+                }
+            }
+            assert_eq!(f.num_edges(), live.len());
+        }
+    }
+
+    #[test]
+    fn long_path_then_random_cuts() {
+        let n = 200;
+        let mut f = LinkCutForest::new(n);
+        let mut oracle = Oracle::new(n);
+        for i in 0..n - 1 {
+            let k = key((i as i64 * 37) % 101, i as u32);
+            f.link(
+                VertexId::from(i),
+                VertexId::from(i + 1),
+                EdgeId(i as u32),
+                k,
+            );
+            oracle.link(i, i + 1, EdgeId(i as u32), k);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                assert_eq!(
+                    f.path_max(VertexId::from(u), VertexId::from(v)),
+                    oracle.path_max(u, v)
+                );
+            }
+        }
+        // Cut every third edge and re-check connectivity structure.
+        for i in (0..n - 1).step_by(3) {
+            f.cut(EdgeId(i as u32));
+            oracle.cut(EdgeId(i as u32));
+        }
+        for _ in 0..100 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            assert_eq!(
+                f.connected(VertexId::from(u), VertexId::from(v)),
+                oracle.connected(u, v)
+            );
+        }
+    }
+
+    #[test]
+    fn add_vertex_grows_forest() {
+        let mut f = LinkCutForest::new(1);
+        let v = f.add_vertex();
+        assert_eq!(v, VertexId(1));
+        assert_eq!(f.num_vertices(), 2);
+        f.link(VertexId(0), v, EdgeId(0), key(1, 0));
+        assert!(f.connected(VertexId(0), v));
+    }
+}

@@ -1,0 +1,459 @@
+//! Deterministic workload generators.
+//!
+//! The paper has no experimental section, so the evaluation in
+//! `EXPERIMENTS.md` is driven by synthetic-but-realistic workloads built
+//! here. Everything is seeded and fully deterministic so that the tests, the
+//! examples and the benchmark harness replay identical update sequences.
+//!
+//! Two layers:
+//!
+//! * [`GraphSpec`] — static graph families (uniform random sparse graphs,
+//!   2-D grids modelling road networks, preferential-attachment graphs
+//!   modelling skewed-degree networks),
+//! * [`UpdateStreamSpec`] / [`UpdateStream`] — dynamic update sequences on
+//!   top of a base graph (mixed insert/delete streams that keep the edge
+//!   count stationary, sliding-window streams, and delete-heavy "failure"
+//!   streams). Edge ids referenced by `Delete` operations are concrete: the
+//!   generator mirrors the id allocation of [`DynGraph`] (sequential ids in
+//!   insertion order), so a stream can be replayed against any structure.
+
+use crate::graph::DynGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::weight::Weight;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A family of static graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// `n` vertices, `m` edges drawn uniformly at random (no self-loops;
+    /// parallel edges possible but rare), weights uniform in `[1, 1_000_000]`.
+    RandomSparse {
+        /// Number of vertices.
+        n: usize,
+        /// Number of edges.
+        m: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A `rows x cols` grid with 4-neighbour connectivity — a stand-in for a
+    /// road network. Weights uniform in `[1, 1_000_000]`.
+    Grid {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+        /// RNG seed (weights only; the topology is deterministic).
+        seed: u64,
+    },
+    /// Preferential attachment: vertices arrive one at a time and attach
+    /// `attach` edges to endpoints chosen proportionally to degree. Produces
+    /// the skewed degree distributions that make the degree-3 reduction
+    /// matter.
+    PreferentialAttachment {
+        /// Number of vertices.
+        n: usize,
+        /// Edges added per arriving vertex.
+        attach: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Number of vertices this spec will produce.
+    pub fn num_vertices(&self) -> usize {
+        match *self {
+            GraphSpec::RandomSparse { n, .. } => n,
+            GraphSpec::Grid { rows, cols, .. } => rows * cols,
+            GraphSpec::PreferentialAttachment { n, .. } => n,
+        }
+    }
+
+    /// Generate the edge list `(u, v, w)` of this graph.
+    pub fn edges(&self) -> Vec<(VertexId, VertexId, Weight)> {
+        match *self {
+            GraphSpec::RandomSparse { n, m, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut out = Vec::with_capacity(m);
+                if n < 2 {
+                    return out;
+                }
+                for _ in 0..m {
+                    let u = rng.gen_range(0..n);
+                    let mut v = rng.gen_range(0..n - 1);
+                    if v >= u {
+                        v += 1;
+                    }
+                    out.push((
+                        VertexId::from(u),
+                        VertexId::from(v),
+                        random_weight(&mut rng),
+                    ));
+                }
+                out
+            }
+            GraphSpec::Grid { rows, cols, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut out = Vec::new();
+                let at = |r: usize, c: usize| VertexId::from(r * cols + c);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        if c + 1 < cols {
+                            out.push((at(r, c), at(r, c + 1), random_weight(&mut rng)));
+                        }
+                        if r + 1 < rows {
+                            out.push((at(r, c), at(r + 1, c), random_weight(&mut rng)));
+                        }
+                    }
+                }
+                out
+            }
+            GraphSpec::PreferentialAttachment { n, attach, seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut out = Vec::new();
+                // `targets` holds one entry per edge endpoint so sampling from
+                // it is degree-proportional.
+                let mut targets: Vec<usize> = vec![0];
+                for v in 1..n {
+                    let k = attach.min(v);
+                    for _ in 0..k {
+                        let t = targets[rng.gen_range(0..targets.len())];
+                        out.push((
+                            VertexId::from(v),
+                            VertexId::from(t),
+                            random_weight(&mut rng),
+                        ));
+                        targets.push(t);
+                        targets.push(v);
+                    }
+                    if k == 0 {
+                        targets.push(v);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Materialise the graph as a [`DynGraph`].
+    pub fn build(&self) -> DynGraph {
+        let mut g = DynGraph::new(self.num_vertices());
+        for (u, v, w) in self.edges() {
+            g.insert_edge(u, v, w);
+        }
+        g
+    }
+}
+
+fn random_weight<R: Rng>(rng: &mut R) -> Weight {
+    Weight::new(rng.gen_range(1..=1_000_000))
+}
+
+/// One operation of an update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert an edge. Its id will be the next sequential id of the driving
+    /// [`DynGraph`] (the generator pre-computes those ids for `Delete` ops).
+    Insert {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Weight.
+        weight: Weight,
+    },
+    /// Delete the edge with this (pre-computed) id.
+    Delete {
+        /// The id of the edge to delete.
+        id: EdgeId,
+    },
+}
+
+/// The flavour of update stream to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Each operation is an insertion with probability `insert_permille/1000`
+    /// and otherwise a deletion of a uniformly random live edge. Keeps the
+    /// edge count roughly stationary with `insert_permille = 500`.
+    Mixed {
+        /// Probability of an insert, in permille.
+        insert_permille: u32,
+    },
+    /// Sliding window: every operation inserts a fresh random edge and, once
+    /// more than `window` edges are live, deletes the oldest live edge.
+    SlidingWindow {
+        /// Maximum number of live edges.
+        window: usize,
+    },
+    /// Delete-only "failure" stream over the base graph's edges, in random
+    /// order (used for the adversarial MWR experiments: most deletions hit
+    /// forest edges).
+    Failures,
+}
+
+/// Specification of an update stream.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateStreamSpec {
+    /// The base graph present before the stream starts.
+    pub base: GraphSpec,
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Stream flavour.
+    pub kind: StreamKind,
+    /// RNG seed (independent of the base graph's seed).
+    pub seed: u64,
+}
+
+/// A generated update stream: the base graph plus a sequence of operations
+/// with concrete edge ids.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Edges of the base graph (inserted before the stream, ids `0..len`).
+    pub base_edges: Vec<(VertexId, VertexId, Weight)>,
+    /// The operations, in order.
+    pub ops: Vec<UpdateOp>,
+}
+
+impl UpdateStream {
+    /// Generate the stream described by `spec`.
+    pub fn generate(spec: &UpdateStreamSpec) -> Self {
+        let base_edges = spec.base.edges();
+        let n = spec.base.num_vertices();
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        // Mirror of the id allocation: ids 0..base_edges.len() belong to the
+        // base graph; subsequent inserts get sequential ids.
+        let mut next_id: u32 = base_edges.len() as u32;
+        let mut live: Vec<EdgeId> = (0..base_edges.len() as u32).map(EdgeId).collect();
+        let mut ops = Vec::with_capacity(spec.ops);
+
+        match spec.kind {
+            StreamKind::Mixed { insert_permille } => {
+                for _ in 0..spec.ops {
+                    let do_insert =
+                        live.is_empty() || rng.gen_range(0..1000) < insert_permille;
+                    if do_insert && n >= 2 {
+                        let (u, v) = random_pair(&mut rng, n);
+                        ops.push(UpdateOp::Insert {
+                            u,
+                            v,
+                            weight: random_weight(&mut rng),
+                        });
+                        live.push(EdgeId(next_id));
+                        next_id += 1;
+                    } else if !live.is_empty() {
+                        let k = rng.gen_range(0..live.len());
+                        let id = live.swap_remove(k);
+                        ops.push(UpdateOp::Delete { id });
+                    }
+                }
+            }
+            StreamKind::SlidingWindow { window } => {
+                let mut queue: std::collections::VecDeque<EdgeId> = live.iter().copied().collect();
+                for _ in 0..spec.ops {
+                    if queue.len() >= window.max(1) {
+                        let id = queue.pop_front().expect("window is non-empty");
+                        ops.push(UpdateOp::Delete { id });
+                    } else if n >= 2 {
+                        let (u, v) = random_pair(&mut rng, n);
+                        ops.push(UpdateOp::Insert {
+                            u,
+                            v,
+                            weight: random_weight(&mut rng),
+                        });
+                        queue.push_back(EdgeId(next_id));
+                        next_id += 1;
+                    }
+                }
+            }
+            StreamKind::Failures => {
+                let mut order = live.clone();
+                order.shuffle(&mut rng);
+                for id in order.into_iter().take(spec.ops) {
+                    ops.push(UpdateOp::Delete { id });
+                }
+            }
+        }
+
+        UpdateStream {
+            num_vertices: n,
+            base_edges,
+            ops,
+        }
+    }
+
+    /// Total number of operations (excluding the base-graph build).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the stream has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replay the stream against a [`DynGraph`] mirror, calling `f` after the
+    /// base graph is built and then after every operation. Used by tests to
+    /// differentially check dynamic structures against Kruskal.
+    pub fn replay_with<F: FnMut(&DynGraph, Option<&UpdateOp>)>(&self, mut f: F) -> DynGraph {
+        let mut g = DynGraph::new(self.num_vertices);
+        for &(u, v, w) in &self.base_edges {
+            g.insert_edge(u, v, w);
+        }
+        f(&g, None);
+        for op in &self.ops {
+            match *op {
+                UpdateOp::Insert { u, v, weight } => {
+                    g.insert_edge(u, v, weight);
+                }
+                UpdateOp::Delete { id } => {
+                    g.delete_edge(id);
+                }
+            }
+            f(&g, Some(op));
+        }
+        g
+    }
+}
+
+fn random_pair<R: Rng>(rng: &mut R, n: usize) -> (VertexId, VertexId) {
+    let u = rng.gen_range(0..n);
+    let mut v = rng.gen_range(0..n - 1);
+    if v >= u {
+        v += 1;
+    }
+    (VertexId::from(u), VertexId::from(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sparse_has_requested_size() {
+        let spec = GraphSpec::RandomSparse {
+            n: 100,
+            m: 250,
+            seed: 1,
+        };
+        let g = spec.build();
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+        assert!(g.edges().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = GraphSpec::RandomSparse {
+            n: 50,
+            m: 80,
+            seed: 7,
+        };
+        assert_eq!(spec.edges(), spec.edges());
+        let sspec = UpdateStreamSpec {
+            base: spec,
+            ops: 200,
+            kind: StreamKind::Mixed {
+                insert_permille: 500,
+            },
+            seed: 3,
+        };
+        let a = UpdateStream::generate(&sspec);
+        let b = UpdateStream::generate(&sspec);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn grid_edge_count_is_exact() {
+        let spec = GraphSpec::Grid {
+            rows: 4,
+            cols: 5,
+            seed: 0,
+        };
+        let g = spec.build();
+        assert_eq!(g.num_vertices(), 20);
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5);
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_for_attach_ge_1() {
+        let spec = GraphSpec::PreferentialAttachment {
+            n: 64,
+            attach: 2,
+            seed: 11,
+        };
+        let g = spec.build();
+        let msf = crate::kruskal::kruskal_msf(&g);
+        assert_eq!(msf.components, 1);
+        assert_eq!(msf.edges.len(), 63);
+    }
+
+    #[test]
+    fn mixed_stream_ops_are_replayable() {
+        let sspec = UpdateStreamSpec {
+            base: GraphSpec::RandomSparse {
+                n: 40,
+                m: 60,
+                seed: 5,
+            },
+            ops: 300,
+            kind: StreamKind::Mixed {
+                insert_permille: 450,
+            },
+            seed: 9,
+        };
+        let stream = UpdateStream::generate(&sspec);
+        assert_eq!(stream.len(), 300);
+        // Replaying must not panic (all Delete ids refer to live edges) and
+        // ends with a consistent mirror.
+        let mut steps = 0usize;
+        let g = stream.replay_with(|_, _| steps += 1);
+        assert_eq!(steps, 301);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn sliding_window_bounds_live_edges() {
+        let sspec = UpdateStreamSpec {
+            base: GraphSpec::RandomSparse {
+                n: 30,
+                m: 10,
+                seed: 2,
+            },
+            ops: 200,
+            kind: StreamKind::SlidingWindow { window: 25 },
+            seed: 4,
+        };
+        let stream = UpdateStream::generate(&sspec);
+        let mut max_live = 0usize;
+        let g = stream.replay_with(|g, _| max_live = max_live.max(g.num_edges()));
+        assert!(max_live <= 25 + 1);
+        assert!(g.num_edges() <= 25);
+    }
+
+    #[test]
+    fn failure_stream_only_deletes_base_edges() {
+        let sspec = UpdateStreamSpec {
+            base: GraphSpec::Grid {
+                rows: 3,
+                cols: 3,
+                seed: 1,
+            },
+            ops: 1000,
+            kind: StreamKind::Failures,
+            seed: 8,
+        };
+        let stream = UpdateStream::generate(&sspec);
+        assert_eq!(stream.len(), 12); // grid has 12 edges; stream truncates
+        assert!(stream
+            .ops
+            .iter()
+            .all(|op| matches!(op, UpdateOp::Delete { .. })));
+        let g = stream.replay_with(|_, _| ());
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! A dynamic, weighted, undirected multigraph.
+//!
+//! [`DynGraph`] is the "driver side" representation of the graph being
+//! maintained: it owns the edge-id space, the adjacency lists and the weight
+//! of every live edge. The dynamic-MSF structures receive edges from it (as
+//! [`Edge`] values) and are free to keep whatever internal bookkeeping they
+//! need; tests compare their answers against [`crate::kruskal_msf`] run on the
+//! same `DynGraph`.
+
+use crate::ids::{EdgeId, VertexId};
+use crate::weight::Weight;
+
+/// A single (live) edge: id, endpoints and weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Stable identifier of the edge.
+    pub id: EdgeId,
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Weight.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x:?} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `x` is an endpoint.
+    #[inline]
+    pub fn touches(&self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+#[derive(Clone, Debug)]
+struct EdgeSlot {
+    u: VertexId,
+    v: VertexId,
+    weight: Weight,
+    alive: bool,
+}
+
+/// A dynamic weighted undirected multigraph backed by index arenas.
+///
+/// * vertices are dense indices `0..num_vertices()` and can be appended,
+/// * edges get stable ids; deleting an edge retires its id (ids are never
+///   reused so they stay valid as deterministic tie-breakers),
+/// * self-loops and parallel edges are allowed (the MSF simply never uses a
+///   self-loop and uses at most one of a parallel bundle).
+#[derive(Clone, Debug, Default)]
+pub struct DynGraph {
+    edges: Vec<EdgeSlot>,
+    adjacency: Vec<Vec<EdgeId>>,
+    live_edges: usize,
+}
+
+impl DynGraph {
+    /// An empty graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        DynGraph {
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+            live_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of live (non-deleted) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Total number of edge ids ever allocated (live + deleted).
+    #[inline]
+    pub fn edge_id_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a new isolated vertex and return its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::from(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Insert an edge `{u, v}` with the given weight; returns its new id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId, weight: Weight) -> EdgeId {
+        assert!(u.index() < self.num_vertices(), "vertex {u:?} out of range");
+        assert!(v.index() < self.num_vertices(), "vertex {v:?} out of range");
+        let id = EdgeId::from(self.edges.len());
+        self.edges.push(EdgeSlot {
+            u,
+            v,
+            weight,
+            alive: true,
+        });
+        self.adjacency[u.index()].push(id);
+        if v != u {
+            self.adjacency[v.index()].push(id);
+        }
+        self.live_edges += 1;
+        id
+    }
+
+    /// Delete a live edge and return it.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist or was already deleted.
+    pub fn delete_edge(&mut self, id: EdgeId) -> Edge {
+        let slot = self
+            .edges
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("unknown edge {id:?}"));
+        assert!(slot.alive, "edge {id:?} already deleted");
+        slot.alive = false;
+        let edge = Edge {
+            id,
+            u: slot.u,
+            v: slot.v,
+            weight: slot.weight,
+        };
+        self.adjacency[edge.u.index()].retain(|&e| e != id);
+        if edge.v != edge.u {
+            self.adjacency[edge.v.index()].retain(|&e| e != id);
+        }
+        self.live_edges -= 1;
+        edge
+    }
+
+    /// The edge with the given id, if it is live.
+    pub fn edge(&self, id: EdgeId) -> Option<Edge> {
+        let slot = self.edges.get(id.index())?;
+        if !slot.alive {
+            return None;
+        }
+        Some(Edge {
+            id,
+            u: slot.u,
+            v: slot.v,
+            weight: slot.weight,
+        })
+    }
+
+    /// The edge with the given id, panicking if it is not live.
+    #[inline]
+    pub fn edge_unchecked(&self, id: EdgeId) -> Edge {
+        self.edge(id)
+            .unwrap_or_else(|| panic!("edge {id:?} is not live"))
+    }
+
+    /// Whether the edge id refers to a live edge.
+    #[inline]
+    pub fn is_live(&self, id: EdgeId) -> bool {
+        self.edges.get(id.index()).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Ids of the live edges incident to `v` (self-loops appear once).
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree of `v` counting multiplicities (self-loops count once).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// The maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over all live edges, in increasing id order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, slot)| {
+            if slot.alive {
+                Some(Edge {
+                    id: EdgeId::from(i),
+                    u: slot.u,
+                    v: slot.v,
+                    weight: slot.weight,
+                })
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Find the id of some live edge between `u` and `v` (linear in the
+    /// degree of `u`). Intended for tests and small drivers.
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.adjacency[u.index()]
+            .iter()
+            .copied()
+            .find(|&id| self.edge_unchecked(id).touches(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: i64) -> Weight {
+        Weight::new(x)
+    }
+
+    #[test]
+    fn insert_and_delete_edges() {
+        let mut g = DynGraph::new(4);
+        let e01 = g.insert_edge(VertexId(0), VertexId(1), w(3));
+        let e12 = g.insert_edge(VertexId(1), VertexId(2), w(1));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(VertexId(1)), 2);
+        assert_eq!(g.edge_unchecked(e01).other(VertexId(0)), VertexId(1));
+
+        let removed = g.delete_edge(e01);
+        assert_eq!(removed.weight, w(3));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.is_live(e01));
+        assert!(g.is_live(e12));
+        assert_eq!(g.degree(VertexId(0)), 0);
+        assert_eq!(g.degree(VertexId(1)), 1);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops() {
+        let mut g = DynGraph::new(2);
+        let a = g.insert_edge(VertexId(0), VertexId(1), w(5));
+        let b = g.insert_edge(VertexId(0), VertexId(1), w(5));
+        let loop_e = g.insert_edge(VertexId(0), VertexId(0), w(2));
+        assert_ne!(a, b);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(VertexId(0)), 3);
+        g.delete_edge(loop_e);
+        assert_eq!(g.degree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn add_vertex_grows_graph() {
+        let mut g = DynGraph::new(1);
+        let v = g.add_vertex();
+        assert_eq!(v, VertexId(1));
+        assert_eq!(g.num_vertices(), 2);
+        g.insert_edge(VertexId(0), v, w(1));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_skips_deleted() {
+        let mut g = DynGraph::new(3);
+        let a = g.insert_edge(VertexId(0), VertexId(1), w(1));
+        let b = g.insert_edge(VertexId(1), VertexId(2), w(2));
+        g.delete_edge(a);
+        let ids: Vec<EdgeId> = g.edges().map(|e| e.id).collect();
+        assert_eq!(ids, vec![b]);
+    }
+
+    #[test]
+    fn find_edge_locates_live_edges_only() {
+        let mut g = DynGraph::new(3);
+        let a = g.insert_edge(VertexId(0), VertexId(1), w(1));
+        assert_eq!(g.find_edge(VertexId(0), VertexId(1)), Some(a));
+        assert_eq!(g.find_edge(VertexId(0), VertexId(2)), None);
+        g.delete_edge(a);
+        assert_eq!(g.find_edge(VertexId(0), VertexId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already deleted")]
+    fn double_delete_panics() {
+        let mut g = DynGraph::new(2);
+        let a = g.insert_edge(VertexId(0), VertexId(1), w(1));
+        g.delete_edge(a);
+        g.delete_edge(a);
+    }
+
+    #[test]
+    fn max_degree_tracks_adjacency() {
+        let mut g = DynGraph::new(5);
+        assert_eq!(g.max_degree(), 0);
+        for i in 1..5 {
+            g.insert_edge(VertexId(0), VertexId(i), w(i as i64));
+        }
+        assert_eq!(g.max_degree(), 4);
+    }
+}

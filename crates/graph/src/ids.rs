@@ -1,0 +1,149 @@
+//! Strongly-typed vertex and edge identifiers.
+//!
+//! The whole workspace uses `u32`-backed index newtypes instead of pointers
+//! (index arenas are the idiomatic way to build linked structures in
+//! high-performance Rust: smaller than `usize`, `Copy`, no borrow-checker
+//! fights, and trivially serialisable).
+
+use std::fmt;
+
+/// Identifier of a graph vertex.
+///
+/// Vertices are dense indices `0..n`; every structure in the workspace uses
+/// them directly as array indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a graph edge.
+///
+/// Edge ids are allocated by [`crate::DynGraph`] (or by whichever driver owns
+/// the edge set) and are stable for the lifetime of the edge. They double as
+/// the deterministic tie-breaker that makes the minimum spanning forest
+/// unique (see [`crate::weight`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// Sentinel value meaning "no vertex".
+    pub const NONE: VertexId = VertexId(u32::MAX);
+
+    /// The index as a `usize`, for direct array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the [`VertexId::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
+impl EdgeId {
+    /// Sentinel value meaning "no edge".
+    pub const NONE: EdgeId = EdgeId(u32::MAX);
+
+    /// The index as a `usize`, for direct array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the [`EdgeId::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(v: usize) -> Self {
+        VertexId(u32::try_from(v).expect("vertex index exceeds u32::MAX"))
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId(u32::try_from(v).expect("edge index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "v⊥")
+        } else {
+            write!(f, "v{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "e⊥")
+        } else {
+            write!(f, "e{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42usize);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert!(!v.is_none());
+        assert!(VertexId::NONE.is_none());
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(7u32);
+        assert_eq!(e.index(), 7);
+        assert!(!e.is_none());
+        assert!(EdgeId::NONE.is_none());
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{:?}", EdgeId(5)), "e5");
+        assert_eq!(format!("{:?}", VertexId::NONE), "v⊥");
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId::NONE);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pdmsf-graph
+//!
+//! Dynamic-graph substrate for the `pdmsf` workspace — the reproduction of
+//! Kopelowitz, Porat & Rosenmutter, *Improved Worst-Case Deterministic
+//! Parallel Dynamic Minimum Spanning Forest* (SPAA 2018).
+//!
+//! This crate contains everything the paper treats as "given":
+//!
+//! * [`ids`] — strongly-typed vertex / edge identifiers,
+//! * [`weight`] — a totally ordered weight domain with a `-inf` element
+//!   (needed by Frederickson's degree-3 reduction) and deterministic
+//!   tie-breaking so the minimum spanning forest is unique,
+//! * [`graph`] — a dynamic multigraph ([`DynGraph`]) with edge insertion and
+//!   deletion,
+//! * [`unionfind`] / [`kruskal`] — the static reference MSF used as ground
+//!   truth by every test and by the recompute baseline,
+//! * [`msf`] — the [`DynamicMsf`] trait shared by all dynamic-MSF
+//!   implementations in the workspace (the paper's structure, the baselines,
+//!   the sparsification wrapper),
+//! * [`degree`] — Frederickson's dynamic degree-3 reduction, exposed as the
+//!   wrapper [`DegreeReduced`],
+//! * [`generators`] — deterministic workload generators (random sparse
+//!   graphs, grids, preferential attachment, update streams) used by the
+//!   examples, tests and the benchmark harness.
+
+pub mod degree;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod kruskal;
+pub mod msf;
+pub mod unionfind;
+pub mod weight;
+
+pub use degree::DegreeReduced;
+pub use generators::{GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec};
+pub use graph::{DynGraph, Edge};
+pub use ids::{EdgeId, VertexId};
+pub use kruskal::{kruskal_msf, MsfSummary};
+pub use msf::{assert_matches_kruskal, verify_against_kruskal, DynamicMsf, MsfDelta};
+pub use unionfind::UnionFind;
+pub use weight::{WKey, Weight};

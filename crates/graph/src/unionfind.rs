@@ -1,0 +1,122 @@
+//! Disjoint-set (union-find) forest with union by rank and path compression.
+//!
+//! Used by the static Kruskal reference ([`crate::kruskal_msf`]), by the
+//! recompute baseline and by several test oracles (e.g. checking that a set
+//! of claimed forest edges is acyclic and spans the right components).
+
+/// A union-find structure over elements `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// A fresh structure with `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of the set containing `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `x` and `y`; returns `true` if they were
+    /// previously in different sets.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (big, small) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[small] = big as u32;
+        if self.rank[big] == self.rank[small] {
+            self.rank[big] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `x` and `y` are in the same set.
+    pub fn same(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn path_compression_keeps_roots_consistent() {
+        let mut uf = UnionFind::new(64);
+        for i in 1..64 {
+            uf.union(i - 1, i);
+        }
+        let root = uf.find(0);
+        for i in 0..64 {
+            assert_eq!(uf.find(i), root);
+        }
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let uf = UnionFind::new(3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+    }
+}

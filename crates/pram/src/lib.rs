@@ -1,0 +1,40 @@
+//! # pdmsf-pram
+//!
+//! An **EREW PRAM cost-model substrate**.
+//!
+//! The paper's headline result (Theorem 1.1) is stated in the EREW PRAM
+//! model: `O(sqrt n)` processors, `O(log n)` worst-case parallel time per
+//! update, `O(sqrt n log n)` work, and *no memory cell may be read or written
+//! by two processors in the same step*. No such machine exists; what can be
+//! reproduced on real hardware are the three quantities the theorem is about
+//! — parallel depth, total work, processor count — plus the exclusivity
+//! discipline itself. This crate provides exactly that:
+//!
+//! * [`CostMeter`] / [`CostReport`] — per-operation and cumulative counters
+//!   for parallel depth (synchronous rounds), total work (primitive
+//!   operations) and peak processors per round. The parallel structure in
+//!   `pdmsf-core` charges every kernel invocation to a meter, which is what
+//!   the E2–E4 experiments in `EXPERIMENTS.md` report.
+//! * [`erew`] — an access logger that records `(step, cell, processor,
+//!   read/write)` tuples and detects EREW violations; the test-suite runs the
+//!   phased kernels under this logger to check the paper's exclusive-access
+//!   arguments (e.g. the four-phase tournament protocol of Lemma 3.1).
+//! * [`kernels`] — the parallel primitives the paper's Section 3 is built
+//!   from: tournament-tree minimum reduction, entry-wise vector minimum,
+//!   leftmost-child tree sweep-up, and ranked assignment of processors to
+//!   edges (`getEdge`). Each kernel has a *simulated* phased implementation
+//!   (used for cost accounting and EREW checking) and, behind the `threads`
+//!   feature, a [rayon]-backed implementation used by the wall-clock
+//!   benchmarks.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+pub mod cost;
+pub mod erew;
+pub mod kernels;
+
+pub use cost::{CostMeter, CostReport, ExecMode};
+pub use erew::{AccessKind, AccessLog, Violation};
+pub use kernels::{
+    erew_tournament_min, par_entrywise_min, par_min_index, ranked_descent, sweep_up_costs,
+};

@@ -1,0 +1,59 @@
+//! Quickstart: maintain a minimum spanning forest under edge insertions and
+//! deletions with the paper's sequential structure.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pdmsf::prelude::*;
+
+fn main() {
+    // A small network of 8 routers; the graph driver owns the edge ids.
+    let mut graph = DynGraph::new(8);
+    let mut msf = SeqDynamicMsf::new(8);
+
+    let add = |graph: &mut DynGraph, msf: &mut SeqDynamicMsf, u: u32, v: u32, w: i64| {
+        let id = graph.insert_edge(VertexId(u), VertexId(v), Weight::new(w));
+        let delta = msf.insert(graph.edge_unchecked(id));
+        println!("insert ({u},{v}) weight {w:>4}  -> forest change {delta:?}");
+        id
+    };
+
+    println!("== building the network ==");
+    let backbone = add(&mut graph, &mut msf, 0, 1, 10);
+    add(&mut graph, &mut msf, 1, 2, 20);
+    add(&mut graph, &mut msf, 2, 3, 30);
+    add(&mut graph, &mut msf, 3, 0, 40); // closes a cycle: stays out of the MSF
+    add(&mut graph, &mut msf, 4, 5, 15);
+    add(&mut graph, &mut msf, 5, 6, 25);
+    add(&mut graph, &mut msf, 6, 7, 35);
+    let bridge = add(&mut graph, &mut msf, 0, 4, 100); // connects the two halves
+
+    println!();
+    println!("forest weight      : {}", msf.forest_weight());
+    println!("forest edges       : {:?}", msf.forest_edges());
+    println!(
+        "0 and 7 connected? : {}",
+        msf.connected(VertexId(0), VertexId(7))
+    );
+
+    println!();
+    println!("== a cheaper inter-cluster link appears ==");
+    add(&mut graph, &mut msf, 3, 7, 12); // replaces the weight-100 bridge
+    println!("forest weight      : {}", msf.forest_weight());
+    assert!(!msf.is_forest_edge(bridge));
+
+    println!();
+    println!("== the backbone link fails ==");
+    graph.delete_edge(backbone);
+    let delta = msf.delete(backbone);
+    println!("delete backbone    -> forest change {delta:?}");
+    println!("forest weight      : {}", msf.forest_weight());
+    println!(
+        "0 and 1 connected? : {} (reconnected through the replacement edge)",
+        msf.connected(VertexId(0), VertexId(1))
+    );
+
+    // The maintained forest always matches a from-scratch Kruskal run.
+    assert_matches_kruskal(&msf, &graph);
+    println!();
+    println!("forest verified against Kruskal ✓");
+}

@@ -1,0 +1,72 @@
+//! # pdmsf — worst-case deterministic (parallel) dynamic minimum spanning forest
+//!
+//! This crate is the facade of the `pdmsf` workspace, a from-scratch Rust
+//! reproduction of
+//!
+//! > Tsvi Kopelowitz, Ely Porat, Yair Rosenmutter.
+//! > *Improved Worst-Case Deterministic Parallel Dynamic Minimum Spanning
+//! > Forest.* SPAA 2018.
+//!
+//! It re-exports the public API of the member crates:
+//!
+//! * [`graph`] ([`pdmsf_graph`]) — the dynamic-graph substrate: weights,
+//!   [`graph::DynGraph`], the [`graph::DynamicMsf`] trait, Kruskal reference,
+//!   degree-3 reduction, workload generators,
+//! * [`pram`] ([`pdmsf_pram`]) — the EREW PRAM cost-model substrate,
+//! * [`dyntree`] ([`pdmsf_dyntree`]) — Sleator–Tarjan link-cut trees,
+//! * [`core`] ([`pdmsf_core`]) — the paper's contribution: the sequential
+//!   `O(sqrt(n log n))`-time structure (Theorem 1.2), the parallel
+//!   `O(log n)`-depth / `O(sqrt n)`-processor structure (Theorem 3.1) and the
+//!   sparsification tree (Section 5),
+//! * [`baselines`] ([`pdmsf_baselines`]) — comparison structures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdmsf::prelude::*;
+//!
+//! // A dynamic graph with 6 vertices and the paper's sequential structure.
+//! let mut graph = DynGraph::new(6);
+//! let mut msf = SeqDynamicMsf::new(6);
+//!
+//! let mut insert = |graph: &mut DynGraph, msf: &mut SeqDynamicMsf, u: u32, v: u32, w: i64| {
+//!     let id = graph.insert_edge(VertexId(u), VertexId(v), Weight::new(w));
+//!     msf.insert(graph.edge_unchecked(id));
+//!     id
+//! };
+//!
+//! let e01 = insert(&mut graph, &mut msf, 0, 1, 4);
+//! insert(&mut graph, &mut msf, 1, 2, 2);
+//! insert(&mut graph, &mut msf, 0, 2, 7);
+//! insert(&mut graph, &mut msf, 3, 4, 1);
+//!
+//! assert!(msf.connected(VertexId(0), VertexId(2)));
+//! assert!(!msf.connected(VertexId(0), VertexId(3)));
+//! assert_eq!(msf.forest_weight(), 4 + 2 + 1);
+//!
+//! // Deleting a forest edge triggers a minimum-weight-replacement search.
+//! graph.delete_edge(e01);
+//! msf.delete(e01);
+//! assert!(msf.connected(VertexId(0), VertexId(1))); // reconnected via 0-2-1
+//! assert_eq!(msf.forest_weight(), 7 + 2 + 1);
+//! ```
+
+pub use pdmsf_baselines as baselines;
+pub use pdmsf_core as core;
+pub use pdmsf_dyntree as dyntree;
+pub use pdmsf_graph as graph;
+pub use pdmsf_pram as pram;
+
+/// Convenient single-import prelude for applications.
+pub mod prelude {
+    pub use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
+    pub use pdmsf_core::par::ParDynamicMsf;
+    pub use pdmsf_core::seq::SeqDynamicMsf;
+    pub use pdmsf_core::sparsify::SparsifiedMsf;
+    pub use pdmsf_graph::{
+        assert_matches_kruskal, kruskal_msf, DegreeReduced, DynGraph, DynamicMsf, Edge, EdgeId,
+        GraphSpec, MsfDelta, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec, VertexId,
+        WKey, Weight,
+    };
+    pub use pdmsf_pram::{CostMeter, CostReport, ExecMode};
+}
