@@ -223,7 +223,7 @@ impl DynamicMsf for NaiveDynamicMsf {
             };
             if crosses {
                 let key = WKey::new(cand.weight, cand.id);
-                if best.map_or(true, |(bk, _)| key < bk) {
+                if best.is_none_or(|(bk, _)| key < bk) {
                     best = Some((key, *cand));
                 }
             }
@@ -385,7 +385,7 @@ mod tests {
         // Deleting a non-tree edge: no forest change.
         assert_eq!(s.delete(EdgeId(2)), MsfDelta::NONE);
         s.insert(e(4, 0, 2, 11)); // non-tree again
-        // Deleting tree edge 1 forces the replacement 4.
+                                  // Deleting tree edge 1 forces the replacement 4.
         assert_eq!(s.delete(EdgeId(1)), MsfDelta::swap(EdgeId(4), EdgeId(1)));
         assert!(s.is_forest_edge(EdgeId(4)));
         // Deleting a bridge with no replacement just removes it.

@@ -9,10 +9,13 @@
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
-    drive, drive_updates_only, failure_stream, grid_stream, mixed_stream, pram_profile,
-    seq_mean_update_time,
+    bench_records_to_json, drive, drive_updates_only, failure_stream, grid_stream, insert_stream,
+    mixed_stream, pram_profile, seq_mean_update_time, BenchRecord,
 };
-use pdmsf_core::{seq::default_sequential_k, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf};
+use pdmsf_core::{
+    seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
+};
+use pdmsf_graph::{DynamicMsf, UpdateStream};
 use pdmsf_pram::{erew_tournament_min, par_min_index, AccessLog, CostMeter};
 use std::time::Duration;
 
@@ -50,6 +53,9 @@ fn main() {
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
+    if want("e0") {
+        e0_bench_json(quick);
+    }
     if want("e1") {
         e1_update_time(&config);
     }
@@ -71,6 +77,95 @@ fn main() {
     if want("e9") {
         e9_mwr_cost(&config);
     }
+}
+
+/// E0: the machine-readable update-time benchmark — ops/sec for insert-only,
+/// delete-only and mixed streams at n ∈ {1e3, 1e4, 1e5}, for the arena-backed
+/// structure, the map-backed bookkeeping baseline and the thread-executing
+/// parallel structure. Emits `BENCH_update_time.json` so every future change
+/// has a trajectory to beat.
+fn e0_bench_json(quick: bool) {
+    println!("\n== E0: update-time benchmark (writes BENCH_update_time.json) ==");
+    println!("structures: arena-seq (this PR's flat bookkeeping), map-seq (the seed's");
+    println!("keyed-map bookkeeping and refresh policies, kept for comparison),");
+    println!("par-threads (EREW structure executing kernels on OS threads)");
+    // The headline comparison (and acceptance gate) is the mixed stream at
+    // n = 1e5; the insert/delete streams stop a decade earlier by default to
+    // keep the full run under a few minutes (the seed baseline's base-graph
+    // build dominates).
+    let (sizes_mixed, sizes_rest): (&[usize], &[usize]) = if quick {
+        (&[1_000, 10_000], &[1_000, 10_000])
+    } else {
+        (&[1_000, 10_000, 100_000], &[1_000, 10_000])
+    };
+    let ops = 2_000usize;
+    type StreamMaker = fn(usize, usize) -> UpdateStream;
+    let streams: [(&str, &[usize], StreamMaker); 3] = [
+        ("insert", sizes_rest, |n, ops| {
+            insert_stream(n, 2 * n, ops, 71)
+        }),
+        ("delete", sizes_rest, |n, ops| {
+            // Failure streams generate one delete per base edge; size the
+            // base graph to cover the requested op count, then truncate so
+            // every stream times exactly `ops` operations.
+            let mut stream = failure_stream(n, (2 * n).max(ops), 72);
+            stream.ops.truncate(ops);
+            stream
+        }),
+        ("mixed", sizes_mixed, |n, ops| {
+            mixed_stream(n, 2 * n, ops, 73)
+        }),
+    ];
+    let mut records: Vec<BenchRecord> = Vec::new();
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>14} {:>10}",
+        "stream", "n", "arena (op/s)", "map (op/s)", "par-thr (op/s)", "arena/map"
+    );
+    for (stream_name, sizes, make) in streams {
+        for &n in sizes {
+            let stream = make(n, ops);
+            let mut run = |structure: &str, t: Duration, o: usize| {
+                records.push(BenchRecord {
+                    structure: structure.to_string(),
+                    stream: stream_name.to_string(),
+                    n,
+                    ops: o,
+                    elapsed_ns: t.as_nanos(),
+                });
+                records.last().unwrap().ops_per_sec()
+            };
+            let mut arena = SeqDynamicMsf::new(n);
+            let (t_arena, o_arena) = drive_updates_only(&mut arena, &stream);
+            let r_arena = run("arena-seq", t_arena, o_arena);
+
+            let mut map = MapSeqDynamicMsf::new(n);
+            let (t_map, o_map) = drive_updates_only(&mut map, &stream);
+            let r_map = run("map-seq", t_map, o_map);
+
+            let mut par = ParDynamicMsf::new_threaded(n);
+            let (t_par, o_par) = drive_updates_only(&mut par, &stream);
+            let r_par = run("par-threads", t_par, o_par);
+
+            // The three structures must agree — this benchmark doubles as a
+            // large-n differential test.
+            assert_eq!(arena.forest_weight(), map.forest_weight());
+            assert_eq!(arena.forest_weight(), par.forest_weight());
+
+            println!(
+                "{:>8} {:>8} {:>14.0} {:>14.0} {:>14.0} {:>9.2}x",
+                stream_name,
+                n,
+                r_arena,
+                r_map,
+                r_par,
+                if r_map > 0.0 { r_arena / r_map } else { 0.0 }
+            );
+        }
+    }
+    let json = bench_records_to_json("update_time", &records);
+    let path = "BENCH_update_time.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} ({} records)", records.len());
 }
 
 /// E1: per-update wall clock vs n — paper structure vs baselines.
@@ -204,7 +299,9 @@ fn e7_kernels() {
         "elements", "depth", "work", "accesses", "EREW clean"
     );
     for size in [1usize << 8, 1 << 10, 1 << 12, 1 << 14] {
-        let xs: Vec<u64> = (0..size as u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let xs: Vec<u64> = (0..size as u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         let mut meter = CostMeter::new();
         let mut log = AccessLog::new();
         let winner = erew_tournament_min(&xs, &mut meter, Some(&mut log)).unwrap();
@@ -231,12 +328,7 @@ fn e8_chunk_size(cfg: &Config) {
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let k = ((k_star as f64 * factor) as usize).max(2);
         let t = seq_mean_update_time(n, k, cfg.ops.min(600), 41);
-        println!(
-            "{:>10.2} {:>12} {:>18.2}",
-            factor,
-            k,
-            t.as_secs_f64() * 1e6
-        );
+        println!("{:>10.2} {:>12} {:>18.2}", factor, k, t.as_secs_f64() * 1e6);
     }
 }
 

@@ -7,11 +7,22 @@
 //! used by both the Criterion benches and the table-printing binary.
 
 use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf};
-use pdmsf_graph::{
-    DynamicMsf, GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec,
-};
+use pdmsf_graph::{DynamicMsf, GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec};
 use pdmsf_pram::CostReport;
 use std::time::{Duration, Instant};
+
+/// Insert-only stream over a random sparse graph (the "growing network"
+/// workload of the `BENCH_update_time.json` pipeline).
+pub fn insert_stream(n: usize, m: usize, ops: usize, seed: u64) -> UpdateStream {
+    UpdateStream::generate(&UpdateStreamSpec {
+        base: GraphSpec::RandomSparse { n, m, seed },
+        ops,
+        kind: StreamKind::Mixed {
+            insert_permille: 1000,
+        },
+        seed: seed ^ 0x1A5E,
+    })
+}
 
 /// Standard mixed insert/delete stream over a random sparse graph.
 pub fn mixed_stream(n: usize, m: usize, ops: usize, seed: u64) -> UpdateStream {
@@ -151,10 +162,92 @@ pub fn seq_mean_update_time(n: usize, k: usize, ops: usize, seed: u64) -> Durati
     }
 }
 
+// ---------------------------------------------------------------------
+// Machine-readable benchmark records (BENCH_update_time.json)
+// ---------------------------------------------------------------------
+
+/// One measured (structure, stream, n) cell of the update-time benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Structure label (e.g. `"arena-seq"`, `"map-seq"`, `"par-threads"`).
+    pub structure: String,
+    /// Stream label (`"insert"`, `"delete"`, `"mixed"`).
+    pub stream: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of timed update operations.
+    pub ops: usize,
+    /// Wall-clock nanoseconds spent inside the timed updates.
+    pub elapsed_ns: u128,
+}
+
+impl BenchRecord {
+    /// Updates per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// Serialize benchmark records as JSON (hand-rolled: all values are numbers
+/// or label strings that never need escaping, and the offline build has no
+/// serde).
+pub fn bench_records_to_json(benchmark: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"benchmark\": \"{benchmark}\",\n"));
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"structure\": \"{}\", \"stream\": \"{}\", \"n\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
+            r.structure,
+            r.stream,
+            r.n,
+            r.ops,
+            r.elapsed_ns,
+            r.ops_per_sec(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pdmsf_baselines::NaiveDynamicMsf;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                structure: "arena-seq".into(),
+                stream: "mixed".into(),
+                n: 1000,
+                ops: 500,
+                elapsed_ns: 2_000_000,
+            },
+            BenchRecord {
+                structure: "map-seq".into(),
+                stream: "mixed".into(),
+                n: 1000,
+                ops: 500,
+                elapsed_ns: 4_000_000,
+            },
+        ];
+        let json = bench_records_to_json("update_time", &records);
+        assert!(json.contains("\"benchmark\": \"update_time\""));
+        assert!(json.contains("\"structure\": \"arena-seq\""));
+        assert!(json.contains("\"ops_per_sec\": 250000.00"));
+        // Exactly one separating comma between the two records.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert_eq!(records[0].ops_per_sec(), 250_000.0);
+    }
 
     #[test]
     fn drivers_produce_consistent_forests() {

@@ -12,11 +12,12 @@
 //! * the global per-entry refresh of aggregate vectors (the second half of
 //!   `UpdateAdj`, Lemma 2.3).
 
-use super::{ChunkedEulerForest, NONE};
+use super::{ChunkedEulerForest, EdgeRec, NONE};
+use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::WKey;
 use pdmsf_pram::kernels::log2_ceil;
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Allocate a chunk id, growing the id space (and every existing row)
     /// when necessary.
     fn alloc_slot(&mut self, owner: u32) -> u32 {
@@ -46,55 +47,181 @@ impl ChunkedEulerForest {
         s
     }
 
-    /// Give chunk `c` an id: allocate vectors, rebuild its row from its
-    /// adjacent edges, propagate the symmetric entries and refresh every
-    /// aggregate that mentions the new id.
+    /// Attach an id and (all-`∞`) vectors to chunk `c` without rebuilding
+    /// its row — the caller rebuilds, either singly ([`Self::rebuild_row`])
+    /// or batched for a split pair ([`Self::rebuild_rows_pair`]).
+    pub(crate) fn attach_slot(&mut self, c: u32) {
+        debug_assert_eq!(self.chunks[c as usize].slot, NONE);
+        let s = self.alloc_slot(c);
+        let cap = self.slot_cap();
+        let (mut base, mut agg, mut memb) = self.slot_vec_pool.pop().unwrap_or_default();
+        base.clear();
+        base.resize(cap, WKey::PLUS_INF);
+        agg.clear();
+        agg.resize(cap, WKey::PLUS_INF);
+        memb.clear();
+        memb.resize(cap, false);
+        {
+            let ch = &mut self.chunks[c as usize];
+            ch.slot = s;
+            ch.base = base;
+            ch.agg = agg;
+            ch.memb = memb;
+        }
+        self.chunk_slot[c as usize] = s;
+    }
+
+    /// Give chunk `c` an id: allocate vectors (recycled from the pool when
+    /// possible), rebuild its row from its adjacent edges, propagate the
+    /// symmetric entries and refresh every aggregate that mentions the new
+    /// id.
     pub(crate) fn give_slot(&mut self, c: u32) {
         if self.chunks[c as usize].slot != NONE {
             return;
         }
-        let s = self.alloc_slot(c);
-        let cap = self.slot_cap();
-        {
-            let ch = &mut self.chunks[c as usize];
-            ch.slot = s;
-            ch.base = vec![WKey::PLUS_INF; cap];
-            ch.agg = vec![WKey::PLUS_INF; cap];
-            ch.memb = vec![false; cap];
-        }
+        self.attach_slot(c);
         self.rebuild_row(c);
     }
 
+    /// Scan the edges adjacent to chunk `c`'s principal copies into `row`
+    /// (the tournament-tree row construction of Lemma 2.2 / 3.1). Read-only;
+    /// returns the number of edges scanned.
+    fn scan_row(&self, c: u32, row: &mut [WKey]) -> u64 {
+        let mut scanned = 0u64;
+        for &o in &self.chunks[c as usize].occs {
+            let occ = &self.occs[o as usize];
+            if !occ.principal {
+                continue;
+            }
+            let v = occ.vertex;
+            let handles = &self.adj[v.index()];
+            for (i, &h) in handles.iter().enumerate() {
+                if let Some(&ahead) = handles.get(i + 2) {
+                    self.edges.prefetch(ahead);
+                }
+                scanned += 1;
+                let e = self.edges.get(h).edge;
+                let other = e.other(v);
+                let co = self.vertex_chunk[other.index()];
+                let so = self.chunk_slot[co as usize];
+                if so == NONE {
+                    continue;
+                }
+                let key = WKey::new(e.weight, e.id);
+                if key < row[so as usize] {
+                    row[so as usize] = key;
+                }
+            }
+        }
+        scanned
+    }
+
+    /// Rebuild the rows of a freshly split pair `(c, c2)` in one batched
+    /// pass: both rows are scanned, the symmetric entries of every other row
+    /// are updated in a **single** sweep over the id space, and the affected
+    /// aggregates are refreshed once for both entries. Compared to two
+    /// independent [`Self::rebuild_row`] calls this halves the cross-update
+    /// and refresh traffic of every chunk split.
+    pub(crate) fn rebuild_rows_pair(&mut self, c: u32, c2: u32) {
+        let s1 = self.chunks[c as usize].slot;
+        let s2 = self.chunks[c2 as usize].slot;
+        debug_assert!(s1 != NONE && s2 != NONE);
+        let cap = self.slot_cap();
+        let mut row1 = std::mem::take(&mut self.scratch_row);
+        row1.clear();
+        row1.resize(cap, WKey::PLUS_INF);
+        let mut row2 = std::mem::take(&mut self.scratch_row2);
+        row2.clear();
+        row2.resize(cap, WKey::PLUS_INF);
+        let scanned = self.scan_row(c, &mut row1) + self.scan_row(c2, &mut row2);
+        debug_assert_eq!(
+            row1[s2 as usize], row2[s1 as usize],
+            "asymmetric pair entry"
+        );
+
+        // One cross-update sweep for both new columns.
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
+        let mut cross = 0u64;
+        for (other_slot, &owner) in self.slot_owner.iter().enumerate().take(cap) {
+            if owner == NONE || owner == c || owner == c2 {
+                continue;
+            }
+            cross += 1;
+            let row = &mut self.chunks[owner as usize].base;
+            let mut changed = false;
+            if row[s1 as usize] != row1[other_slot] {
+                row[s1 as usize] = row1[other_slot];
+                changed = true;
+            }
+            if row[s2 as usize] != row2[other_slot] {
+                row[s2 as usize] = row2[other_slot];
+                changed = true;
+            }
+            if changed {
+                dirty.push(owner);
+            }
+        }
+        self.scratch_row = std::mem::replace(&mut self.chunks[c as usize].base, row1);
+        self.scratch_row2 = std::mem::replace(&mut self.chunks[c2 as usize].base, row2);
+        let occs =
+            (self.chunks[c as usize].occs.len() + self.chunks[c2 as usize].occs.len()) as u64;
+        self.charge(
+            scanned + occs + cross + cap as u64,
+            log2_ceil((scanned as usize).max(2)) + 1,
+            (scanned + cross).max(1),
+        );
+        // Own-list path refresh for both changed rows, then targeted entry
+        // refresh for the other lists whose rows changed.
+        self.splay(c);
+        self.splay(c2);
+        self.refresh_entries_pair_for_chunks(&mut dirty, s1, s2);
+        self.scratch_dirty = dirty;
+    }
+
     /// Take chunk `c`'s id away (it became the only chunk of its list):
-    /// remove every reference to the id from other rows and aggregates.
+    /// remove every reference to the id from other rows, then refresh entry
+    /// `s` — but only in the lists whose rows actually changed (the common
+    /// case, a short list detaching from everything it was connected to, is
+    /// already all-`∞` and costs no refresh at all).
     pub(crate) fn drop_slot(&mut self, c: u32) {
         let s = self.chunks[c as usize].slot;
         if s == NONE {
             return;
         }
-        // Clear the column `s` in every other row.
+        // Clear the column `s` in every other row, remembering which chunks
+        // actually held a finite entry.
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
         let mut work = 0u64;
-        for other in 0..self.chunks.len() {
-            let other = other as u32;
-            if other == c || !self.chunks[other as usize].alive {
+        for other_slot in 0..self.slot_owner.len() {
+            let owner = self.slot_owner[other_slot];
+            if owner == NONE || owner == c {
                 continue;
             }
-            if self.chunks[other as usize].slot != NONE {
-                self.chunks[other as usize].base[s as usize] = WKey::PLUS_INF;
-                work += 1;
+            work += 1;
+            let cell = &mut self.chunks[owner as usize].base[s as usize];
+            if *cell != WKey::PLUS_INF {
+                *cell = WKey::PLUS_INF;
+                dirty.push(owner);
             }
         }
         {
             let ch = &mut self.chunks[c as usize];
             ch.slot = NONE;
-            ch.base = Vec::new();
-            ch.agg = Vec::new();
-            ch.memb = Vec::new();
+            let triple = (
+                std::mem::take(&mut ch.base),
+                std::mem::take(&mut ch.agg),
+                std::mem::take(&mut ch.memb),
+            );
+            self.slot_vec_pool.push(triple);
         }
+        self.chunk_slot[c as usize] = NONE;
         self.slot_owner[s as usize] = NONE;
         self.slot_free.push(s);
         self.charge(work + 1, 1, work.max(1));
-        self.refresh_entry_everywhere(s);
+        self.refresh_entry_for_chunks(&mut dirty, s);
+        self.scratch_dirty = dirty;
     }
 
     /// Recompute chunk `c`'s entire `CAdj` row by scanning the edges adjacent
@@ -107,41 +234,29 @@ impl ChunkedEulerForest {
             return;
         }
         let cap = self.slot_cap();
-        let mut row = vec![WKey::PLUS_INF; cap];
-        let occ_ids: Vec<u32> = self.chunks[c as usize].occs.clone();
-        let mut scanned = 0u64;
-        for o in occ_ids {
-            let v = self.occs[o as usize].vertex;
-            if self.principal[v.index()] != o {
-                continue;
-            }
-            for &eid in &self.adj[v.index()] {
-                scanned += 1;
-                let e = self.edges[&eid];
-                let other = e.other(v);
-                let pother = self.principal[other.index()];
-                let co = self.occs[pother as usize].chunk;
-                let so = self.chunks[co as usize].slot;
-                if so == NONE {
-                    continue;
-                }
-                let key = WKey::new(e.weight, eid);
-                if key < row[so as usize] {
-                    row[so as usize] = key;
-                }
-            }
-        }
-        // Cross update: symmetric entries in every other row.
+        let mut row = std::mem::take(&mut self.scratch_row);
+        row.clear();
+        row.resize(cap, WKey::PLUS_INF);
+        let scanned = self.scan_row(c, &mut row);
+        // Cross update: symmetric entries in every other row, remembering
+        // which chunks actually changed (only their lists need an entry
+        // refresh below).
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
         let mut cross = 0u64;
-        for other_slot in 0..cap {
-            let owner = self.slot_owner[other_slot];
+        for (other_slot, &owner) in self.slot_owner.iter().enumerate().take(cap) {
             if owner == NONE || owner == c {
                 continue;
             }
-            self.chunks[owner as usize].base[s as usize] = row[other_slot];
             cross += 1;
+            let cell = &mut self.chunks[owner as usize].base[s as usize];
+            if *cell != row[other_slot] {
+                *cell = row[other_slot];
+                dirty.push(owner);
+            }
         }
-        self.chunks[c as usize].base = row;
+        // Swap the fresh row in; the retired vector becomes the next scratch.
+        self.scratch_row = std::mem::replace(&mut self.chunks[c as usize].base, row);
         // Sequential: O(K + J). EREW: tournament trees of depth O(log K) with
         // O(K) processors build the row, then O(1) rounds with O(J)
         // processors perform the cross update (Lemma 3.1).
@@ -153,30 +268,45 @@ impl ChunkedEulerForest {
         );
         // Path refresh in c's own list (first half of UpdateAdj) …
         self.splay(c);
-        // … and entry refresh everywhere else (second half of UpdateAdj).
-        self.refresh_entry_everywhere(s);
+        // … and entry refresh in the lists whose rows changed (second half
+        // of UpdateAdj, restricted to where it has any effect).
+        self.refresh_entry_for_chunks(&mut dirty, s);
+        self.scratch_dirty = dirty;
     }
 
-    /// Recompute entry `s` of the aggregate vectors of every chunk that
-    /// carries vectors, bottom-up per list. `O(J)` sequential work,
-    /// `O(log J)` depth with `O(J)` processors in the EREW model (the
-    /// per-entry trees `S_j` of Section 3).
-    pub(crate) fn refresh_entry_everywhere(&mut self, s: u32) {
-        // Find the roots of every list that contains at least one chunk with
-        // an id (short lists have no vectors and never mention `s`).
-        let mut roots: Vec<u32> = Vec::new();
-        for slot in 0..self.slot_owner.len() {
-            let owner = self.slot_owner[slot];
-            if owner == NONE {
-                continue;
-            }
-            let root = self.tree_root(owner);
-            roots.push(root);
+    /// Refresh entry `s` of the aggregate vectors above the given chunks,
+    /// whose `base[s]` just changed (the per-entry trees `S_j` of Lemma 2.3
+    /// / Section 3 — `O(1)` work per level). For a handful of dirty chunks
+    /// this walks one leaf-to-root path each (overlapping paths converge
+    /// because every walk recomputes from the *current* child aggregates);
+    /// for many dirty chunks one bottom-up sweep per affected list is
+    /// cheaper. `dirty` is consumed (left in an unspecified state for reuse
+    /// as scratch).
+    pub(crate) fn refresh_entry_for_chunks(&mut self, dirty: &mut Vec<u32>, s: u32) {
+        if S::SEED_BASELINE {
+            // Seed policy: refresh entry `s` in every slotted list,
+            // irrespective of which rows actually changed.
+            self.refresh_entry_everywhere(s);
+            return;
         }
-        roots.sort_unstable();
-        roots.dedup();
+        if dirty.is_empty() {
+            self.charge(1, 1, 1);
+            return;
+        }
+        const PATH_REFRESH_MAX: usize = 8;
+        if dirty.len() <= PATH_REFRESH_MAX {
+            for &c in dirty.iter() {
+                self.refresh_entry_path(c, s);
+            }
+            return;
+        }
+        for c in dirty.iter_mut() {
+            *c = self.tree_root(*c);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
         let mut visited = 0u64;
-        for root in roots {
+        for &root in dirty.iter() {
             visited += self.refresh_entry_subtree(root, s);
         }
         self.charge(
@@ -186,23 +316,27 @@ impl ChunkedEulerForest {
         );
     }
 
-    /// Post-order recomputation of entry `s` in the subtree rooted at `c`.
+    /// Bottom-up recomputation of entry `s` in the subtree rooted at `c`.
     /// Returns the number of chunks visited.
     fn refresh_entry_subtree(&mut self, c: u32, s: u32) -> u64 {
-        // Explicit post-order traversal (children before parents).
-        let mut order = Vec::new();
-        let mut stack = vec![c];
-        while let Some(node) = stack.pop() {
-            order.push(node);
+        // Explicit traversal: `order` ends up parent-before-children, so the
+        // reverse iteration below recomputes children before parents.
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.push(c);
+        let mut next = 0usize;
+        while next < order.len() {
+            let node = order[next];
+            next += 1;
             let (l, r) = (
                 self.chunks[node as usize].left,
                 self.chunks[node as usize].right,
             );
             if l != NONE {
-                stack.push(l);
+                order.push(l);
             }
             if r != NONE {
-                stack.push(r);
+                order.push(r);
             }
         }
         for &node in order.iter().rev() {
@@ -211,7 +345,6 @@ impl ChunkedEulerForest {
                 continue;
             }
             let mut agg = ch.base[s as usize];
-            let mut memb = ch.slot == s;
             for child in [ch.left, ch.right] {
                 if child == NONE {
                     continue;
@@ -220,13 +353,140 @@ impl ChunkedEulerForest {
                 if cc.agg[s as usize] < agg {
                     agg = cc.agg[s as usize];
                 }
-                memb |= cc.memb[s as usize];
             }
-            let ch = &mut self.chunks[node as usize];
-            ch.agg[s as usize] = agg;
-            ch.memb[s as usize] = memb;
+            self.chunks[node as usize].agg[s as usize] = agg;
         }
-        order.len() as u64
+        let visited = order.len() as u64;
+        self.scratch_order = order;
+        visited
+    }
+
+    /// The seed's refresh policy (kept verbatim for the benchmark baseline):
+    /// recompute entry `s` in **every** list containing slotted chunks.
+    fn refresh_entry_everywhere(&mut self, s: u32) {
+        let mut roots = std::mem::take(&mut self.scratch_dirty2);
+        roots.clear();
+        for slot in 0..self.slot_owner.len() {
+            let owner = self.slot_owner[slot];
+            if owner == NONE {
+                continue;
+            }
+            roots.push(self.tree_root(owner));
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        let mut visited = 0u64;
+        for &root in roots.iter() {
+            visited += self.refresh_entry_subtree(root, s);
+        }
+        self.scratch_dirty2 = roots;
+        self.charge(
+            visited.max(1),
+            log2_ceil((visited as usize).max(2)) + 1,
+            visited.max(1),
+        );
+    }
+
+    /// Dual-entry variant of [`Self::refresh_entry_for_chunks`], used by the
+    /// batched split rebuild: each walk refreshes both entries at once.
+    pub(crate) fn refresh_entries_pair_for_chunks(
+        &mut self,
+        dirty: &mut Vec<u32>,
+        s1: u32,
+        s2: u32,
+    ) {
+        if dirty.is_empty() {
+            self.charge(1, 1, 1);
+            return;
+        }
+        const PATH_REFRESH_MAX: usize = 8;
+        if dirty.len() <= PATH_REFRESH_MAX {
+            for &c in dirty.iter() {
+                self.refresh_entry_pair_path(c, s1, s2);
+            }
+            return;
+        }
+        for c in dirty.iter_mut() {
+            *c = self.tree_root(*c);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        let mut visited = 0u64;
+        for &root in dirty.iter() {
+            visited += self.refresh_entry_subtree(root, s1);
+            visited += self.refresh_entry_subtree(root, s2);
+        }
+        self.charge(
+            visited.max(1),
+            log2_ceil((visited as usize).max(2)) + 1,
+            visited.max(1),
+        );
+    }
+
+    /// Leaf-to-root walk refreshing two entries at once (one traversal, two
+    /// `O(1)` recomputations per level).
+    fn refresh_entry_pair_path(&mut self, c: u32, s1: u32, s2: u32) {
+        let mut node = c;
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            let ch = &self.chunks[node as usize];
+            let mut a1 = ch.base[s1 as usize];
+            let mut a2 = ch.base[s2 as usize];
+            for child in [ch.left, ch.right] {
+                if child == NONE {
+                    continue;
+                }
+                let cc = &self.chunks[child as usize];
+                if cc.agg[s1 as usize] < a1 {
+                    a1 = cc.agg[s1 as usize];
+                }
+                if cc.agg[s2 as usize] < a2 {
+                    a2 = cc.agg[s2 as usize];
+                }
+            }
+            let parent = self.chunks[node as usize].parent;
+            let ch = &mut self.chunks[node as usize];
+            ch.agg[s1 as usize] = a1;
+            ch.agg[s2 as usize] = a2;
+            if parent == NONE {
+                break;
+            }
+            node = parent;
+        }
+        self.charge(steps, log2_ceil((steps as usize).max(2)) + 1, steps.max(1));
+    }
+
+    /// Recompute entry `s` of the aggregates on the leaf-to-root path of
+    /// chunk `c` (the paper's `UpdateAdj` path refresh for a *single*
+    /// changed `CAdj` entry, Lemma 2.3): `O(1)` work per level instead of
+    /// the full `O(J)`-vector pull-up a structural splay performs.
+    /// Membership is untouched — `Memb` only changes when ids move.
+    pub(crate) fn refresh_entry_path(&mut self, c: u32, s: u32) {
+        let mut node = c;
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            let ch = &self.chunks[node as usize];
+            let mut agg = ch.base[s as usize];
+            for child in [ch.left, ch.right] {
+                if child == NONE {
+                    continue;
+                }
+                let ca = self.chunks[child as usize].agg[s as usize];
+                if ca < agg {
+                    agg = ca;
+                }
+            }
+            let parent = self.chunks[node as usize].parent;
+            self.chunks[node as usize].agg[s as usize] = agg;
+            if parent == NONE {
+                break;
+            }
+            node = parent;
+        }
+        // One processor per level in the per-entry tree S_j (Lemma 3.2).
+        self.charge(steps, log2_ceil((steps as usize).max(2)) + 1, steps.max(1));
     }
 
     /// Cheap path for a *single* new edge between two id-bearing chunks
@@ -250,10 +510,18 @@ impl ChunkedEulerForest {
         }
         self.charge(2, 1, 2);
         if touched1 {
-            self.splay(c1);
+            if S::SEED_BASELINE {
+                self.splay(c1);
+            } else {
+                self.refresh_entry_path(c1, s2);
+            }
         }
         if touched2 && c2 != c1 {
-            self.splay(c2);
+            if S::SEED_BASELINE {
+                self.splay(c2);
+            } else {
+                self.refresh_entry_path(c2, s1);
+            }
         }
     }
 
@@ -266,23 +534,26 @@ impl ChunkedEulerForest {
         if s1 == NONE || s2 == NONE {
             return;
         }
-        let occ_ids: Vec<u32> = self.chunks[c1 as usize].occs.clone();
         let mut best = WKey::PLUS_INF;
         let mut scanned = 0u64;
-        for o in occ_ids {
-            let v = self.occs[o as usize].vertex;
-            if self.principal[v.index()] != o {
+        for &o in &self.chunks[c1 as usize].occs {
+            let occ = &self.occs[o as usize];
+            if !occ.principal {
                 continue;
             }
-            for &eid in &self.adj[v.index()] {
+            let v = occ.vertex;
+            let handles = &self.adj[v.index()];
+            for (i, &h) in handles.iter().enumerate() {
+                if let Some(&ahead) = handles.get(i + 2) {
+                    self.edges.prefetch(ahead);
+                }
                 scanned += 1;
-                let e = self.edges[&eid];
+                let e = self.edges.get(h).edge;
                 let other = e.other(v);
-                let pother = self.principal[other.index()];
-                if self.occs[pother as usize].chunk != c2 {
+                if self.vertex_chunk[other.index()] != c2 {
                     continue;
                 }
-                let key = WKey::new(e.weight, eid);
+                let key = WKey::new(e.weight, e.id);
                 if key < best {
                     best = key;
                 }
@@ -295,9 +566,16 @@ impl ChunkedEulerForest {
             log2_ceil((scanned as usize).max(2)) + 1,
             scanned.max(1),
         );
-        self.splay(c1);
+        if S::SEED_BASELINE {
+            self.splay(c1);
+            if c2 != c1 {
+                self.splay(c2);
+            }
+            return;
+        }
+        self.refresh_entry_path(c1, s2);
         if c2 != c1 {
-            self.splay(c2);
+            self.refresh_entry_path(c2, s1);
         }
     }
 }

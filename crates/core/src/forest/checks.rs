@@ -6,11 +6,11 @@
 //! `CAdj` rows and the LSDS aggregates. It is `O(n·m)` and only meant for
 //! tests on small inputs.
 
-use super::{ChunkedEulerForest, NONE};
+use super::{ChunkedEulerForest, EdgeRec, NONE};
+use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::{Edge, UnionFind, WKey};
-use std::collections::HashMap;
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Validate every structural invariant against the given set of forest
     /// edges (the caller's view of the current MSF). Panics with a
     /// description on the first violation.
@@ -37,7 +37,23 @@ impl ChunkedEulerForest {
             }
             let p = self.principal[v];
             assert_ne!(p, NONE, "vertex {v} has no principal copy");
-            assert!(occ_list.contains(&p), "principal of {v} is not an occurrence of {v}");
+            assert!(
+                occ_list.contains(&p),
+                "principal of {v} is not an occurrence of {v}"
+            );
+            // Cached principal flags / principal-chunk agree with the
+            // authoritative array.
+            for &o in occ_list {
+                assert_eq!(
+                    self.occs[o as usize].principal,
+                    o == p,
+                    "stale principal flag on occurrence {o} of vertex {v}"
+                );
+            }
+            assert_eq!(
+                self.vertex_chunk[v], self.occs[p as usize].chunk,
+                "stale vertex_chunk cache for vertex {v}"
+            );
         }
 
         // ---- forest structure: components and degrees ----
@@ -49,52 +65,59 @@ impl ChunkedEulerForest {
             deg[e.u.index()] += 1;
             deg[e.v.index()] += 1;
         }
-        let mut uf = uf;
         // Occurrence count of v must be max(deg_T(v), 1).
-        for v in 0..n {
+        for (v, d) in deg.iter().enumerate() {
             assert_eq!(
                 self.vertex_occs[v].len(),
-                deg[v].max(1),
+                d.max(&1).to_owned(),
                 "vertex {v} has {} occurrences, expected {}",
                 self.vertex_occs[v].len(),
-                deg[v].max(1)
+                d.max(&1)
             );
         }
         // All occurrences of a tree's vertices must live in the same list,
         // and different trees in different lists.
-        let mut component_root: HashMap<usize, u32> = HashMap::new();
+        let mut component_root: Vec<u32> = vec![NONE; n];
         for v in 0..n {
             let comp = uf.find(v);
             for &o in &self.vertex_occs[v] {
                 let root = self.tree_root(self.occs[o as usize].chunk);
-                match component_root.get(&comp) {
-                    None => {
-                        component_root.insert(comp, root);
-                    }
-                    Some(&r) => assert_eq!(
-                        r, root,
+                if component_root[comp] == NONE {
+                    component_root[comp] = root;
+                } else {
+                    assert_eq!(
+                        component_root[comp], root,
                         "vertex {v} (component {comp}) is split across lists"
-                    ),
+                    );
                 }
             }
         }
-        let mut seen_roots: Vec<u32> = component_root.values().copied().collect();
+        let mut seen_roots: Vec<u32> = component_root.into_iter().filter(|&r| r != NONE).collect();
         seen_roots.sort_unstable();
         let before = seen_roots.len();
         seen_roots.dedup();
         assert_eq!(before, seen_roots.len(), "two components share a list");
 
         // ---- arcs: each forest edge has two valid arc tails ----
-        assert_eq!(self.arcs.len(), tree_edges.len(), "arc count mismatch");
+        let mut arc_count = 0usize;
+        self.edges.for_each(|_, rec| {
+            if rec.fwd != NONE {
+                arc_count += 1;
+            }
+        });
+        assert_eq!(arc_count, tree_edges.len(), "arc count mismatch");
         for e in tree_edges {
-            let &(fwd, bwd) = self
-                .arcs
-                .get(&e.id)
-                .unwrap_or_else(|| panic!("{:?} has no arcs", e.id));
+            let h = self
+                .edges
+                .handle_of(e.id)
+                .unwrap_or_else(|| panic!("{:?} is not registered", e.id));
+            let rec = self.edges.get(h);
+            let (fwd, bwd) = (rec.fwd, rec.bwd);
+            assert_ne!(fwd, NONE, "{:?} has no arcs", e.id);
             assert_eq!(self.occs[fwd as usize].vertex, e.u);
             assert_eq!(self.occs[bwd as usize].vertex, e.v);
-            assert_eq!(self.occs[fwd as usize].arc, Some((e.id, true)));
-            assert_eq!(self.occs[bwd as usize].arc, Some((e.id, false)));
+            assert_eq!(self.occs[fwd as usize].arc, Some((h, true)));
+            assert_eq!(self.occs[bwd as usize].arc, Some((h, false)));
             let succ_fwd = self.cyclic_succ(fwd);
             let succ_bwd = self.cyclic_succ(bwd);
             assert_eq!(
@@ -113,12 +136,26 @@ impl ChunkedEulerForest {
             if !occ.alive {
                 continue;
             }
-            if let Some((eid, fwd)) = occ.arc {
-                let &(f, b) = self
-                    .arcs
-                    .get(&eid)
-                    .unwrap_or_else(|| panic!("occurrence {oi} refers to unknown arc {eid:?}"));
-                assert_eq!(if fwd { f } else { b }, oi as u32);
+            if let Some((h, fwd)) = occ.arc {
+                let rec = self.edges.get(h);
+                assert_ne!(
+                    rec.fwd, NONE,
+                    "occurrence {oi} refers to a non-forest edge {:?}",
+                    rec.edge.id
+                );
+                assert_eq!(if fwd { rec.fwd } else { rec.bwd }, oi as u32);
+            }
+        }
+
+        // ---- adjacency lists hold live handles of the right endpoints ----
+        for (v, handles) in self.adj.iter().enumerate() {
+            for &h in handles {
+                let rec = self.edges.get(h);
+                assert!(
+                    rec.edge.touches(pdmsf_graph::VertexId::from(v)),
+                    "adjacency of vertex {v} holds a handle of {:?}",
+                    rec.edge
+                );
             }
         }
 
@@ -146,40 +183,48 @@ impl ChunkedEulerForest {
             let root = self.tree_root(ci as u32);
             let multi = self.chunks[root as usize].size > 1;
             if multi {
-                assert_ne!(chunk.slot, NONE, "chunk {ci} of a multi-chunk list has no id");
+                assert_ne!(
+                    chunk.slot, NONE,
+                    "chunk {ci} of a multi-chunk list has no id"
+                );
             } else {
                 assert_eq!(chunk.slot, NONE, "single-chunk list {ci} carries an id");
             }
             if chunk.slot != NONE {
                 assert_eq!(self.slot_owner[chunk.slot as usize], ci as u32);
             }
+            assert_eq!(
+                self.chunk_slot[ci], chunk.slot,
+                "stale chunk_slot cache for chunk {ci}"
+            );
         }
 
         // ---- CAdj rows against brute force ----
         let cap = self.slot_cap();
         let mut brute = vec![vec![WKey::PLUS_INF; cap]; cap];
-        for (&eid, e) in &self.edges {
+        self.edges.for_each(|eid, rec| {
+            let e = rec.edge;
             let cu = self.occs[self.principal[e.u.index()] as usize].chunk;
             let cv = self.occs[self.principal[e.v.index()] as usize].chunk;
             let su = self.chunks[cu as usize].slot;
             let sv = self.chunks[cv as usize].slot;
             if su == NONE || sv == NONE {
-                continue;
+                return;
             }
             let key = WKey::new(e.weight, eid);
             if key < brute[su as usize][sv as usize] {
                 brute[su as usize][sv as usize] = key;
                 brute[sv as usize][su as usize] = key;
             }
-        }
+        });
         for (ci, chunk) in self.chunks.iter().enumerate() {
             if !chunk.alive || chunk.slot == NONE {
                 continue;
             }
             let s = chunk.slot as usize;
-            for t in 0..cap {
+            for (t, cell) in chunk.base.iter().enumerate() {
                 assert_eq!(
-                    chunk.base[t], brute[s][t],
+                    *cell, brute[s][t],
                     "CAdj[{ci}][slot {t}] is stale (slot {s})"
                 );
             }
@@ -198,9 +243,9 @@ impl ChunkedEulerForest {
             while let Some(node) = stack.pop() {
                 subtree += 1;
                 let nd = &self.chunks[node as usize];
-                for t in 0..cap {
-                    if nd.base[t] < expected_agg[t] {
-                        expected_agg[t] = nd.base[t];
+                for (t, cell) in nd.base.iter().enumerate() {
+                    if *cell < expected_agg[t] {
+                        expected_agg[t] = *cell;
                     }
                 }
                 expected_memb[nd.slot as usize] = true;

@@ -1,49 +1,59 @@
 //! Graph-edge registration: adjacency lists, adjacency counts and the `CAdj`
 //! entry maintenance performed at the start of every edge insertion /
 //! deletion (Section 2.6).
+//!
+//! All bookkeeping is flat: each edge lives in one [`EdgeRec`] slot of the
+//! forest's [`pdmsf_graph::arena::EdgeStore`], and adjacency lists hold the
+//! slot *handles*, so none of this touches a keyed map.
 
-use super::ChunkedEulerForest;
+use super::{ChunkedEulerForest, EdgeRec, NONE};
+use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::{Edge, EdgeId, WKey};
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Whether the given edge is currently registered.
     pub fn has_edge(&self, id: EdgeId) -> bool {
-        self.edges.contains_key(&id)
+        self.edges.get_by_id(id).is_some()
     }
 
     /// The registered edge with the given id, if any.
     pub fn edge(&self, id: EdgeId) -> Option<Edge> {
-        self.edges.get(&id).copied()
+        self.edges.get_by_id(id).map(|r| r.edge)
     }
 
     /// Whether the given edge is currently a forest (tree) edge.
     pub fn is_tree_edge(&self, id: EdgeId) -> bool {
-        self.arcs.contains_key(&id)
+        self.edges.get_by_id(id).is_some_and(|r| r.fwd != NONE)
     }
 
     /// Register a new graph edge: adjacency lists, adjacency counts of the
     /// chunks holding the endpoints' principal copies, and the `CAdj` pair
     /// entry. Does **not** touch the forest.
+    ///
+    /// # Panics
+    /// Panics if the edge id is already registered.
     pub fn insert_graph_edge(&mut self, e: Edge) {
-        assert!(
-            !self.edges.contains_key(&e.id),
-            "edge {:?} already registered",
-            e.id
+        let h = self.edges.insert(
+            e.id,
+            EdgeRec {
+                edge: e,
+                fwd: NONE,
+                bwd: NONE,
+            },
         );
-        self.edges.insert(e.id, e);
-        self.adj[e.u.index()].push(e.id);
+        self.adj[e.u.index()].push(h);
         if e.v != e.u {
-            self.adj[e.v.index()].push(e.id);
+            self.adj[e.v.index()].push(h);
         }
-        let c1 = self.occs[self.principal[e.u.index()] as usize].chunk;
-        let c2 = self.occs[self.principal[e.v.index()] as usize].chunk;
+        let c1 = self.vertex_chunk[e.u.index()];
+        let c2 = self.vertex_chunk[e.v.index()];
         self.chunks[c1 as usize].adj_count += 1;
         if e.v != e.u {
             self.chunks[c2 as usize].adj_count += 1;
         }
         self.note_edge_between(c1, c2, WKey::new(e.weight, e.id));
-        self.touched.insert(c1);
-        self.touched.insert(c2);
+        self.touch(c1);
+        self.touch(c2);
         self.charge(2, 1, 2);
         self.flush_rebalance();
     }
@@ -51,27 +61,36 @@ impl ChunkedEulerForest {
     /// Unregister a graph edge (which must not be a forest edge anymore — the
     /// caller cuts forest edges *after* calling this, exactly as in the
     /// paper's deletion procedure where `CAdj` is updated first). Returns the
-    /// removed edge.
-    pub fn delete_graph_edge(&mut self, id: EdgeId) -> Edge {
-        let e = self
+    /// removed record; for a tree edge the caller passes it on to
+    /// [`ChunkedEulerForest::cut_removed_tree_edge`].
+    ///
+    /// # Panics
+    /// Panics if the edge is not registered.
+    pub fn delete_graph_edge(&mut self, id: EdgeId) -> EdgeRec {
+        let h = self
             .edges
-            .remove(&id)
+            .handle_of(id)
             .unwrap_or_else(|| panic!("edge {id:?} is not registered"));
-        self.adj[e.u.index()].retain(|&x| x != id);
+        let e = self.edges.get(h).edge;
+        self.adj[e.u.index()].retain(|&x| x != h);
         if e.v != e.u {
-            self.adj[e.v.index()].retain(|&x| x != id);
+            self.adj[e.v.index()].retain(|&x| x != h);
         }
-        let c1 = self.occs[self.principal[e.u.index()] as usize].chunk;
-        let c2 = self.occs[self.principal[e.v.index()] as usize].chunk;
+        let rec = self
+            .edges
+            .remove(id)
+            .expect("handle was resolved a moment ago");
+        let c1 = self.vertex_chunk[e.u.index()];
+        let c2 = self.vertex_chunk[e.v.index()];
         self.chunks[c1 as usize].adj_count -= 1;
         if e.v != e.u {
             self.chunks[c2 as usize].adj_count -= 1;
         }
         self.recompute_pair_entry(c1, c2);
-        self.touched.insert(c1);
-        self.touched.insert(c2);
+        self.touch(c1);
+        self.touch(c2);
         self.charge(2, 1, 2);
         self.flush_rebalance();
-        e
+        rec
     }
 }

@@ -39,12 +39,32 @@ mod surgery;
 #[cfg(test)]
 mod tests;
 
+use pdmsf_graph::arena::{edges_where, sorted_ids_where, EdgeSlotMap, EdgeStore};
 use pdmsf_graph::{Edge, EdgeId, VertexId, WKey};
-use pdmsf_pram::CostMeter;
-use std::collections::{BTreeSet, HashMap};
+use pdmsf_pram::{CostMeter, ExecMode};
 
 /// Sentinel index ("null pointer") used by every arena in this module.
 pub(crate) const NONE: u32 = u32::MAX;
+
+/// Per-edge bookkeeping record: the edge itself plus, when the edge is a
+/// forest (tree) edge, the two Euler-tour arc tails (`NONE` otherwise).
+///
+/// One record in one flat [`EdgeStore`] replaces the seed's two keyed maps
+/// (`HashMap<EdgeId, Edge>` and `HashMap<EdgeId, (u32, u32)>`): edge data and
+/// arc bookkeeping are fetched with a single handle resolution, and
+/// `is_tree_edge` is a field test instead of a second map probe.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRec {
+    /// The registered graph edge.
+    pub edge: Edge,
+    /// Tail occurrence of the `u -> v` arc (`NONE` when not a tree edge).
+    pub fwd: u32,
+    /// Tail occurrence of the `v -> u` arc (`NONE` when not a tree edge).
+    pub bwd: u32,
+}
+
+/// The production storage for [`EdgeRec`]s: dense slots, no hashing.
+pub type ArenaEdgeStore = EdgeSlotMap<EdgeRec>;
 
 /// How primitive operations are charged to the cost meter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -68,10 +88,13 @@ pub(crate) struct Occ {
     pub pos: u32,
     /// Position within `vertex_occs[vertex]`.
     pub vpos: u32,
-    /// The forest arc (edge id, `true` = the `u -> v` direction of that edge)
-    /// whose *tail* this occurrence is, if any. The head of the arc is always
-    /// the cyclically next occurrence in the list.
-    pub arc: Option<(EdgeId, bool)>,
+    /// The forest arc (edge-store handle, `true` = the `u -> v` direction of
+    /// that edge) whose *tail* this occurrence is, if any. The head of the
+    /// arc is always the cyclically next occurrence in the list.
+    pub arc: Option<(u32, bool)>,
+    /// Whether this occurrence is its vertex's principal copy (cached from
+    /// the `principal` array so scan loops decide without a second load).
+    pub principal: bool,
     pub alive: bool,
 }
 
@@ -80,6 +103,8 @@ pub(crate) struct Occ {
 #[derive(Clone, Debug)]
 pub(crate) struct Chunk {
     pub alive: bool,
+    /// Whether this chunk is queued on the rebalance stack (`touched`).
+    pub queued: bool,
     /// Occurrence ids, in list order.
     pub occs: Vec<u32>,
     /// Number of graph edges adjacent to this chunk (edges incident to
@@ -106,6 +131,7 @@ impl Chunk {
     fn new_singleton() -> Self {
         Chunk {
             alive: true,
+            queued: false,
             occs: Vec::new(),
             adj_count: 0,
             slot: NONE,
@@ -142,70 +168,115 @@ pub struct ForestStats {
     pub k: usize,
 }
 
-/// The chunked Euler-tour forest (see module docs).
-pub struct ChunkedEulerForest {
+/// The chunked Euler-tour forest (see module docs), generic over the edge
+/// bookkeeping store (`S`): [`ArenaEdgeStore`] in production,
+/// [`pdmsf_graph::HashEdgeStore`] as the kept-for-comparison map baseline of
+/// the benchmark suite.
+pub struct ChunkedEulerForest<S: EdgeStore<EdgeRec> = ArenaEdgeStore> {
     /// Chunk-size parameter `K`.
     pub(crate) k: usize,
     pub(crate) model: CostModel,
+    /// How bulk kernels execute (simulated on the calling thread, or fanned
+    /// out over OS threads).
+    pub(crate) exec: ExecMode,
     /// PRAM / sequential cost meter.
     pub meter: CostMeter,
 
-    // ---- graph storage ----
-    pub(crate) edges: HashMap<EdgeId, Edge>,
-    pub(crate) adj: Vec<Vec<EdgeId>>,
+    // ---- graph + arc storage (one flat record per edge) ----
+    pub(crate) edges: S,
+    /// Adjacency lists hold edge-store *handles*, so scan loops resolve each
+    /// incident edge with a single indexed load.
+    pub(crate) adj: Vec<Vec<u32>>,
 
     // ---- occurrences ----
     pub(crate) occs: Vec<Occ>,
     pub(crate) occ_free: Vec<u32>,
     pub(crate) vertex_occs: Vec<Vec<u32>>,
     pub(crate) principal: Vec<u32>,
-
-    // ---- forest arcs: edge id -> (tail of u->v arc, tail of v->u arc) ----
-    pub(crate) arcs: HashMap<EdgeId, (u32, u32)>,
+    /// Chunk holding each vertex's principal copy (cache of
+    /// `occs[principal[v]].chunk`, so the scan loops resolve "which chunk is
+    /// the other endpoint in" with one load instead of a pointer chain).
+    pub(crate) vertex_chunk: Vec<u32>,
 
     // ---- chunks / LSDS ----
     pub(crate) chunks: Vec<Chunk>,
     pub(crate) chunk_free: Vec<u32>,
+    /// Dense cache of each chunk's slot (`chunks[c].slot`): the scan loops
+    /// read slots for random chunks, and this flat array stays cache-hot
+    /// where the fat `Chunk` structs do not.
+    pub(crate) chunk_slot: Vec<u32>,
 
     // ---- chunk id (slot) allocation ----
     pub(crate) slot_owner: Vec<u32>,
     pub(crate) slot_free: Vec<u32>,
 
-    // ---- scratch buffers reused by pull_up ----
+    // ---- scratch buffers reused by pull_up, the MWR search and the CAdj
+    // upkeep (row rebuilds, targeted entry refreshes) ----
     pub(crate) scratch_agg: Vec<WKey>,
     pub(crate) scratch_memb: Vec<bool>,
+    pub(crate) scratch_keys: Vec<WKey>,
+    pub(crate) scratch_cands: Vec<Edge>,
+    pub(crate) scratch_row: Vec<WKey>,
+    pub(crate) scratch_row2: Vec<WKey>,
+    pub(crate) scratch_order: Vec<u32>,
+    pub(crate) scratch_dirty: Vec<u32>,
+    pub(crate) scratch_dirty2: Vec<u32>,
+    /// Retired `(base, agg, memb)` vector triples, recycled by `give_slot`
+    /// so the frequent short-list slot transitions do not hit the allocator.
+    pub(crate) slot_vec_pool: Vec<(Vec<WKey>, Vec<WKey>, Vec<bool>)>,
 
-    /// Chunks touched by the current operation, pending Invariant-1 fix-up.
-    pub(crate) touched: BTreeSet<u32>,
+    /// Chunks touched by the current operation, pending Invariant-1 fix-up
+    /// (a stack; membership is the `queued` flag on each chunk).
+    pub(crate) touched: Vec<u32>,
 }
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// A forest over `n` isolated vertices with chunk parameter `k` and the
-    /// given cost model.
+    /// given cost model, executing kernels on the calling thread.
     pub fn new(n: usize, k: usize, model: CostModel) -> Self {
+        Self::with_execution(n, k, model, ExecMode::Simulated)
+    }
+
+    /// Full control, including the kernel execution mode.
+    pub fn with_execution(n: usize, k: usize, model: CostModel, exec: ExecMode) -> Self {
         let mut forest = ChunkedEulerForest {
             k: k.max(2),
             model,
+            exec,
             meter: CostMeter::new(),
-            edges: HashMap::new(),
+            edges: S::default(),
             adj: Vec::new(),
             occs: Vec::new(),
             occ_free: Vec::new(),
             vertex_occs: Vec::new(),
             principal: Vec::new(),
-            arcs: HashMap::new(),
+            vertex_chunk: Vec::new(),
             chunks: Vec::new(),
             chunk_free: Vec::new(),
+            chunk_slot: Vec::new(),
             slot_owner: Vec::new(),
             slot_free: Vec::new(),
             scratch_agg: Vec::new(),
             scratch_memb: Vec::new(),
-            touched: BTreeSet::new(),
+            scratch_keys: Vec::new(),
+            scratch_cands: Vec::new(),
+            scratch_row: Vec::new(),
+            scratch_row2: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_dirty: Vec::new(),
+            scratch_dirty2: Vec::new(),
+            slot_vec_pool: Vec::new(),
+            touched: Vec::new(),
         };
         for _ in 0..n {
             forest.add_vertex();
         }
         forest
+    }
+
+    /// The kernel execution mode in use.
+    pub fn execution_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Chunk parameter `K`.
@@ -229,12 +300,15 @@ impl ChunkedEulerForest {
         self.adj.push(Vec::new());
         self.vertex_occs.push(Vec::new());
         self.principal.push(NONE);
+        self.vertex_chunk.push(NONE);
         let c = self.alloc_chunk();
         let o = self.alloc_occ(v);
         self.chunks[c as usize].occs.push(o);
         self.occs[o as usize].chunk = c;
         self.occs[o as usize].pos = 0;
+        self.occs[o as usize].principal = true;
         self.principal[v.index()] = o;
+        self.vertex_chunk[v.index()] = c;
         v
     }
 
@@ -269,6 +343,7 @@ impl ChunkedEulerForest {
             pos: 0,
             vpos: self.vertex_occs[v.index()].len() as u32,
             arc: None,
+            principal: false,
             alive: true,
         };
         let id = if let Some(id) = self.occ_free.pop() {
@@ -301,9 +376,11 @@ impl ChunkedEulerForest {
     pub(crate) fn alloc_chunk(&mut self) -> u32 {
         if let Some(id) = self.chunk_free.pop() {
             self.chunks[id as usize] = Chunk::new_singleton();
+            self.chunk_slot[id as usize] = NONE;
             id
         } else {
             self.chunks.push(Chunk::new_singleton());
+            self.chunk_slot.push(NONE);
             (self.chunks.len() - 1) as u32
         }
     }
@@ -312,8 +389,18 @@ impl ChunkedEulerForest {
         debug_assert!(self.chunks[c as usize].slot == NONE);
         self.chunks[c as usize].alive = false;
         self.chunks[c as usize].occs.clear();
+        // A stale entry may remain on the `touched` stack; `flush_rebalance`
+        // skips it via the cleared `queued` flag.
+        self.chunks[c as usize].queued = false;
         self.chunk_free.push(c);
-        self.touched.remove(&c);
+    }
+
+    /// Queue chunk `c` for Invariant-1 fix-up (idempotent).
+    pub(crate) fn touch(&mut self, c: u32) {
+        if !self.chunks[c as usize].queued {
+            self.chunks[c as usize].queued = true;
+            self.touched.push(c);
+        }
     }
 
     // ---- cost charging -------------------------------------------------
@@ -324,15 +411,26 @@ impl ChunkedEulerForest {
     pub(crate) fn charge(&mut self, seq_work: u64, par_depth: u64, par_procs: u64) {
         match self.model {
             CostModel::Sequential => self.meter.sequential(seq_work),
-            CostModel::Erew => self
-                .meter
-                .round(par_procs.max(1), par_depth.max(1), seq_work.max(1)),
+            CostModel::Erew => {
+                self.meter
+                    .round(par_procs.max(1), par_depth.max(1), seq_work.max(1))
+            }
         }
     }
 
     /// Degree of a vertex in the maintained graph.
     pub(crate) fn degree(&self, v: VertexId) -> usize {
         self.adj[v.index()].len()
+    }
+
+    /// The current forest (tree) edges, sorted by id.
+    pub fn tree_edges(&self) -> Vec<Edge> {
+        edges_where(&self.edges, |r| r.fwd != NONE, |r| r.edge)
+    }
+
+    /// The ids of the current forest (tree) edges, sorted.
+    pub fn tree_edge_ids(&self) -> Vec<EdgeId> {
+        sorted_ids_where(&self.edges, |r| r.fwd != NONE)
     }
 
     /// The chunks of each Euler-tour list, in list order — one entry per

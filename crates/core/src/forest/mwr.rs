@@ -11,20 +11,61 @@
 //! * if either list is *short* (single chunk, no id — Section 6), that list
 //!   is scanned directly in `O(K)` time (`O(log K)` parallel depth with a
 //!   tournament tree).
+//!
+//! Candidate edges are gathered into reusable scratch buffers and the final
+//! argmin runs through [`ChunkedEulerForest::argmin_keys`], which dispatches
+//! to the thread-backed tournament kernel when the forest executes in
+//! [`ExecMode::Threads`] — with identical (leftmost-on-tie) results either
+//! way.
 
-use super::{ChunkedEulerForest, NONE};
+use super::{ChunkedEulerForest, EdgeRec, NONE};
+use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::{Edge, WKey};
-use pdmsf_pram::kernels::log2_ceil;
+use pdmsf_pram::kernels::{log2_ceil, threaded_masked_min_index, threaded_min_index};
+use pdmsf_pram::ExecMode;
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
+    /// Leftmost index of the minimum key, executed serially or on the
+    /// thread-backed kernel depending on the configured [`ExecMode`].
+    pub(crate) fn argmin_keys(&self, keys: &[WKey]) -> Option<usize> {
+        match self.exec {
+            ExecMode::Threads => threaded_min_index(keys),
+            ExecMode::Simulated => {
+                let mut best: Option<usize> = None;
+                for (i, k) in keys.iter().enumerate() {
+                    if best.is_none_or(|b| *k < keys[b]) {
+                        best = Some(i);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Leftmost index of the minimum key among masked entries.
+    fn argmin_masked(&self, keys: &[WKey], mask: &[bool]) -> Option<usize> {
+        match self.exec {
+            ExecMode::Threads => threaded_masked_min_index(keys, mask),
+            ExecMode::Simulated => {
+                let mut best: Option<usize> = None;
+                for (i, (k, keep)) in keys.iter().zip(mask).enumerate() {
+                    if *keep && best.is_none_or(|b| *k < keys[b]) {
+                        best = Some(i);
+                    }
+                }
+                best
+            }
+        }
+    }
+
     /// The minimum-weight edge with one endpoint (principal copy) in the list
     /// rooted at `root_a` and the other in the list rooted at `root_b`.
     pub fn find_mwr(&mut self, root_a: u32, root_b: u32) -> Option<Edge> {
         debug_assert_ne!(root_a, root_b, "MWR requires two distinct lists");
-        let a_short = self.chunks[root_a as usize].size == 1
-            && self.chunks[root_a as usize].slot == NONE;
-        let b_short = self.chunks[root_b as usize].size == 1
-            && self.chunks[root_b as usize].slot == NONE;
+        let a_short =
+            self.chunks[root_a as usize].size == 1 && self.chunks[root_a as usize].slot == NONE;
+        let b_short =
+            self.chunks[root_b as usize].size == 1 && self.chunks[root_b as usize].slot == NONE;
         if a_short {
             self.scan_short_list(root_a, root_b)
         } else if b_short {
@@ -38,35 +79,42 @@ impl ChunkedEulerForest {
     /// incident to its principal copies and keep the lightest one whose other
     /// endpoint lies in the list rooted at `other_root`.
     fn scan_short_list(&mut self, short_root: u32, other_root: u32) -> Option<Edge> {
-        let mut best: Option<(WKey, Edge)> = None;
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        keys.clear();
+        cands.clear();
         let mut scanned = 0u64;
-        let occ_ids = self.chunks[short_root as usize].occs.clone();
-        for o in occ_ids {
-            let v = self.occs[o as usize].vertex;
-            if self.principal[v.index()] != o {
+        for &o in &self.chunks[short_root as usize].occs {
+            let occ = &self.occs[o as usize];
+            if !occ.principal {
                 continue;
             }
-            for &eid in &self.adj[v.index()] {
+            let v = occ.vertex;
+            let handles = &self.adj[v.index()];
+            for (i, &h) in handles.iter().enumerate() {
+                if let Some(&ahead) = handles.get(i + 2) {
+                    self.edges.prefetch(ahead);
+                }
                 scanned += 1;
-                let e = self.edges[&eid];
+                let e = self.edges.get(h).edge;
                 let other = e.other(v);
-                let pother = self.principal[other.index()];
-                let co = self.occs[pother as usize].chunk;
+                let co = self.vertex_chunk[other.index()];
                 if self.tree_root(co) != other_root {
                     continue;
                 }
-                let key = WKey::new(e.weight, eid);
-                if best.map_or(true, |(bk, _)| key < bk) {
-                    best = Some((key, e));
-                }
+                keys.push(WKey::new(e.weight, e.id));
+                cands.push(e);
             }
         }
+        let best = self.argmin_keys(&keys).map(|i| cands[i]);
         self.charge(
             scanned + 1,
             log2_ceil((scanned as usize).max(2)) + 1,
             scanned.max(1),
         );
-        best.map(|(_, e)| e)
+        self.scratch_keys = keys;
+        self.scratch_cands = cands;
+        best
     }
 
     /// The `γ`-array search of Lemma 2.4: `γ[i] = CAdj_{root_a}[i]` masked by
@@ -74,24 +122,20 @@ impl ChunkedEulerForest {
     /// scanned for the witness edge.
     fn gamma_search(&mut self, root_a: u32, root_b: u32) -> Option<Edge> {
         let cap = self.slot_cap();
-        let mut best_slot: Option<(WKey, usize)> = None;
-        {
+        let best_slot = {
             let ra = &self.chunks[root_a as usize];
             let rb = &self.chunks[root_b as usize];
             debug_assert!(ra.slot != NONE && rb.slot != NONE);
-            for i in 0..cap {
-                if !rb.memb[i] {
-                    continue;
-                }
+            // Masked argmin over γ; an `∞` winner means no candidate exists.
+            self.argmin_masked(&ra.agg, &rb.memb).and_then(|i| {
                 let key = ra.agg[i];
                 if key.is_inf() {
-                    continue;
+                    None
+                } else {
+                    Some((key, i))
                 }
-                if best_slot.map_or(true, |(bk, _)| key < bk) {
-                    best_slot = Some((key, i));
-                }
-            }
-        }
+            })
+        };
         // Sequentially: O(J) to build and scan γ. EREW: O(1) rounds with O(J)
         // processors to build it, then a tournament tree of depth O(log J).
         self.charge(cap as u64, log2_ceil(cap.max(2)) + 1, cap as u64);
@@ -101,35 +145,42 @@ impl ChunkedEulerForest {
         // other endpoint against the membership of `root_a`.
         let chunk = self.slot_owner[slot];
         debug_assert_ne!(chunk, NONE);
-        let occ_ids = self.chunks[chunk as usize].occs.clone();
-        let mut best: Option<(WKey, Edge)> = None;
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        keys.clear();
+        cands.clear();
         let mut scanned = 0u64;
-        for o in occ_ids {
-            let v = self.occs[o as usize].vertex;
-            if self.principal[v.index()] != o {
+        for &o in &self.chunks[chunk as usize].occs {
+            let occ = &self.occs[o as usize];
+            if !occ.principal {
                 continue;
             }
-            for &eid in &self.adj[v.index()] {
+            let v = occ.vertex;
+            let handles = &self.adj[v.index()];
+            for (i, &h) in handles.iter().enumerate() {
+                if let Some(&ahead) = handles.get(i + 2) {
+                    self.edges.prefetch(ahead);
+                }
                 scanned += 1;
-                let e = self.edges[&eid];
+                let e = self.edges.get(h).edge;
                 let other = e.other(v);
-                let pother = self.principal[other.index()];
-                let co = self.occs[pother as usize].chunk;
-                let so = self.chunks[co as usize].slot;
+                let co = self.vertex_chunk[other.index()];
+                let so = self.chunk_slot[co as usize];
                 if so == NONE || !self.chunks[root_a as usize].memb[so as usize] {
                     continue;
                 }
-                let key = WKey::new(e.weight, eid);
-                if best.map_or(true, |(bk, _)| key < bk) {
-                    best = Some((key, e));
-                }
+                keys.push(WKey::new(e.weight, e.id));
+                cands.push(e);
             }
         }
+        let best = self.argmin_keys(&keys).map(|i| (keys[i], cands[i]));
         self.charge(
             scanned + 1,
             log2_ceil((scanned as usize).max(2)) + 1,
             scanned.max(1),
         );
+        self.scratch_keys = keys;
+        self.scratch_cands = cands;
         let (found_key, edge) = best.expect("γ promised an edge between the two lists");
         debug_assert_eq!(
             found_key, expected_key,

@@ -8,10 +8,13 @@
 //! touched node recomputes its `O(J)`-sized aggregate vectors, exactly as in
 //! Lemma 2.3, so the per-operation aggregate cost is `O(J log J)` amortised.
 
-use super::{ChunkedEulerForest, NONE};
+use super::{ChunkedEulerForest, EdgeRec, NONE};
+use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::WKey;
+use pdmsf_pram::kernels::{threaded_entrywise_min, threaded_entrywise_or};
+use pdmsf_pram::ExecMode;
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Current chunk-id capacity (`J` upper bound); rows/aggregates are sized
     /// to this.
     pub(crate) fn slot_cap(&self) -> usize {
@@ -53,12 +56,22 @@ impl ChunkedEulerForest {
             }
             let chd = &self.chunks[child as usize];
             debug_assert!(chd.slot != NONE, "child chunk without a slot");
-            for i in 0..cap {
-                if chd.agg[i] < agg[i] {
-                    agg[i] = chd.agg[i];
+            match self.exec {
+                // Lemma 3.2's entry-wise merge, fanned out over OS threads
+                // (identical results: entry-wise min/or is deterministic).
+                ExecMode::Threads => {
+                    threaded_entrywise_min(&mut agg, &chd.agg);
+                    threaded_entrywise_or(&mut memb, &chd.memb);
                 }
-                if chd.memb[i] {
-                    memb[i] = true;
+                ExecMode::Simulated => {
+                    for i in 0..cap {
+                        if chd.agg[i] < agg[i] {
+                            agg[i] = chd.agg[i];
+                        }
+                        if chd.memb[i] {
+                            memb[i] = true;
+                        }
+                    }
                 }
             }
         }
@@ -100,8 +113,16 @@ impl ChunkedEulerForest {
                 self.chunks[g as usize].right = x;
             }
         }
+        // Only the demoted node is pulled up here: the promoted node's
+        // aggregate is never read before `splay` pulls it up once at the end
+        // (each rotation only reads the aggregates of unchanged subtrees and
+        // of previously demoted nodes), which halves the `O(J)` vector
+        // merges per splay. (The seed baseline keeps its original
+        // both-nodes-per-rotation policy.)
         self.pull_up(p);
-        self.pull_up(x);
+        if S::SEED_BASELINE {
+            self.pull_up(x);
+        }
     }
 
     /// Splay `c` to the root of its list's tree (this is also the paper's

@@ -10,11 +10,12 @@
 //! then reduces to `O(1)` list splits / joins plus `O(1)` occurrence
 //! insertions / deletions, exactly as Lemma 2.1 prescribes.
 
-use super::{ChunkedEulerForest, NONE};
+use super::{ChunkedEulerForest, EdgeRec, NONE};
+use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::{Edge, VertexId};
 use pdmsf_pram::kernels::log2_ceil;
 
-impl ChunkedEulerForest {
+impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     // ------------------------------------------------------------------
     // Occurrence-level helpers
     // ------------------------------------------------------------------
@@ -96,7 +97,7 @@ impl ChunkedEulerForest {
             let oc = self.chunks[c as usize].occs[p];
             self.occs[oc as usize].pos = p as u32;
         }
-        self.touched.insert(c);
+        self.touch(c);
         self.charge((len - pos) as u64 + 1, 1, (len - pos) as u64 + 1);
         o
     }
@@ -104,7 +105,10 @@ impl ChunkedEulerForest {
     /// Remove an occurrence that is neither a principal copy nor the tail of
     /// any live arc. `O(K)` for the in-chunk reindexing.
     pub(crate) fn delete_occ(&mut self, o: u32) {
-        debug_assert!(self.occs[o as usize].arc.is_none(), "occurrence still carries an arc");
+        debug_assert!(
+            self.occs[o as usize].arc.is_none(),
+            "occurrence still carries an arc"
+        );
         let v = self.occs[o as usize].vertex;
         debug_assert_ne!(
             self.principal[v.index()],
@@ -129,10 +133,10 @@ impl ChunkedEulerForest {
             self.free_chunk(c);
             if rest != NONE && self.chunks[rest as usize].size == 1 {
                 self.drop_slot(rest);
-                self.touched.insert(rest);
+                self.touch(rest);
             }
         } else {
-            self.touched.insert(c);
+            self.touch(c);
         }
     }
 
@@ -146,8 +150,11 @@ impl ChunkedEulerForest {
         }
         debug_assert_eq!(self.occs[new_occ as usize].vertex, v);
         self.principal[v.index()] = new_occ;
+        self.occs[old as usize].principal = false;
+        self.occs[new_occ as usize].principal = true;
         let c_old = self.occs[old as usize].chunk;
         let c_new = self.occs[new_occ as usize].chunk;
+        self.vertex_chunk[v.index()] = c_new;
         if c_old == c_new {
             return;
         }
@@ -156,8 +163,8 @@ impl ChunkedEulerForest {
         self.chunks[c_new as usize].adj_count += deg;
         self.rebuild_row(c_old);
         self.rebuild_row(c_new);
-        self.touched.insert(c_old);
-        self.touched.insert(c_new);
+        self.touch(c_old);
+        self.touch(c_new);
     }
 
     /// Recompute a chunk's adjacency count from scratch.
@@ -165,9 +172,9 @@ impl ChunkedEulerForest {
         let mut count = 0;
         for i in 0..self.chunks[c as usize].occs.len() {
             let o = self.chunks[c as usize].occs[i];
-            let v = self.occs[o as usize].vertex;
-            if self.principal[v.index()] == o {
-                count += self.degree(v);
+            let occ = &self.occs[o as usize];
+            if occ.principal {
+                count += self.degree(occ.vertex);
             }
         }
         self.chunks[c as usize].adj_count = count;
@@ -182,44 +189,71 @@ impl ChunkedEulerForest {
     /// list and both chunks' rows are rebuilt. Returns the new chunk.
     pub(crate) fn split_chunk_after(&mut self, c: u32, p: usize) -> u32 {
         let len = self.chunks[c as usize].occs.len();
-        debug_assert!(p + 1 < len, "split position must leave both sides non-empty");
+        debug_assert!(
+            p + 1 < len,
+            "split position must leave both sides non-empty"
+        );
         let tail: Vec<u32> = self.chunks[c as usize].occs.split_off(p + 1);
         let c2 = self.alloc_chunk();
         for (i, &o) in tail.iter().enumerate() {
-            self.occs[o as usize].chunk = c2;
-            self.occs[o as usize].pos = i as u32;
+            let occ = &mut self.occs[o as usize];
+            occ.chunk = c2;
+            occ.pos = i as u32;
+            if occ.principal {
+                let v = occ.vertex;
+                self.vertex_chunk[v.index()] = c2;
+            }
         }
         self.chunks[c2 as usize].occs = tail;
         self.recompute_adj_count(c);
         self.recompute_adj_count(c2);
-        self.charge(
-            len as u64,
-            log2_ceil(len.max(2)) + 1,
-            len as u64,
-        );
-        // After the split the list has at least two chunks, so both carry ids.
-        if self.chunks[c as usize].slot == NONE {
-            self.give_slot(c);
+        self.charge(len as u64, log2_ceil(len.max(2)) + 1, len as u64);
+        // After the split the list has at least two chunks, so both carry
+        // ids; rebuild both rows in one batched pass (the seed baseline
+        // keeps its original two independent rebuilds).
+        if S::SEED_BASELINE {
+            if self.chunks[c as usize].slot == NONE {
+                self.give_slot(c);
+            } else {
+                self.rebuild_row(c);
+            }
+            self.give_slot(c2);
+            self.tree_insert_after(c, c2);
         } else {
-            self.rebuild_row(c);
+            if self.chunks[c as usize].slot == NONE {
+                self.attach_slot(c);
+            }
+            self.attach_slot(c2);
+            self.tree_insert_after(c, c2);
+            self.rebuild_rows_pair(c, c2);
         }
-        self.give_slot(c2);
-        self.tree_insert_after(c, c2);
-        self.touched.insert(c);
-        self.touched.insert(c2);
+        self.touch(c);
+        self.touch(c2);
         c2
     }
 
     /// Merge the next chunk of `c` into `c`. The caller guarantees a next
     /// chunk exists. Afterwards `c` holds both occurrence runs; the absorbed
     /// chunk is freed.
+    ///
+    /// Following the merge case of Lemma 2.2 / 3.1, `c`'s `CAdj` row becomes
+    /// the **entry-wise minimum** of the two rows (an `O(J)` vector
+    /// operation, parallelised to `O(1)` depth with `O(J)` processors) — no
+    /// `O(K)` edge rescan.
     pub(crate) fn merge_with_next(&mut self, c: u32) {
-        let nxt = self.next_chunk(c).expect("merge_with_next requires a successor");
+        let nxt = self
+            .next_chunk(c)
+            .expect("merge_with_next requires a successor");
         let moved: Vec<u32> = std::mem::take(&mut self.chunks[nxt as usize].occs);
         let offset = self.chunks[c as usize].occs.len();
         for (i, &o) in moved.iter().enumerate() {
-            self.occs[o as usize].chunk = c;
-            self.occs[o as usize].pos = (offset + i) as u32;
+            let occ = &mut self.occs[o as usize];
+            occ.chunk = c;
+            occ.pos = (offset + i) as u32;
+            if occ.principal {
+                let v = occ.vertex;
+                self.vertex_chunk[v.index()] = c;
+            }
         }
         let moved_len = moved.len();
         self.chunks[c as usize].occs.extend(moved);
@@ -230,19 +264,120 @@ impl ChunkedEulerForest {
             log2_ceil(moved_len.max(2)) + 1,
             moved_len as u64 + 1,
         );
+        if S::SEED_BASELINE {
+            // Seed policy: detach, then rebuild the merged row by rescanning
+            // its O(K) adjacent edges.
+            self.tree_remove(nxt);
+            self.drop_slot(nxt);
+            self.free_chunk(nxt);
+            if self.list_is_single_chunk(c) {
+                self.drop_slot(c);
+            } else {
+                self.rebuild_row(c);
+            }
+            self.touch(c);
+            return;
+        }
+        let merged_rows = if self.list_is_single_chunk_without(c, nxt) {
+            // `c` ends up alone: both ids retire, no row survives.
+            false
+        } else {
+            self.merge_rows_into(c, nxt);
+            true
+        };
         // Detach the absorbed chunk from the list, retire its id, free it.
         self.tree_remove(nxt);
         self.drop_slot(nxt);
         self.free_chunk(nxt);
-        // `c` may now be the only chunk of its list (then it loses its id) or
-        // still one of several (then its row is rebuilt to include the
-        // absorbed edges).
-        if self.list_is_single_chunk(c) {
+        if !merged_rows {
             self.drop_slot(c);
         } else {
-            self.rebuild_row(c);
+            // Propagate the changed row through `c`'s own list (path
+            // refresh, as after any full-row change).
+            self.splay(c);
         }
-        self.touched.insert(c);
+        self.touch(c);
+    }
+
+    /// Whether the list containing `c` would consist of `c` alone once
+    /// `other` is removed.
+    fn list_is_single_chunk_without(&self, c: u32, other: u32) -> bool {
+        debug_assert_ne!(c, other);
+        let root = self.tree_root(c);
+        self.chunks[root as usize].size == 2
+    }
+
+    /// The entry-wise row merge of Lemma 2.2 / 3.1: fold `nxt`'s `CAdj` row
+    /// into `c`'s (edges between the two chunks become self-edges of the
+    /// merged chunk), update the symmetric entries of every other row and
+    /// refresh the affected `S_{s_c}` aggregates. `O(J)` work, `O(1)` depth
+    /// with `O(J)` processors.
+    fn merge_rows_into(&mut self, c: u32, nxt: u32) {
+        let s_c = self.chunks[c as usize].slot;
+        let s_nxt = self.chunks[nxt as usize].slot;
+        debug_assert!(s_c != NONE && s_nxt != NONE, "multi-chunk list without ids");
+        let (s_c, s_nxt) = (s_c as usize, s_nxt as usize);
+        let cap = self.slot_cap();
+
+        // Self-entry: edges between c and nxt (either direction) and nxt's
+        // own self-edges all become self-edges of the merged chunk.
+        let mut self_entry = self.chunks[c as usize].base[s_c];
+        for key in [
+            self.chunks[c as usize].base[s_nxt],
+            self.chunks[nxt as usize].base[s_c],
+            self.chunks[nxt as usize].base[s_nxt],
+        ] {
+            if key < self_entry {
+                self_entry = key;
+            }
+        }
+        self.chunks[c as usize].base[s_c] = self_entry;
+
+        // Entry-wise minimum of the remaining entries (the folded self-entry
+        // already is the minimum of its column, so a plain entry-wise min is
+        // equivalent in every mode). Borrow juggling: the absorbed row is
+        // about to be retired anyway, so take it out and put it back.
+        let row_nxt = std::mem::take(&mut self.chunks[nxt as usize].base);
+        match self.exec {
+            pdmsf_pram::ExecMode::Threads => {
+                pdmsf_pram::kernels::threaded_entrywise_min(
+                    &mut self.chunks[c as usize].base,
+                    &row_nxt,
+                );
+            }
+            pdmsf_pram::ExecMode::Simulated => {
+                let row_c = &mut self.chunks[c as usize].base;
+                for i in 0..cap {
+                    if row_nxt[i] < row_c[i] {
+                        row_c[i] = row_nxt[i];
+                    }
+                }
+            }
+        }
+        // Column s_nxt of the merged row dies with the absorbed id (the
+        // upcoming drop_slot clears it everywhere, including here).
+        self.chunks[nxt as usize].base = row_nxt;
+
+        // Cross update: every other chunk's entry for the merged chunk is
+        // the minimum of its entries for the two old chunks.
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
+        let mut cross = 0u64;
+        for other_slot in 0..cap {
+            let owner = self.slot_owner[other_slot];
+            if owner == NONE || owner == c || owner == nxt {
+                continue;
+            }
+            cross += 1;
+            let row = &mut self.chunks[owner as usize].base;
+            if row[s_nxt] < row[s_c] {
+                row[s_c] = row[s_nxt];
+                dirty.push(owner);
+            }
+        }
+        self.charge(cap as u64 + cross, 1, (cap as u64 + cross).max(1));
+        self.refresh_entry_for_chunks(&mut dirty, s_c as u32);
+        self.scratch_dirty = dirty;
     }
 
     // ------------------------------------------------------------------
@@ -265,7 +400,7 @@ impl ChunkedEulerForest {
         for side in [l, r] {
             if side != NONE && self.chunks[side as usize].size == 1 {
                 self.drop_slot(side);
-                self.touched.insert(side);
+                self.touch(side);
             }
         }
         (l, r)
@@ -341,43 +476,67 @@ impl ChunkedEulerForest {
         let joined = self.list_join(a1, mid_root);
         self.list_join(joined, a2);
 
-        // Arc bookkeeping.
+        // Arc bookkeeping (arc tails live inside the edge's own record).
+        let h = self
+            .edges
+            .handle_of(e.id)
+            .expect("edge must be registered before linking");
         if let Some(un) = u_new {
             let old_arc = self.occs[a as usize]
                 .arc
                 .take()
                 .expect("non-singleton tours have an arc at every occurrence tail");
             self.occs[un as usize].arc = Some(old_arc);
-            let entry = self
-                .arcs
-                .get_mut(&old_arc.0)
-                .expect("transferred arc must be registered");
+            let entry = self.edges.get_mut(old_arc.0);
+            debug_assert_ne!(entry.fwd, NONE, "transferred arc must be registered");
             if old_arc.1 {
-                entry.0 = un;
+                entry.fwd = un;
             } else {
-                entry.1 = un;
+                entry.bwd = un;
             }
         }
-        self.occs[a as usize].arc = Some((e.id, true));
+        self.occs[a as usize].arc = Some((h, true));
         let bwd_tail = v_new.unwrap_or(b);
-        self.occs[bwd_tail as usize].arc = Some((e.id, false));
-        self.arcs.insert(e.id, (a, bwd_tail));
+        self.occs[bwd_tail as usize].arc = Some((h, false));
+        let rec = self.edges.get_mut(h);
+        rec.fwd = a;
+        rec.bwd = bwd_tail;
         self.charge(4, 2, 2);
         self.flush_rebalance();
     }
 
-    /// Remove forest edge `e` from the Euler tours, splitting its tree's tour
-    /// into the two sub-tours. Returns the list roots `(root_u, root_v)` of
-    /// the sides containing `e.u` and `e.v`.
+    /// Remove forest edge `e` (still registered as a graph edge, i.e. the
+    /// insertion-swap path) from the Euler tours. Returns the list roots
+    /// `(root_u, root_v)` of the sides containing `e.u` and `e.v`.
     pub(crate) fn cut_tree_edge(&mut self, e: Edge) -> (u32, u32) {
-        let (x, y) = self
-            .arcs
-            .remove(&e.id)
-            .unwrap_or_else(|| panic!("{:?} is not a forest edge", e.id));
+        let h = self
+            .edges
+            .handle_of(e.id)
+            .unwrap_or_else(|| panic!("{:?} is not a registered edge", e.id));
+        let rec = self.edges.get_mut(h);
+        let (x, y) = (rec.fwd, rec.bwd);
+        assert_ne!(x, NONE, "{:?} is not a forest edge", e.id);
+        rec.fwd = NONE;
+        rec.bwd = NONE;
+        self.cut_tour(e, x, y)
+    }
+
+    /// Remove a forest edge whose record was already unregistered by
+    /// [`ChunkedEulerForest::delete_graph_edge`] (the deletion path): the arc
+    /// tails travel in the removed record.
+    pub(crate) fn cut_removed_tree_edge(&mut self, rec: EdgeRec) -> (u32, u32) {
+        debug_assert_ne!(rec.fwd, NONE, "{:?} was not a forest edge", rec.edge.id);
+        self.cut_tour(rec.edge, rec.fwd, rec.bwd)
+    }
+
+    /// Shared tour surgery for both cut paths: split the cyclic tour at arc
+    /// tails `x` (of `e.u -> e.v`) and `y` (of `e.v -> e.u`), returning the
+    /// roots of the two resulting lists.
+    fn cut_tour(&mut self, e: Edge, x: u32, y: u32) -> (u32, u32) {
         debug_assert_eq!(self.occs[x as usize].vertex, e.u);
         debug_assert_eq!(self.occs[y as usize].vertex, e.v);
-        debug_assert_eq!(self.occs[x as usize].arc, Some((e.id, true)));
-        debug_assert_eq!(self.occs[y as usize].arc, Some((e.id, false)));
+        debug_assert_eq!(self.occs[x as usize].arc.map(|(_, d)| d), Some(true));
+        debug_assert_eq!(self.occs[y as usize].arc.map(|(_, d)| d), Some(false));
         self.occs[x as usize].arc = None;
         self.occs[y as usize].arc = None;
 
@@ -405,8 +564,8 @@ impl ChunkedEulerForest {
         self.charge(4, 2, 2);
         self.flush_rebalance();
 
-        let root_u = self.tree_root(self.occs[self.principal[e.u.index()] as usize].chunk);
-        let root_v = self.tree_root(self.occs[self.principal[e.v.index()] as usize].chunk);
+        let root_u = self.tree_root(self.vertex_chunk[e.u.index()]);
+        let root_v = self.tree_root(self.vertex_chunk[e.v.index()]);
         (root_u, root_v)
     }
 
@@ -417,7 +576,7 @@ impl ChunkedEulerForest {
         if self.vertex_occs[v.index()].len() < 2 {
             return;
         }
-        if self.principal[v.index()] == o {
+        if self.occs[o as usize].principal {
             let replacement = self.vertex_occs[v.index()]
                 .iter()
                 .copied()
@@ -433,9 +592,14 @@ impl ChunkedEulerForest {
     // ------------------------------------------------------------------
 
     /// Restore Invariant 1 for every chunk touched by the current operation.
+    /// `touched` is a plain stack; the `queued` flag on each chunk keeps
+    /// entries unique and lets freed chunks leave stale entries behind.
     pub(crate) fn flush_rebalance(&mut self) {
-        while let Some(&c) = self.touched.iter().next() {
-            self.touched.remove(&c);
+        while let Some(c) = self.touched.pop() {
+            if !self.chunks[c as usize].queued {
+                continue; // stale entry: freed (or already processed)
+            }
+            self.chunks[c as usize].queued = false;
             self.rebalance(c);
         }
     }
@@ -451,7 +615,7 @@ impl ChunkedEulerForest {
                 // Split roughly in half by n_c contribution.
                 if let Some(p) = self.balanced_split_position(c) {
                     let c2 = self.split_chunk_after(c, p);
-                    self.touched.insert(c2);
+                    self.touch(c2);
                     continue;
                 }
                 // A single occurrence dominates n_c (possible only without
@@ -500,10 +664,10 @@ impl ChunkedEulerForest {
         let mut acc = 0usize;
         let mut best: Option<usize> = None;
         for (i, &o) in chunk.occs.iter().enumerate() {
-            let v = self.occs[o as usize].vertex;
+            let occ = &self.occs[o as usize];
             acc += 1;
-            if self.principal[v.index()] == o {
-                acc += self.degree(v);
+            if occ.principal {
+                acc += self.degree(occ.vertex);
             }
             if i + 1 < chunk.occs.len() {
                 best = Some(i);

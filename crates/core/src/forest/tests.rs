@@ -50,8 +50,14 @@ fn drive_checked<M: DynamicMsf>(
 #[test]
 fn small_hand_driven_sequence() {
     let mut s = SeqDynamicMsf::with_chunk_parameter(6, 3);
-    assert_eq!(s.insert(edge(0, 0, 1, 4)), pdmsf_graph::MsfDelta::added(EdgeId(0)));
-    assert_eq!(s.insert(edge(1, 1, 2, 2)), pdmsf_graph::MsfDelta::added(EdgeId(1)));
+    assert_eq!(
+        s.insert(edge(0, 0, 1, 4)),
+        pdmsf_graph::MsfDelta::added(EdgeId(0))
+    );
+    assert_eq!(
+        s.insert(edge(1, 1, 2, 2)),
+        pdmsf_graph::MsfDelta::added(EdgeId(1))
+    );
     assert_eq!(s.insert(edge(2, 0, 2, 7)), pdmsf_graph::MsfDelta::NONE);
     s.validate();
     // Lighter parallel edge replaces the heaviest cycle edge.
@@ -71,7 +77,10 @@ fn small_hand_driven_sequence() {
     s.validate();
     assert_eq!(s.forest_weight(), 1 + 7);
     // Deleting a bridge disconnects.
-    assert_eq!(s.delete(EdgeId(2)), pdmsf_graph::MsfDelta::removed(EdgeId(2)));
+    assert_eq!(
+        s.delete(EdgeId(2)),
+        pdmsf_graph::MsfDelta::removed(EdgeId(2))
+    );
     assert!(!s.connected(VertexId(0), VertexId(2)));
     s.validate();
 }
@@ -85,7 +94,10 @@ fn isolated_vertices_and_self_loops() {
     s.validate();
     let v = s.add_vertex();
     assert_eq!(v, VertexId(3));
-    assert_eq!(s.insert(edge(1, 3, 0, 2)), pdmsf_graph::MsfDelta::added(EdgeId(1)));
+    assert_eq!(
+        s.insert(edge(1, 3, 0, 2)),
+        pdmsf_graph::MsfDelta::added(EdgeId(1))
+    );
     s.validate();
 }
 
@@ -95,11 +107,7 @@ fn seq_matches_kruskal_small_chunks_mixed_stream() {
     // list transitions.
     for (n, k, seed) in [(12usize, 2usize, 1u64), (20, 3, 2), (32, 4, 3)] {
         let stream = UpdateStream::generate(&UpdateStreamSpec {
-            base: GraphSpec::RandomSparse {
-                n,
-                m: n * 2,
-                seed,
-            },
+            base: GraphSpec::RandomSparse { n, m: n * 2, seed },
             ops: 250,
             kind: StreamKind::Mixed {
                 insert_permille: 480,
@@ -237,11 +245,7 @@ fn chunk_parameter_extremes_still_correct() {
 fn seq_agrees_with_naive_baseline_including_deltas() {
     let n = 30;
     let stream = UpdateStream::generate(&UpdateStreamSpec {
-        base: GraphSpec::RandomSparse {
-            n,
-            m: 50,
-            seed: 43,
-        },
+        base: GraphSpec::RandomSparse { n, m: 50, seed: 43 },
         ops: 250,
         kind: StreamKind::Mixed {
             insert_permille: 500,
@@ -291,9 +295,8 @@ fn sparsified_seq_matches_kruskal_on_dense_graph() {
         },
         seed: 59,
     });
-    let mut s = SparsifiedMsf::new_with_capacity(n, 8 * n, |nv| {
-        SeqDynamicMsf::with_chunk_parameter(nv, 4)
-    });
+    let mut s =
+        SparsifiedMsf::new_with_capacity(n, 8 * n, |nv| SeqDynamicMsf::with_chunk_parameter(nv, 4));
     assert!(s.num_levels() >= 3);
     drive_checked(&mut s, &stream, |_| ());
 }

@@ -26,7 +26,7 @@ pub mod par;
 pub mod seq;
 pub mod sparsify;
 
-pub use forest::{ChunkedEulerForest, CostModel, ForestStats};
+pub use forest::{ArenaEdgeStore, ChunkedEulerForest, CostModel, EdgeRec, ForestStats};
 pub use par::ParDynamicMsf;
-pub use seq::SeqDynamicMsf;
+pub use seq::{GenericSeqDynamicMsf, MapSeqDynamicMsf, SeqDynamicMsf};
 pub use sparsify::SparsifiedMsf;

@@ -11,16 +11,21 @@
 //! quantities Theorem 3.1 bounds: `O(log n)` depth, `O(sqrt n)` processors,
 //! `O(sqrt n log n)` work per update.
 //!
-//! The kernels themselves (tournament reduction, ranked descent, sweep-up)
-//! are implemented and EREW-checked in the `pdmsf-pram` crate; this module
-//! composes them at the cost-model level and produces results that are
-//! bit-for-bit identical to [`SeqDynamicMsf`] (the test-suite checks this on
-//! randomized update streams).
+//! On top of the accounting, the structure has a real **execution mode**
+//! ([`ExecMode`]): with [`ExecMode::Threads`] (see
+//! [`ParDynamicMsf::new_threaded`]) the bulk kernels — the `γ`/MWR argmin
+//! tournaments and the entry-wise LSDS aggregate merges — dispatch to the
+//! thread-backed kernels of `pdmsf-pram` (`threaded_*`), which fan out over
+//! OS threads above a size cutoff while still charging the same EREW costs.
+//! All kernels reduce deterministically (leftmost-on-tie), so both execution
+//! modes are **bit-for-bit identical** to [`SeqDynamicMsf`]; the test-suite
+//! checks this on randomized update streams with the threaded path on and
+//! off.
 
 use crate::forest::{CostModel, ForestStats};
-use crate::seq::SeqDynamicMsf;
+use crate::seq::{GenericSeqDynamicMsf, SeqDynamicMsf};
 use pdmsf_graph::{DynamicMsf, Edge, EdgeId, MsfDelta, VertexId};
-use pdmsf_pram::{CostMeter, CostReport};
+use pdmsf_pram::{CostMeter, CostReport, ExecMode};
 
 /// The paper's parallel chunk parameter `K = sqrt(n)`.
 pub fn default_parallel_k(n: usize) -> usize {
@@ -28,22 +33,34 @@ pub fn default_parallel_k(n: usize) -> usize {
 }
 
 /// Worst-case deterministic parallel dynamic MSF (Theorem 1.1) in the EREW
-/// PRAM cost model.
+/// PRAM cost model, with an optional thread-backed execution path.
 pub struct ParDynamicMsf {
     inner: SeqDynamicMsf,
 }
 
 impl ParDynamicMsf {
-    /// A structure over `n` isolated vertices with `K = sqrt(n)` and EREW
-    /// accounting.
+    /// A structure over `n` isolated vertices with `K = sqrt(n)`, EREW
+    /// accounting and simulated (single-thread) kernel execution.
     pub fn new(n: usize) -> Self {
         Self::with_chunk_parameter(n, default_parallel_k(n))
     }
 
+    /// Like [`ParDynamicMsf::new`], but bulk kernels execute on real OS
+    /// threads ([`ExecMode::Threads`]). Results are bit-for-bit identical to
+    /// the simulated mode and to [`SeqDynamicMsf`].
+    pub fn new_threaded(n: usize) -> Self {
+        Self::with_execution(n, default_parallel_k(n), ExecMode::Threads)
+    }
+
     /// Explicit chunk parameter (ablation experiments).
     pub fn with_chunk_parameter(n: usize, k: usize) -> Self {
+        Self::with_execution(n, k, ExecMode::Simulated)
+    }
+
+    /// Full control over chunk parameter and kernel execution mode.
+    pub fn with_execution(n: usize, k: usize, exec: ExecMode) -> Self {
         ParDynamicMsf {
-            inner: SeqDynamicMsf::with_parameters(n, k, CostModel::Erew),
+            inner: GenericSeqDynamicMsf::with_execution(n, k, CostModel::Erew, exec),
         }
     }
 
@@ -65,6 +82,11 @@ impl ParDynamicMsf {
     /// The chunk parameter `K` in use.
     pub fn chunk_parameter(&self) -> usize {
         self.inner.chunk_parameter()
+    }
+
+    /// The kernel execution mode in use.
+    pub fn execution_mode(&self) -> ExecMode {
+        self.inner.execution_mode()
     }
 
     /// Validate every internal invariant (test-only helper).
@@ -106,11 +128,18 @@ impl DynamicMsf for ParDynamicMsf {
         self.inner.forest_weight()
     }
 
+    fn num_forest_edges(&self) -> usize {
+        self.inner.num_forest_edges()
+    }
+
     fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
         self.inner.connected(u, v)
     }
 
     fn name(&self) -> &'static str {
-        "kpr-parallel-erew"
+        match self.execution_mode() {
+            ExecMode::Threads => "kpr-parallel-threads",
+            ExecMode::Simulated => "kpr-parallel-erew",
+        }
     }
 }

@@ -6,13 +6,20 @@
 //! the usual forest bookkeeping. With the paper's chunk parameter
 //! `K = Θ(sqrt(n log n))` every update costs `O(J log J + K + log n) =
 //! O(sqrt(n log n))` worst-case time on sparse graphs.
+//!
+//! The structure is generic over the edge bookkeeping store
+//! ([`pdmsf_graph::arena::EdgeStore`]): [`SeqDynamicMsf`] is the production
+//! instantiation over the flat slot arena, [`MapSeqDynamicMsf`] the
+//! `HashMap`-backed instantiation kept as the benchmark baseline (see
+//! `BENCH_update_time.json`). Tree-edge membership needs no map of its own —
+//! it is a field of the per-edge record.
 
-use crate::forest::{ChunkedEulerForest, CostModel, ForestStats};
+use crate::forest::{ArenaEdgeStore, ChunkedEulerForest, CostModel, EdgeRec, ForestStats};
 use pdmsf_dyntree::LinkCutForest;
-use pdmsf_graph::{DynamicMsf, Edge, EdgeId, MsfDelta, VertexId, WKey};
+use pdmsf_graph::arena::EdgeStore;
+use pdmsf_graph::{DynamicMsf, Edge, EdgeId, HashEdgeStore, MsfDelta, VertexId, WKey};
 use pdmsf_pram::kernels::log2_ceil;
-use pdmsf_pram::{CostMeter, CostReport};
-use std::collections::BTreeMap;
+use pdmsf_pram::{CostMeter, CostReport, ExecMode};
 
 /// The paper's default sequential chunk parameter `K = sqrt(n log n)`,
 /// clamped to a small minimum so tiny graphs stay well-formed.
@@ -21,16 +28,27 @@ pub fn default_sequential_k(n: usize) -> usize {
     (n * n.log2()).sqrt().ceil() as usize
 }
 
-/// Sequential worst-case dynamic minimum spanning forest (Theorem 1.2).
-pub struct SeqDynamicMsf {
-    forest: ChunkedEulerForest,
+/// Sequential worst-case dynamic minimum spanning forest (Theorem 1.2),
+/// generic over the edge bookkeeping store.
+///
+/// Use the [`SeqDynamicMsf`] alias unless you specifically want the
+/// map-backed baseline ([`MapSeqDynamicMsf`]).
+pub struct GenericSeqDynamicMsf<S: EdgeStore<EdgeRec>> {
+    forest: ChunkedEulerForest<S>,
     lct: LinkCutForest,
-    tree_edges: BTreeMap<EdgeId, Edge>,
+    num_tree_edges: usize,
     forest_weight: i128,
     last_op: CostReport,
 }
 
-impl SeqDynamicMsf {
+/// The production instantiation: flat slot-arena bookkeeping.
+pub type SeqDynamicMsf = GenericSeqDynamicMsf<ArenaEdgeStore>;
+
+/// The map-backed instantiation, kept for benchmark comparison: identical
+/// algorithm, but every edge lookup goes through a `HashMap`.
+pub type MapSeqDynamicMsf = GenericSeqDynamicMsf<HashEdgeStore<EdgeRec>>;
+
+impl<S: EdgeStore<EdgeRec>> GenericSeqDynamicMsf<S> {
     /// A structure over `n` isolated vertices with the default chunk
     /// parameter `K = sqrt(n log n)` and sequential cost accounting.
     pub fn new(n: usize) -> Self {
@@ -46,10 +64,16 @@ impl SeqDynamicMsf {
     /// Full control over chunk parameter and cost model (the parallel
     /// front-end uses `CostModel::Erew`).
     pub fn with_parameters(n: usize, k: usize, model: CostModel) -> Self {
-        SeqDynamicMsf {
-            forest: ChunkedEulerForest::new(n, k, model),
+        Self::with_execution(n, k, model, ExecMode::Simulated)
+    }
+
+    /// Full control, including the kernel execution mode (the threaded
+    /// parallel front-end passes [`ExecMode::Threads`]).
+    pub fn with_execution(n: usize, k: usize, model: CostModel, exec: ExecMode) -> Self {
+        GenericSeqDynamicMsf {
+            forest: ChunkedEulerForest::with_execution(n, k, model, exec),
             lct: LinkCutForest::new(n),
-            tree_edges: BTreeMap::new(),
+            num_tree_edges: 0,
             forest_weight: 0,
             last_op: CostReport::default(),
         }
@@ -75,14 +99,20 @@ impl SeqDynamicMsf {
         self.forest.chunk_parameter()
     }
 
+    /// The kernel execution mode in use.
+    pub fn execution_mode(&self) -> ExecMode {
+        self.forest.execution_mode()
+    }
+
     /// Access to the underlying chunked Euler-tour forest (read-only).
-    pub fn forest(&self) -> &ChunkedEulerForest {
+    pub fn forest(&self) -> &ChunkedEulerForest<S> {
         &self.forest
     }
 
     /// Validate every internal invariant (test-only helper, `O(n·m)`).
     pub fn validate(&self) {
-        let edges: Vec<Edge> = self.tree_edges.values().copied().collect();
+        let edges = self.forest.tree_edges();
+        assert_eq!(edges.len(), self.num_tree_edges, "tree-edge count drifted");
         self.forest.validate(&edges);
     }
 
@@ -96,23 +126,21 @@ impl SeqDynamicMsf {
         self.lct.link(e.u, e.v, e.id, WKey::new(e.weight, e.id));
         self.charge_lct();
         self.forest.link_tree_edge(e);
-        self.tree_edges.insert(e.id, e);
+        self.num_tree_edges += 1;
         self.forest_weight += e.weight.as_summable();
     }
 
-    fn remove_forest_edge(&mut self, id: EdgeId) -> Edge {
-        let e = self
-            .tree_edges
-            .remove(&id)
-            .expect("not currently a forest edge");
-        self.lct.cut(id);
+    /// Remove `e` from the link-cut tree and the weight/count bookkeeping
+    /// (the Euler-tour cut is the caller's next step).
+    fn remove_forest_edge(&mut self, e: Edge) {
+        self.lct.cut(e.id);
         self.charge_lct();
+        self.num_tree_edges -= 1;
         self.forest_weight -= e.weight.as_summable();
-        e
     }
 }
 
-impl DynamicMsf for SeqDynamicMsf {
+impl<S: EdgeStore<EdgeRec>> DynamicMsf for GenericSeqDynamicMsf<S> {
     fn num_vertices(&self) -> usize {
         self.forest.num_vertices()
     }
@@ -141,7 +169,11 @@ impl DynamicMsf for SeqDynamicMsf {
                 .expect("connected endpoints have a path");
             self.charge_lct();
             if WKey::new(e.weight, e.id) < heaviest {
-                let old = self.remove_forest_edge(heaviest.edge);
+                let old = self
+                    .forest
+                    .edge(heaviest.edge)
+                    .expect("forest edge is registered");
+                self.remove_forest_edge(old);
                 self.forest.cut_tree_edge(old);
                 self.add_forest_edge(e);
                 MsfDelta::swap(e.id, heaviest.edge)
@@ -156,12 +188,12 @@ impl DynamicMsf for SeqDynamicMsf {
     fn delete(&mut self, id: EdgeId) -> MsfDelta {
         self.forest.meter.begin_op();
         let was_tree = self.forest.is_tree_edge(id);
-        let e = self.forest.delete_graph_edge(id);
+        let rec = self.forest.delete_graph_edge(id);
         let delta = if !was_tree {
             MsfDelta::NONE
         } else {
-            self.remove_forest_edge(id);
-            let (root_u, root_v) = self.forest.cut_tree_edge(e);
+            self.remove_forest_edge(rec.edge);
+            let (root_u, root_v) = self.forest.cut_removed_tree_edge(rec);
             match self.forest.find_mwr(root_u, root_v) {
                 Some(replacement) => {
                     self.add_forest_edge(replacement);
@@ -179,15 +211,19 @@ impl DynamicMsf for SeqDynamicMsf {
     }
 
     fn is_forest_edge(&self, id: EdgeId) -> bool {
-        self.tree_edges.contains_key(&id)
+        self.forest.is_tree_edge(id)
     }
 
     fn forest_edges(&self) -> Vec<EdgeId> {
-        self.tree_edges.keys().copied().collect()
+        self.forest.tree_edge_ids()
     }
 
     fn forest_weight(&self) -> i128 {
         self.forest_weight
+    }
+
+    fn num_forest_edges(&self) -> usize {
+        self.num_tree_edges
     }
 
     fn connected(&mut self, u: VertexId, v: VertexId) -> bool {

@@ -20,8 +20,8 @@
 //! qualitative behaviour for the density experiment (E6): the update cost
 //! depends on `n` and only logarithmically on `m`.
 
+use pdmsf_graph::arena::{EdgeSlotMap, EdgeStore};
 use pdmsf_graph::{DynamicMsf, Edge, EdgeId, MsfDelta, VertexId};
-use std::collections::HashMap;
 
 /// A node of the sparsification tree.
 struct Node<M> {
@@ -37,8 +37,8 @@ pub struct SparsifiedMsf<M> {
     leaves: Vec<usize>,
     root: usize,
     num_vertices: usize,
-    /// Live edges: id -> (edge, leaf index).
-    edges: HashMap<EdgeId, (Edge, usize)>,
+    /// Live edges: id -> (edge, leaf index), in a flat slot arena.
+    edges: EdgeSlotMap<(Edge, u32)>,
     /// Live-edge count per leaf (used to pick the least-loaded leaf).
     leaf_load: Vec<usize>,
     /// Target number of edges per leaf.
@@ -49,11 +49,7 @@ impl<M: DynamicMsf> SparsifiedMsf<M> {
     /// Build a sparsification tree over `n` vertices with `num_leaves` edge
     /// groups (rounded up to a power of two), creating inner instances with
     /// `factory(n)`.
-    pub fn with_leaves<F: FnMut(usize) -> M>(
-        n: usize,
-        num_leaves: usize,
-        mut factory: F,
-    ) -> Self {
+    pub fn with_leaves<F: FnMut(usize) -> M>(n: usize, num_leaves: usize, mut factory: F) -> Self {
         let num_leaves = num_leaves.max(1).next_power_of_two();
         let mut nodes = Vec::new();
         let mut level: Vec<usize> = Vec::new();
@@ -90,7 +86,7 @@ impl<M: DynamicMsf> SparsifiedMsf<M> {
             leaves,
             root,
             num_vertices: n,
-            edges: HashMap::new(),
+            edges: EdgeSlotMap::default(),
             group_size: n.max(8),
         }
     }
@@ -177,7 +173,11 @@ impl<M: DynamicMsf> SparsifiedMsf<M> {
                 }
             }
             for &fresh in &added {
-                let (edge, _) = self.edges[&fresh];
+                let edge = self
+                    .edges
+                    .get_by_id(fresh)
+                    .expect("certificate edge must be live")
+                    .0;
                 if !self.nodes[parent].instance.contains_edge(fresh) {
                     effects.push(self.nodes[parent].instance.insert(edge));
                 }
@@ -239,14 +239,10 @@ impl<M: DynamicMsf> DynamicMsf for SparsifiedMsf<M> {
     }
 
     fn insert(&mut self, e: Edge) -> MsfDelta {
-        assert!(
-            !self.edges.contains_key(&e.id),
-            "edge {:?} already inserted",
-            e.id
-        );
         let leaf_idx = self.pick_leaf();
         let leaf = self.leaves[leaf_idx];
-        self.edges.insert(e.id, (e, leaf_idx));
+        // The slot map panics on duplicate registration.
+        self.edges.insert(e.id, (e, leaf_idx as u32));
         self.leaf_load[leaf_idx] += 1;
         let delta = self.nodes[leaf].instance.insert(e);
         self.propagate(leaf, delta)
@@ -255,8 +251,9 @@ impl<M: DynamicMsf> DynamicMsf for SparsifiedMsf<M> {
     fn delete(&mut self, id: EdgeId) -> MsfDelta {
         let (_, leaf_idx) = self
             .edges
-            .remove(&id)
+            .remove(id)
             .unwrap_or_else(|| panic!("edge {id:?} is not live"));
+        let leaf_idx = leaf_idx as usize;
         self.leaf_load[leaf_idx] -= 1;
         let leaf = self.leaves[leaf_idx];
         let delta = self.nodes[leaf].instance.delete(id);
@@ -264,7 +261,7 @@ impl<M: DynamicMsf> DynamicMsf for SparsifiedMsf<M> {
     }
 
     fn contains_edge(&self, id: EdgeId) -> bool {
-        self.edges.contains_key(&id)
+        self.edges.get_by_id(id).is_some()
     }
 
     fn is_forest_edge(&self, id: EdgeId) -> bool {

@@ -5,7 +5,7 @@
 //! throughout.
 
 use pdmsf_baselines::RecomputeMsf;
-use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf};
+use pdmsf_core::{MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf};
 use pdmsf_graph::{DegreeReduced, DynamicMsf, Edge, EdgeId, VertexId, Weight};
 use proptest::prelude::*;
 
@@ -92,6 +92,73 @@ proptest! {
     fn par_structure_matches_oracle(ops in proptest::collection::vec(op_strategy(12), 1..100)) {
         let structure = ParDynamicMsf::new(12);
         run_differential(12, &ops, structure, |s| s.validate());
+    }
+
+    /// The thread-backed execution path is exactly equivalent too.
+    #[test]
+    fn threaded_par_structure_matches_oracle(ops in proptest::collection::vec(op_strategy(12), 1..100)) {
+        let structure = ParDynamicMsf::new_threaded(12);
+        run_differential(12, &ops, structure, |s| s.validate());
+    }
+
+    /// The map-backed benchmark baseline is exactly equivalent (same
+    /// algorithm, different bookkeeping).
+    #[test]
+    fn map_store_structure_matches_oracle(ops in proptest::collection::vec(op_strategy(10), 1..100)) {
+        let structure = MapSeqDynamicMsf::with_chunk_parameter(10, 3);
+        run_differential(10, &ops, structure, |s| s.validate());
+    }
+
+    /// Four-way lockstep differential: identical randomized update streams
+    /// through the sequential structure, the parallel structure with the
+    /// threaded kernel path **off and on**, and the Kruskal-based recompute
+    /// reference — asserting identical deltas, forests and MSF weight after
+    /// every single operation.
+    #[test]
+    fn seq_par_threaded_and_kruskal_agree_in_lockstep(
+        ops in proptest::collection::vec(op_strategy(14), 1..110),
+    ) {
+        let n = 14;
+        let mut seq = SeqDynamicMsf::new(n);
+        let mut par_sim = ParDynamicMsf::new(n);
+        let mut par_thr = ParDynamicMsf::new_threaded(n);
+        let mut oracle = RecomputeMsf::new(n);
+        let mut live: Vec<Edge> = Vec::new();
+        let mut next_id = 0u32;
+        for op in &ops {
+            let deltas = match *op {
+                Op::Insert { u, v, w } => {
+                    let e = Edge {
+                        id: EdgeId(next_id),
+                        u: VertexId(u as u32 % n as u32),
+                        v: VertexId(v as u32 % n as u32),
+                        weight: Weight::new(w as i64),
+                    };
+                    next_id += 1;
+                    live.push(e);
+                    [seq.insert(e), par_sim.insert(e), par_thr.insert(e), oracle.insert(e)]
+                }
+                Op::DeleteNth(k) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = k as usize % live.len();
+                    let e = live.swap_remove(idx);
+                    [seq.delete(e.id), par_sim.delete(e.id), par_thr.delete(e.id), oracle.delete(e.id)]
+                }
+            };
+            prop_assert_eq!(deltas[0], deltas[1], "simulated par delta diverged from seq");
+            prop_assert_eq!(deltas[0], deltas[2], "threaded par delta diverged from seq");
+            prop_assert_eq!(deltas[0], deltas[3], "seq delta diverged from Kruskal oracle");
+            let forest = seq.forest_edges();
+            prop_assert_eq!(&forest, &par_sim.forest_edges());
+            prop_assert_eq!(&forest, &par_thr.forest_edges());
+            prop_assert_eq!(&forest, &oracle.forest_edges());
+            let weight = seq.forest_weight();
+            prop_assert_eq!(weight, par_sim.forest_weight());
+            prop_assert_eq!(weight, par_thr.forest_weight());
+            prop_assert_eq!(weight, oracle.forest_weight());
+        }
     }
 
     /// The degree-3 reduction wrapper preserves exactness (the inner

@@ -1,7 +1,7 @@
 //! Link-cut trees over splay trees, with maximum-`WKey` path aggregation.
 
+use pdmsf_graph::arena::EdgeIdIndex;
 use pdmsf_graph::{EdgeId, VertexId, WKey};
-use std::collections::HashMap;
 
 const NONE: u32 = u32::MAX;
 
@@ -15,6 +15,9 @@ struct Node {
     val: Option<WKey>,
     /// Maximum key in this node's splay subtree (including `val`).
     agg: Option<WKey>,
+    /// Endpoints represented by this node: for an edge node, the edge's
+    /// endpoints; unused (`VertexId::NONE`) for vertex nodes.
+    ends: (VertexId, VertexId),
 }
 
 impl Node {
@@ -25,6 +28,7 @@ impl Node {
             flip: false,
             val,
             agg: val,
+            ends: (VertexId::NONE, VertexId::NONE),
         }
     }
 }
@@ -40,8 +44,9 @@ pub struct LinkCutForest {
     nodes: Vec<Node>,
     /// Internal node index of each vertex.
     vertex_node: Vec<u32>,
-    /// edge id -> (internal node, endpoint u, endpoint v), for live edges.
-    edge_info: HashMap<EdgeId, (u32, VertexId, VertexId)>,
+    /// Paged edge id -> internal edge node index (no hashing; the node itself
+    /// stores the endpoints).
+    edge_node: EdgeIdIndex,
     /// Free list of edge nodes available for reuse.
     free_nodes: Vec<u32>,
     num_edges: usize,
@@ -77,12 +82,12 @@ impl LinkCutForest {
 
     /// Whether the forest currently contains the given edge.
     pub fn contains_edge(&self, e: EdgeId) -> bool {
-        self.edge_info.contains_key(&e)
+        self.edge_node.get(e).is_some()
     }
 
     /// The endpoints of a live forest edge.
     pub fn edge_endpoints(&self, e: EdgeId) -> Option<(VertexId, VertexId)> {
-        self.edge_info.get(&e).map(|&(_, u, v)| (u, v))
+        self.edge_node.get(e).map(|n| self.nodes[n as usize].ends)
     }
 
     /// Whether `u` and `v` are in the same tree.
@@ -109,6 +114,7 @@ impl LinkCutForest {
             "link({u:?}, {v:?}) would create a cycle"
         );
         let enode = self.alloc_node(Some(key));
+        self.nodes[enode as usize].ends = (u, v);
         let nu = self.vertex_node[u.index()];
         let nv = self.vertex_node[v.index()];
         // Attach u - enode - v.
@@ -116,7 +122,7 @@ impl LinkCutForest {
         self.nodes[nu as usize].parent = enode; // path-parent pointer
         self.make_root(enode);
         self.nodes[enode as usize].parent = nv;
-        self.edge_info.insert(e, (enode, u, v));
+        self.edge_node.set(e, enode);
         self.num_edges += 1;
     }
 
@@ -125,10 +131,11 @@ impl LinkCutForest {
     /// # Panics
     /// Panics if the edge is not present.
     pub fn cut(&mut self, e: EdgeId) {
-        let (enode, u, v) = self
-            .edge_info
-            .remove(&e)
+        let enode = self
+            .edge_node
+            .remove(e)
             .unwrap_or_else(|| panic!("edge {e:?} is not in the forest"));
+        let (u, v) = self.nodes[enode as usize].ends;
         let nu = self.vertex_node[u.index()];
         let nv = self.vertex_node[v.index()];
         // Detach enode from u, then from v.

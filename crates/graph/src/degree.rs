@@ -189,8 +189,8 @@ impl<M: DynamicMsf> DynamicMsf for DegreeReduced<M> {
             v: copy_v,
             weight: e.weight,
         });
-        debug_assert!(delta.added.map_or(true, |a| !Self::is_aux(a)));
-        debug_assert!(delta.removed.map_or(true, |r| !Self::is_aux(r)));
+        debug_assert!(delta.added.is_none_or(|a| !Self::is_aux(a)));
+        debug_assert!(delta.removed.is_none_or(|r| !Self::is_aux(r)));
         delta
     }
 
@@ -207,14 +207,16 @@ impl<M: DynamicMsf> DynamicMsf for DegreeReduced<M> {
         } else {
             record.outer_v
         };
-        self.vertices[owner_v.index()].free_copies.push(record.copy_v);
-        debug_assert!(delta.added.map_or(true, |a| !Self::is_aux(a)));
-        debug_assert!(delta.removed.map_or(true, |r| !Self::is_aux(r)));
+        self.vertices[owner_v.index()]
+            .free_copies
+            .push(record.copy_v);
+        debug_assert!(delta.added.is_none_or(|a| !Self::is_aux(a)));
+        debug_assert!(delta.removed.is_none_or(|r| !Self::is_aux(r)));
         delta
     }
 
     fn contains_edge(&self, id: EdgeId) -> bool {
-        self.edges.get(id.index()).map_or(false, Option::is_some)
+        self.edges.get(id.index()).is_some_and(Option::is_some)
     }
 
     fn is_forest_edge(&self, id: EdgeId) -> bool {
@@ -362,7 +364,13 @@ mod tests {
         let mut dr = DegreeReduced::new(4, MiniRecompute::new());
 
         let mut ids = Vec::new();
-        for (u, v, wt) in [(0u32, 1u32, 4i64), (1, 2, 2), (2, 3, 7), (0, 3, 1), (0, 2, 9)] {
+        for (u, v, wt) in [
+            (0u32, 1u32, 4i64),
+            (1, 2, 2),
+            (2, 3, 7),
+            (0, 3, 1),
+            (0, 2, 9),
+        ] {
             let id = outer_mirror.insert_edge(VertexId(u), VertexId(v), w(wt));
             dr.insert(Edge {
                 id,

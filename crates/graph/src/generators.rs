@@ -233,8 +233,7 @@ impl UpdateStream {
         match spec.kind {
             StreamKind::Mixed { insert_permille } => {
                 for _ in 0..spec.ops {
-                    let do_insert =
-                        live.is_empty() || rng.gen_range(0..1000) < insert_permille;
+                    let do_insert = live.is_empty() || rng.gen_range(0u32..1000) < insert_permille;
                     if do_insert && n >= 2 {
                         let (u, v) = random_pair(&mut rng, n);
                         ops.push(UpdateOp::Insert {

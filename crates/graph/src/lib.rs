@@ -7,6 +7,9 @@
 //! This crate contains everything the paper treats as "given":
 //!
 //! * [`ids`] — strongly-typed vertex / edge identifiers,
+//! * [`arena`] — the flat, index-based edge bookkeeping layer
+//!   ([`EdgeSlotMap`], [`EdgeIdIndex`], the [`EdgeStore`] interface and the
+//!   map-backed benchmark baseline [`HashEdgeStore`]),
 //! * [`weight`] — a totally ordered weight domain with a `-inf` element
 //!   (needed by Frederickson's degree-3 reduction) and deterministic
 //!   tie-breaking so the minimum spanning forest is unique,
@@ -23,6 +26,7 @@
 //!   graphs, grids, preferential attachment, update streams) used by the
 //!   examples, tests and the benchmark harness.
 
+pub mod arena;
 pub mod degree;
 pub mod generators;
 pub mod graph;
@@ -32,6 +36,7 @@ pub mod msf;
 pub mod unionfind;
 pub mod weight;
 
+pub use arena::{EdgeIdIndex, EdgeSlotMap, EdgeStore, HashEdgeStore, NO_HANDLE};
 pub use degree::DegreeReduced;
 pub use generators::{GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec};
 pub use graph::{DynGraph, Edge};

@@ -37,7 +37,10 @@ impl Weight {
     /// Panics if `value == i64::MIN`, which is reserved for `-inf`.
     #[inline]
     pub fn new(value: i64) -> Self {
-        assert!(value != i64::MIN, "i64::MIN is reserved for Weight::NEG_INF");
+        assert!(
+            value != i64::MIN,
+            "i64::MIN is reserved for Weight::NEG_INF"
+        );
         Weight(value)
     }
 

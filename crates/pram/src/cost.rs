@@ -20,9 +20,9 @@ pub enum ExecMode {
     /// meter. Deterministic; used by tests and the depth/work experiments.
     #[default]
     Simulated,
-    /// Execute bulk rounds with rayon worker threads (still charging the same
-    /// model costs). Used by the wall-clock benchmarks.
-    #[cfg(feature = "threads")]
+    /// Execute bulk rounds with real OS worker threads (still charging the
+    /// same model costs). Used by the wall-clock benchmarks; results are
+    /// bit-for-bit identical to [`ExecMode::Simulated`].
     Threads,
 }
 

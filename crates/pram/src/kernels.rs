@@ -9,8 +9,11 @@
 //! [`AccessLog`], so the exclusive-read-exclusive-write argument of the paper
 //! is checked by the test-suite rather than taken on faith.
 //!
-//! With the `threads` feature (on by default) the bulk kernels also have
-//! rayon-backed twins used by the wall-clock benchmarks.
+//! The bulk kernels also have thread-backed twins (`threaded_*`) that execute
+//! on real OS threads via `std::thread::scope`; the parallel structure
+//! dispatches to them when configured with [`crate::ExecMode::Threads`]. They
+//! reduce deterministically (leftmost-on-tie), so their results are
+//! bit-for-bit identical to the model kernels.
 
 use crate::cost::CostMeter;
 use crate::erew::{cell, AccessKind, AccessLog};
@@ -35,7 +38,7 @@ pub fn par_min_index<T: Ord + Copy>(xs: &[T], meter: &mut CostMeter) -> Option<u
         return None;
     }
     meter.round(
-        ((xs.len() + 1) / 2) as u64,
+        xs.len().div_ceil(2) as u64,
         log2_ceil(xs.len()).max(1),
         xs.len() as u64,
     );
@@ -90,7 +93,11 @@ pub fn erew_tournament_min<T: Ord + Copy>(
     for (k, &x) in xs.iter().enumerate() {
         tree[cap + k] = Some((x, k));
         if let Some(l) = log.as_deref_mut() {
-            l.access(k as u32, cell(TREE_REGION, (cap + k) as u32), AccessKind::Write);
+            l.access(
+                k as u32,
+                cell(TREE_REGION, (cap + k) as u32),
+                AccessKind::Write,
+            );
         }
     }
     if let Some(l) = log.as_deref_mut() {
@@ -106,11 +113,15 @@ pub fn erew_tournament_min<T: Ord + Copy>(
     for _level in 0..levels {
         // Phase 1: processors on left children copy their value to the parent.
         for k in 0..xs.len() {
-            if active[k] && at[k] % 2 == 0 {
+            if active[k] && at[k].is_multiple_of(2) {
                 let parent = at[k] / 2;
                 tree[parent] = tree[at[k]];
                 if let Some(l) = log.as_deref_mut() {
-                    l.access(k as u32, cell(TREE_REGION, parent as u32), AccessKind::Write);
+                    l.access(
+                        k as u32,
+                        cell(TREE_REGION, parent as u32),
+                        AccessKind::Write,
+                    );
                 }
             }
         }
@@ -135,7 +146,11 @@ pub fn erew_tournament_min<T: Ord + Copy>(
                 if win {
                     tree[parent] = mine;
                     if let Some(l) = log.as_deref_mut() {
-                        l.access(k as u32, cell(TREE_REGION, parent as u32), AccessKind::Write);
+                        l.access(
+                            k as u32,
+                            cell(TREE_REGION, parent as u32),
+                            AccessKind::Write,
+                        );
                     }
                 } else {
                     active[k] = false;
@@ -148,7 +163,7 @@ pub fn erew_tournament_min<T: Ord + Copy>(
 
         // Phase 3: left-child processors check whether they were beaten.
         for k in 0..xs.len() {
-            if active[k] && at[k] % 2 == 0 {
+            if active[k] && at[k].is_multiple_of(2) {
                 let parent = at[k] / 2;
                 if let Some(l) = log.as_deref_mut() {
                     l.access(k as u32, cell(TREE_REGION, parent as u32), AccessKind::Read);
@@ -219,28 +234,165 @@ pub fn sweep_up_costs(num_leaves: usize, meter: &mut CostMeter) {
     );
 }
 
-/// Rayon-backed minimum index (same result as [`par_min_index`]); used by the
-/// wall-clock benchmarks.
-#[cfg(feature = "threads")]
-pub fn rayon_min_index<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize> {
-    use rayon::prelude::*;
-    if xs.is_empty() {
-        return None;
+// ---------------------------------------------------------------------
+// Threaded twins (real OS-thread execution of the bulk kernels).
+//
+// Rayon is unavailable in offline builds, so the wall-clock execution path
+// fans out over `std::thread::scope` instead: each kernel splits its input
+// into per-thread shards, computes shard-local results and reduces them
+// deterministically (leftmost-on-tie), so the threaded kernels are
+// bit-for-bit identical to their model counterparts. Inputs below
+// [`PAR_CUTOFF`] are computed on the calling thread — thread spawn overhead
+// would otherwise dominate.
+// ---------------------------------------------------------------------
+
+/// Minimum slice length before the `threaded_*` kernels fan out to OS
+/// threads.
+pub const PAR_CUTOFF: usize = 4096;
+
+/// Number of shards to split `len` elements into (1 = stay on the calling
+/// thread).
+fn num_shards(len: usize) -> usize {
+    if len < PAR_CUTOFF {
+        return 1;
     }
-    xs.par_iter()
-        .enumerate()
-        .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
-        .map(|(i, _)| i)
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.clamp(1, 16).min(len / (PAR_CUTOFF / 2)).max(1)
 }
 
-/// Rayon-backed entry-wise minimum (same result as [`par_entrywise_min`]).
-#[cfg(feature = "threads")]
-pub fn rayon_entrywise_min<T: Ord + Copy + Send + Sync>(dst: &mut [T], src: &[T]) {
-    use rayon::prelude::*;
-    assert_eq!(dst.len(), src.len());
-    dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| {
-        if *s < *d {
-            *d = *s;
+#[inline]
+fn serial_min_index<T: Ord + Copy>(xs: &[T]) -> Option<usize> {
+    let mut best = 0usize;
+    for (i, x) in xs.iter().enumerate().skip(1) {
+        if *x < xs[best] {
+            best = i;
+        }
+    }
+    if xs.is_empty() {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// Thread-backed minimum index (same result as [`par_min_index`], leftmost
+/// on ties); used by the wall-clock execution path of the parallel
+/// structure.
+pub fn threaded_min_index<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize> {
+    let shards = num_shards(xs.len());
+    if shards <= 1 {
+        return serial_min_index(xs);
+    }
+    let shard_len = xs.len().div_ceil(shards);
+    let mut locals: Vec<Option<(T, usize)>> = vec![None; shards];
+    std::thread::scope(|scope| {
+        for (shard, (chunk, local)) in xs.chunks(shard_len).zip(locals.iter_mut()).enumerate() {
+            scope.spawn(move || {
+                *local = serial_min_index(chunk).map(|i| (chunk[i], shard * shard_len + i));
+            });
+        }
+    });
+    locals
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+        .map(|(_, i)| i)
+}
+
+/// Thread-backed minimum index over the masked entries only (leftmost on
+/// ties): the `argmin γ[i]` step of the MWR search (Lemma 3.3) with the
+/// `Memb` mask applied on the fly.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn threaded_masked_min_index<T: Ord + Copy + Send + Sync>(
+    xs: &[T],
+    mask: &[bool],
+) -> Option<usize> {
+    assert_eq!(xs.len(), mask.len(), "masked min over unequal lengths");
+    let serial = |xs: &[T], mask: &[bool]| -> Option<(T, usize)> {
+        let mut best: Option<(T, usize)> = None;
+        for (i, (x, keep)) in xs.iter().zip(mask).enumerate() {
+            if *keep && best.is_none_or(|(b, _)| *x < b) {
+                best = Some((*x, i));
+            }
+        }
+        best
+    };
+    let shards = num_shards(xs.len());
+    if shards <= 1 {
+        return serial(xs, mask).map(|(_, i)| i);
+    }
+    let shard_len = xs.len().div_ceil(shards);
+    let mut locals: Vec<Option<(T, usize)>> = vec![None; shards];
+    std::thread::scope(|scope| {
+        for (shard, ((xc, mc), local)) in xs
+            .chunks(shard_len)
+            .zip(mask.chunks(shard_len))
+            .zip(locals.iter_mut())
+            .enumerate()
+        {
+            scope.spawn(move || {
+                *local = serial(xc, mc).map(|(x, i)| (x, shard * shard_len + i));
+            });
+        }
+    });
+    locals
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+        .map(|(_, i)| i)
+}
+
+/// Thread-backed entry-wise minimum (same result as [`par_entrywise_min`]).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn threaded_entrywise_min<T: Ord + Copy + Send + Sync>(dst: &mut [T], src: &[T]) {
+    assert_eq!(dst.len(), src.len(), "entry-wise min over unequal lengths");
+    let serial = |dst: &mut [T], src: &[T]| {
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s < *d {
+                *d = *s;
+            }
+        }
+    };
+    let shards = num_shards(dst.len());
+    if shards <= 1 {
+        serial(dst, src);
+        return;
+    }
+    let shard_len = dst.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        for (dc, sc) in dst.chunks_mut(shard_len).zip(src.chunks(shard_len)) {
+            scope.spawn(move || serial(dc, sc));
+        }
+    });
+}
+
+/// Thread-backed entry-wise OR over boolean vectors (the `Memb` merge of
+/// Lemma 3.2).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn threaded_entrywise_or(dst: &mut [bool], src: &[bool]) {
+    assert_eq!(dst.len(), src.len(), "entry-wise or over unequal lengths");
+    let serial = |dst: &mut [bool], src: &[bool]| {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d |= *s;
+        }
+    };
+    let shards = num_shards(dst.len());
+    if shards <= 1 {
+        serial(dst, src);
+        return;
+    }
+    let shard_len = dst.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        for (dc, sc) in dst.chunks_mut(shard_len).zip(src.chunks(shard_len)) {
+            scope.spawn(move || serial(dc, sc));
         }
     });
 }
@@ -329,17 +481,66 @@ mod tests {
         assert_eq!(meter.total().peak_processors, 128);
     }
 
-    #[cfg(feature = "threads")]
     #[test]
-    fn rayon_kernels_match_model_kernels() {
+    fn threaded_kernels_match_model_kernels() {
         let xs = vec![5, 3, 8, 3, 1, 1, 9];
         let mut meter = CostMeter::new();
-        assert_eq!(rayon_min_index(&xs), par_min_index(&xs, &mut meter));
+        assert_eq!(threaded_min_index(&xs), par_min_index(&xs, &mut meter));
         let mut a = vec![4, 5, 6];
         let mut b = a.clone();
-        rayon_entrywise_min(&mut a, &[9, 1, 6]);
+        threaded_entrywise_min(&mut a, &[9, 1, 6]);
         par_entrywise_min(&mut b, &[9, 1, 6], &mut meter);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_kernels_match_above_the_cutoff() {
+        // Large enough to actually fan out over threads.
+        let n = PAR_CUTOFF * 3 + 17;
+        let xs: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 100_003).collect();
+        let mut meter = CostMeter::new();
+        assert_eq!(threaded_min_index(&xs), par_min_index(&xs, &mut meter));
+
+        let mut a: Vec<u64> = xs.iter().map(|x| x ^ 0x5555).collect();
+        let mut b = a.clone();
+        threaded_entrywise_min(&mut a, &xs);
+        par_entrywise_min(&mut b, &xs, &mut meter);
+        assert_eq!(a, b);
+
+        let mask: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let expected = xs
+            .iter()
+            .zip(&mask)
+            .enumerate()
+            .filter(|(_, (_, &keep))| keep)
+            .min_by(|a, b| a.1 .0.cmp(b.1 .0).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i);
+        assert_eq!(threaded_masked_min_index(&xs, &mask), expected);
+
+        let mut ba: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut bb = ba.clone();
+        threaded_entrywise_or(&mut ba, &mask);
+        for (d, s) in bb.iter_mut().zip(&mask) {
+            *d |= *s;
+        }
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn threaded_min_index_tie_breaks_leftmost() {
+        let n = PAR_CUTOFF * 2;
+        // Duplicate strict minimum planted in two different shards: the
+        // reducer must pick the leftmost occurrence.
+        let mut xs = vec![7u32; n];
+        xs[3] = 1;
+        xs[PAR_CUTOFF + 5] = 1;
+        assert_eq!(threaded_min_index(&xs), Some(3));
+        assert_eq!(threaded_masked_min_index(&xs, &vec![true; n]), Some(3));
+        // With the first duplicate masked out, the later shard's copy wins.
+        let mut mask = vec![true; n];
+        mask[3] = false;
+        assert_eq!(threaded_masked_min_index(&xs, &mask), Some(PAR_CUTOFF + 5));
+        assert_eq!(threaded_min_index::<u32>(&[]), None);
     }
 
     proptest! {

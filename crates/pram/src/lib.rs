@@ -23,11 +23,9 @@
 //!   from: tournament-tree minimum reduction, entry-wise vector minimum,
 //!   leftmost-child tree sweep-up, and ranked assignment of processors to
 //!   edges (`getEdge`). Each kernel has a *simulated* phased implementation
-//!   (used for cost accounting and EREW checking) and, behind the `threads`
-//!   feature, a [rayon]-backed implementation used by the wall-clock
-//!   benchmarks.
-//!
-//! [rayon]: https://docs.rs/rayon
+//!   (used for cost accounting and EREW checking) and a thread-backed twin
+//!   (`threaded_*`, executing over `std::thread::scope`) used by the
+//!   wall-clock execution path when [`ExecMode::Threads`] is selected.
 
 pub mod cost;
 pub mod erew;
@@ -37,4 +35,5 @@ pub use cost::{CostMeter, CostReport, ExecMode};
 pub use erew::{AccessKind, AccessLog, Violation};
 pub use kernels::{
     erew_tournament_min, par_entrywise_min, par_min_index, ranked_descent, sweep_up_costs,
+    threaded_entrywise_min, threaded_entrywise_or, threaded_masked_min_index, threaded_min_index,
 };

@@ -1,0 +1,194 @@
+//! Vendored miniature property-testing harness.
+//!
+//! API-compatible with the subset of [proptest](https://docs.rs/proptest)
+//! that this workspace's test-suite uses: [`Strategy`] with
+//! [`Strategy::prop_map`], integer-range and tuple strategies,
+//! [`any`]`::<T>()`, [`collection::vec`], weighted [`prop_oneof!`], the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header)
+//! and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case panics with its deterministic case
+//!   number; re-running the test reproduces it exactly,
+//! * **deterministic seeding** — case `i` of test `t` always sees the same
+//!   inputs (derived from `(t, i)` via SplitMix64), so CI failures reproduce
+//!   locally without a persistence file,
+//! * assertions panic instead of returning `Err`, which for plain test
+//!   bodies is observationally identical.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+
+/// Harness configuration (subset of the real crate's fields; the extra
+/// field keeps `..ProptestConfig::default()` struct-update syntax
+/// meaningful at call sites written against the real API).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 48,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// The generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h ^ ((case as u64) << 1) ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Everything a test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Assert a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Each function argument is bound by drawing from
+/// its strategy once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    let __inputs = format!(
+                        "case {__case} of {} (inputs: {:?})",
+                        stringify!($name),
+                        ($(&$arg,)+)
+                    );
+                    let __result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = __result {
+                        eprintln!("proptest failure in {__inputs}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..10, y in 0u8..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in collection::vec(any::<u16>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(picks in collection::vec(prop_oneof![
+            2 => (0u32..1).prop_map(|_| "a"),
+            1 => (0u32..1).prop_map(|_| "b"),
+        ], 64..65)) {
+            // With 64 draws, both arms appear with overwhelming probability.
+            prop_assert!(picks.contains(&"a"));
+        }
+
+        #[test]
+        fn prop_map_transforms(x in (0i32..5).prop_map(|v| v * 10)) {
+            prop_assert_eq!(x % 10, 0);
+            prop_assert!(x < 50);
+        }
+    }
+
+    #[test]
+    fn config_cases_are_respected() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(crate::ProptestConfig { cases: 7, ..Default::default() })]
+            fn counted(_x in 0u8..2) {
+                RUNS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        counted();
+        assert_eq!(RUNS.load(Ordering::SeqCst), 7);
+    }
+}

@@ -69,11 +69,17 @@ fn main() {
 
     let mut naive = NaiveDynamicMsf::new(n);
     let (w_naive, t_naive) = drive(&mut naive, &stream);
-    println!("naive linear scan: weight {w_naive:>12}  time {:>10.2?}", t_naive);
+    println!(
+        "naive linear scan: weight {w_naive:>12}  time {:>10.2?}",
+        t_naive
+    );
 
     let mut recompute = RecomputeMsf::new(n);
     let (w_rec, t_rec) = drive(&mut recompute, &stream);
-    println!("recompute Kruskal: weight {w_rec:>12}  time {:>10.2?}", t_rec);
+    println!(
+        "recompute Kruskal: weight {w_rec:>12}  time {:>10.2?}",
+        t_rec
+    );
 
     assert_eq!(w_kpr, w_naive);
     assert_eq!(w_kpr, w_rec);

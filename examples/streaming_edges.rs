@@ -14,18 +14,16 @@ fn main() {
     let n = 512;
     let window = 2 * n;
     let stream = UpdateStream::generate(&UpdateStreamSpec {
-        base: GraphSpec::RandomSparse {
-            n,
-            m: n,
-            seed: 3,
-        },
+        base: GraphSpec::RandomSparse { n, m: n, seed: 3 },
         ops: 20_000,
         kind: StreamKind::SlidingWindow { window },
         seed: 4,
     });
 
-    // The paper's structure behind Frederickson's degree-3 reduction.
-    let mut msf = DegreeReduced::new(n, SeqDynamicMsf::new(3 * n));
+    // The paper's structure behind Frederickson's degree-3 reduction (the
+    // wrapper owns the vertex-copy bookkeeping, so the inner structure must
+    // start empty).
+    let mut msf = DegreeReduced::new(n, SeqDynamicMsf::new(0));
     println!(
         "sliding window over {n} vertices, window = {window} edges, {} stream operations",
         stream.len()

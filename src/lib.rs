@@ -20,6 +20,48 @@
 //!   sparsification tree (Section 5),
 //! * [`baselines`] ([`pdmsf_baselines`]) — comparison structures.
 //!
+//! ## Performance architecture
+//!
+//! Every hot path runs on **flat, index-based arenas** — no keyed map is
+//! consulted anywhere on the `insert`/`delete` path:
+//!
+//! * [`graph::arena`] interns each live [`graph::EdgeId`] into a dense
+//!   `u32` slot ([`graph::EdgeSlotMap`], free-listed so slot storage stays
+//!   proportional to the *live* edge count). The slot is a stable handle:
+//!   adjacency lists store handles, so the `O(K)`-edge scans of the chunked
+//!   forest resolve each incident edge with a single indexed load — and,
+//!   because the address is known in advance, the store prefetches upcoming
+//!   records ([`graph::arena::EdgeStore::prefetch`]), which no hash map can
+//!   do. Sparse id regions (the degree-reduction's auxiliary ids) are
+//!   handled by a paged id index ([`graph::EdgeIdIndex`]).
+//! * One [`core::EdgeRec`] per edge carries the edge *and* its Euler-tour
+//!   arc tails, replacing the seed's `HashMap<EdgeId, Edge>` +
+//!   `HashMap<EdgeId, (u32, u32)>` + `BTreeMap<EdgeId, Edge>` triple; the
+//!   link-cut tree keys its edge nodes the same way. Per-vertex caches
+//!   (principal flag, principal chunk, chunk slot) collapse the scan loops'
+//!   pointer chains into single array loads.
+//! * Aggregate upkeep is *targeted*: chunk merges use the paper's
+//!   entry-wise row minimum instead of an `O(K)` rescan (Lemma 2.2/3.1),
+//!   single-entry `CAdj` changes refresh one leaf-to-root path per affected
+//!   list (Lemma 2.3) instead of splaying whole vectors, split pairs rebuild
+//!   both rows in one batched pass, and retired row vectors are pooled.
+//!
+//! The structures stay generic over the bookkeeping store: the
+//! `HashMap`-backed [`core::MapSeqDynamicMsf`] is **kept for comparison**
+//! and also reproduces the seed's refresh policies, so
+//! `cargo run --release -p pdmsf-bench --bin experiments` (experiment E0)
+//! measures this hot path against the faithful pre-arena implementation and
+//! records the trajectory in `BENCH_update_time.json`.
+//!
+//! The parallel front-end [`core::ParDynamicMsf`] charges EREW PRAM costs
+//! either way; with [`pram::ExecMode::Threads`]
+//! ([`core::ParDynamicMsf::new_threaded`]) its bulk kernels — the `γ`/MWR
+//! argmin tournaments and the entry-wise LSDS merges — actually execute on
+//! OS threads via the `threaded_*` kernels in [`pram::kernels`] (above a
+//! size cutoff; deterministic leftmost-on-tie reductions keep results
+//! bit-for-bit identical to the sequential structure, which the
+//! differential test-suite checks with the threaded path on and off).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -65,8 +107,8 @@ pub mod prelude {
     pub use pdmsf_core::sparsify::SparsifiedMsf;
     pub use pdmsf_graph::{
         assert_matches_kruskal, kruskal_msf, DegreeReduced, DynGraph, DynamicMsf, Edge, EdgeId,
-        GraphSpec, MsfDelta, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec, VertexId,
-        WKey, Weight,
+        GraphSpec, MsfDelta, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec, VertexId, WKey,
+        Weight,
     };
     pub use pdmsf_pram::{CostMeter, CostReport, ExecMode};
 }

@@ -45,10 +45,7 @@ fn all_implementations_match_kruskal_on_the_same_stream() {
     drive_and_check(&mut ParDynamicMsf::new(n), &stream);
     drive_and_check(&mut NaiveDynamicMsf::new(n), &stream);
     drive_and_check(&mut RecomputeMsf::new(n), &stream);
-    drive_and_check(
-        &mut DegreeReduced::new(n, SeqDynamicMsf::new(0)),
-        &stream,
-    );
+    drive_and_check(&mut DegreeReduced::new(n, SeqDynamicMsf::new(0)), &stream);
     drive_and_check(
         &mut SparsifiedMsf::new_with_capacity(n, 4 * n, SeqDynamicMsf::new),
         &stream,
