@@ -1,27 +1,23 @@
 //! E8 bench: chunk-parameter ablation around the paper's K = sqrt(n log n).
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench chunk_size`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmsf_bench::harness::BenchGroup;
 use pdmsf_bench::{drive, mixed_stream};
 use pdmsf_core::seq::default_sequential_k;
 use pdmsf_core::SeqDynamicMsf;
 
-fn bench_chunk_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_chunk_size");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("e8_chunk_size");
     let n = 1usize << 11;
     let k_star = default_sequential_k(n);
     let stream = mixed_stream(n, 2 * n, 300, 41);
     for factor in [1usize, 2, 4, 8, 16] {
         // K* / 4, K* / 2, K*, 2 K*, 4 K* (factor is scaled by 4 below).
         let k = (k_star * factor / 4).max(2);
-        group.bench_with_input(BenchmarkId::new("k", k), &stream, |b, s| {
-            b.iter(|| drive(&mut SeqDynamicMsf::with_chunk_parameter(n, k), s))
+        group.bench(&format!("k/{k}"), || {
+            drive(&mut SeqDynamicMsf::with_chunk_parameter(n, k), &stream)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_chunk_size);
-criterion_main!(benches);

@@ -1,49 +1,36 @@
 //! E7 bench: the EREW PRAM kernels — phased tournament vs model reduction vs
-//! rayon-backed reduction.
+//! the pool-backed threaded kernels.
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdmsf_pram::kernels::{rayon_entrywise_min, rayon_min_index};
+use pdmsf_bench::harness::BenchGroup;
+use pdmsf_pram::kernels::{threaded_entrywise_min, threaded_min_index};
 use pdmsf_pram::{erew_tournament_min, par_entrywise_min, par_min_index, CostMeter};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_kernels");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut group = BenchGroup::new("e7_kernels");
     for size in [1usize << 10, 1 << 14, 1 << 18] {
         let xs: Vec<u64> = (0..size as u64)
             .map(|i| (i * 2654435761) % 1_000_003)
             .collect();
-        group.bench_with_input(BenchmarkId::new("model_min", size), &xs, |b, xs| {
-            b.iter(|| par_min_index(xs, &mut CostMeter::new()))
+        group.bench(&format!("model_min/{size}"), || {
+            par_min_index(&xs, &mut CostMeter::new())
         });
-        group.bench_with_input(BenchmarkId::new("phased_tournament", size), &xs, |b, xs| {
-            b.iter(|| erew_tournament_min(xs, &mut CostMeter::new(), None))
+        group.bench(&format!("phased_tournament/{size}"), || {
+            erew_tournament_min(&xs, &mut CostMeter::new(), None)
         });
-        group.bench_with_input(BenchmarkId::new("rayon_min", size), &xs, |b, xs| {
-            b.iter(|| rayon_min_index(xs))
-        });
+        group.bench(&format!("pooled_min/{size}"), || threaded_min_index(&xs));
         let src: Vec<u64> = xs.iter().rev().copied().collect();
-        group.bench_with_input(BenchmarkId::new("entrywise_min", size), &xs, |b, xs| {
-            b.iter(|| {
-                let mut dst = xs.clone();
-                par_entrywise_min(&mut dst, &src, &mut CostMeter::new());
-                dst
-            })
+        group.bench(&format!("entrywise_min/{size}"), || {
+            let mut dst = xs.clone();
+            par_entrywise_min(&mut dst, &src, &mut CostMeter::new());
+            dst
         });
-        group.bench_with_input(
-            BenchmarkId::new("rayon_entrywise_min", size),
-            &xs,
-            |b, xs| {
-                b.iter(|| {
-                    let mut dst = xs.clone();
-                    rayon_entrywise_min(&mut dst, &src);
-                    dst
-                })
-            },
-        );
+        group.bench(&format!("pooled_entrywise_min/{size}"), || {
+            let mut dst = xs.clone();
+            threaded_entrywise_min(&mut dst, &src);
+            dst
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

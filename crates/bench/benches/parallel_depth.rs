@@ -1,24 +1,24 @@
 //! E2-E4 bench: cost of maintaining the EREW-accounted parallel structure
 //! (the wall clock here tracks the simulated-PRAM bookkeeping; the depth /
 //! work / processor numbers themselves are printed by `experiments e2`).
+//! The threaded variant exercises the pool-backed execution path.
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench parallel_depth`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdmsf_bench::harness::BenchGroup;
 use pdmsf_bench::{drive, mixed_stream};
 use pdmsf_core::ParDynamicMsf;
 
-fn bench_parallel_depth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_parallel_structure");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("e2_parallel_structure");
     for n in [1usize << 8, 1 << 10] {
         let stream = mixed_stream(n, 2 * n, 300, 21);
-        group.bench_with_input(BenchmarkId::new("kpr-par", n), &stream, |b, s| {
-            b.iter(|| drive(&mut ParDynamicMsf::new(n), s))
+        group.bench(&format!("kpr-par/{n}"), || {
+            drive(&mut ParDynamicMsf::new(n), &stream)
+        });
+        group.bench(&format!("kpr-par-threads/{n}"), || {
+            drive(&mut ParDynamicMsf::new_threaded(n), &stream)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_parallel_depth);
-criterion_main!(benches);

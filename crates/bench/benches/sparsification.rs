@@ -1,37 +1,27 @@
 //! E6 bench: density sweep at fixed n — sparsified structure vs a direct
 //! naive structure, showing the update cost's (in)dependence on m.
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench sparsification`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmsf_baselines::NaiveDynamicMsf;
+use pdmsf_bench::harness::BenchGroup;
 use pdmsf_bench::{drive, mixed_stream};
 use pdmsf_core::{SeqDynamicMsf, SparsifiedMsf};
 
-fn bench_sparsification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_sparsification");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("e6_sparsification");
     let n = 256usize;
     for density in [2usize, 8, 32] {
         let stream = mixed_stream(n, density * n, 200, 31);
-        group.bench_with_input(
-            BenchmarkId::new("sparsified-seq", density),
-            &stream,
-            |b, s| {
-                b.iter(|| {
-                    drive(
-                        &mut SparsifiedMsf::new_with_capacity(n, 2 * density * n, SeqDynamicMsf::new),
-                        s,
-                    )
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("naive", density), &stream, |b, s| {
-            b.iter(|| drive(&mut NaiveDynamicMsf::new(n), s))
+        group.bench(&format!("sparsified-seq/{density}"), || {
+            drive(
+                &mut SparsifiedMsf::new_with_capacity(n, 2 * density * n, SeqDynamicMsf::new),
+                &stream,
+            )
+        });
+        group.bench(&format!("naive/{density}"), || {
+            drive(&mut NaiveDynamicMsf::new(n), &stream)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sparsification);
-criterion_main!(benches);

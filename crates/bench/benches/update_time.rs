@@ -1,32 +1,28 @@
 //! E1 bench: per-update cost of the sequential structure vs the baselines on
 //! mixed insert/delete streams over random sparse graphs.
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench update_time`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
+use pdmsf_bench::harness::BenchGroup;
 use pdmsf_bench::{drive, mixed_stream};
 use pdmsf_core::SeqDynamicMsf;
 
-fn bench_update_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_update_time");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("e1_update_time");
     for n in [1usize << 8, 1 << 10] {
         let stream = mixed_stream(n, 2 * n, 200, 11);
-        group.bench_with_input(BenchmarkId::new("kpr-seq", n), &stream, |b, s| {
-            b.iter(|| drive(&mut SeqDynamicMsf::new(n), s))
+        group.bench(&format!("kpr-seq/{n}"), || {
+            drive(&mut SeqDynamicMsf::new(n), &stream)
         });
-        group.bench_with_input(BenchmarkId::new("naive", n), &stream, |b, s| {
-            b.iter(|| drive(&mut NaiveDynamicMsf::new(n), s))
+        group.bench(&format!("naive/{n}"), || {
+            drive(&mut NaiveDynamicMsf::new(n), &stream)
         });
         if n <= 1 << 10 {
-            group.bench_with_input(BenchmarkId::new("recompute", n), &stream, |b, s| {
-                b.iter(|| drive(&mut RecomputeMsf::new(n), s))
+            group.bench(&format!("recompute/{n}"), || {
+                drive(&mut RecomputeMsf::new(n), &stream)
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_update_time);
-criterion_main!(benches);

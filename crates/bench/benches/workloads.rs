@@ -1,24 +1,24 @@
 //! E5 bench: realistic workloads — grid failure/repair and sliding-window
 //! streams — for the paper structure and the naive baseline.
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench workloads`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdmsf_baselines::NaiveDynamicMsf;
+use pdmsf_bench::harness::BenchGroup;
 use pdmsf_bench::{drive, grid_stream};
 use pdmsf_core::SeqDynamicMsf;
 use pdmsf_graph::{GraphSpec, StreamKind, UpdateStream, UpdateStreamSpec};
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_workloads");
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("e5_workloads");
 
     let grid = grid_stream(32, 32, 500, 3);
-    group.bench_function(BenchmarkId::new("grid", "kpr-seq"), |b| {
-        b.iter(|| drive(&mut SeqDynamicMsf::new(grid.num_vertices), &grid))
+    group.bench("grid/kpr-seq", || {
+        drive(&mut SeqDynamicMsf::new(grid.num_vertices), &grid)
     });
-    group.bench_function(BenchmarkId::new("grid", "naive"), |b| {
-        b.iter(|| drive(&mut NaiveDynamicMsf::new(grid.num_vertices), &grid))
+    group.bench("grid/naive", || {
+        drive(&mut NaiveDynamicMsf::new(grid.num_vertices), &grid)
     });
 
     let window = UpdateStream::generate(&UpdateStreamSpec {
@@ -31,11 +31,7 @@ fn bench_workloads(c: &mut Criterion) {
         kind: StreamKind::SlidingWindow { window: 2048 },
         seed: 8,
     });
-    group.bench_function(BenchmarkId::new("sliding_window", "kpr-seq"), |b| {
-        b.iter(|| drive(&mut SeqDynamicMsf::new(window.num_vertices), &window))
+    group.bench("sliding_window/kpr-seq", || {
+        drive(&mut SeqDynamicMsf::new(window.num_vertices), &window)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

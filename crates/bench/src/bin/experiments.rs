@@ -10,7 +10,7 @@
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
     bench_records_to_json, drive, drive_updates_only, failure_stream, grid_stream, insert_stream,
-    mixed_stream, pram_profile, seq_mean_update_time, BenchRecord,
+    mixed_stream, pram_profile, seq_mean_update_time, BenchRecord, RunMeta,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
@@ -35,6 +35,7 @@ struct Config {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
     let quick = args.iter().any(|a| a == "quick");
+    let gate = args.iter().any(|a| a == "gate");
     let config = if quick {
         Config {
             sizes: vec![1 << 8, 1 << 10, 1 << 12],
@@ -54,7 +55,7 @@ fn main() {
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     if want("e0") {
-        e0_bench_json(quick);
+        e0_bench_json(quick, gate);
     }
     if want("e1") {
         e1_update_time(&config);
@@ -82,13 +83,21 @@ fn main() {
 /// E0: the machine-readable update-time benchmark — ops/sec for insert-only,
 /// delete-only and mixed streams at n ∈ {1e3, 1e4, 1e5}, for the arena-backed
 /// structure, the map-backed bookkeeping baseline and the thread-executing
-/// parallel structure. Emits `BENCH_update_time.json` so every future change
-/// has a trajectory to beat.
-fn e0_bench_json(quick: bool) {
+/// parallel structure. Emits `BENCH_update_time.json` (stamped with git SHA,
+/// `K`, pool width and execution mode) so every future change has an
+/// attributable trajectory to beat.
+///
+/// With `gate`, the mixed stream is measured five times per structure (a
+/// single rep's ratio can swing ±20% on a noisy shared runner; the median
+/// of five is stable) and the run **fails** (non-zero exit) unless the
+/// arena structure's median stays at least 1.5× the map baseline's median
+/// at the largest mixed size — the CI bench-smoke regression gate (see
+/// [`gate_mixed_ratio`]).
+fn e0_bench_json(quick: bool, gate: bool) {
     println!("\n== E0: update-time benchmark (writes BENCH_update_time.json) ==");
-    println!("structures: arena-seq (this PR's flat bookkeeping), map-seq (the seed's");
-    println!("keyed-map bookkeeping and refresh policies, kept for comparison),");
-    println!("par-threads (EREW structure executing kernels on OS threads)");
+    println!("structures: arena-seq (flat bookkeeping on the SoA chunk banks), map-seq");
+    println!("(the seed's keyed-map bookkeeping and refresh policies, kept for");
+    println!("comparison), par-threads (EREW structure executing kernels on the pool)");
     // The headline comparison (and acceptance gate) is the mixed stream at
     // n = 1e5; the insert/delete streams stop a decade earlier by default to
     // keep the full run under a few minutes (the seed baseline's base-graph
@@ -117,55 +126,150 @@ fn e0_bench_json(quick: bool) {
         }),
     ];
     let mut records: Vec<BenchRecord> = Vec::new();
+    // Median mixed-stream ops/sec per (structure, n), for the gate.
+    let mut mixed_medians: Vec<(String, usize, f64)> = Vec::new();
     println!(
         "{:>8} {:>8} {:>14} {:>14} {:>14} {:>10}",
         "stream", "n", "arena (op/s)", "map (op/s)", "par-thr (op/s)", "arena/map"
     );
     for (stream_name, sizes, make) in streams {
+        // The gate compares medians, so gated mixed cells get repetitions.
+        let reps = if gate && stream_name == "mixed" { 5 } else { 1 };
         for &n in sizes {
             let stream = make(n, ops);
-            let mut run = |structure: &str, t: Duration, o: usize| {
-                records.push(BenchRecord {
-                    structure: structure.to_string(),
-                    stream: stream_name.to_string(),
-                    n,
-                    ops: o,
-                    elapsed_ns: t.as_nanos(),
-                });
-                records.last().unwrap().ops_per_sec()
+            let mut rates: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for _ in 0..reps {
+                let mut run =
+                    |structure: &str, k: usize, exec: &'static str, t: Duration, o: usize| {
+                        records.push(BenchRecord {
+                            structure: structure.to_string(),
+                            stream: stream_name.to_string(),
+                            n,
+                            k,
+                            exec,
+                            ops: o,
+                            elapsed_ns: t.as_nanos(),
+                        });
+                        records.last().unwrap().ops_per_sec()
+                    };
+                let mut arena = SeqDynamicMsf::new(n);
+                let (t_arena, o_arena) = drive_updates_only(&mut arena, &stream);
+                rates[0].push(run(
+                    "arena-seq",
+                    arena.chunk_parameter(),
+                    "simulated",
+                    t_arena,
+                    o_arena,
+                ));
+
+                let mut map = MapSeqDynamicMsf::new(n);
+                let (t_map, o_map) = drive_updates_only(&mut map, &stream);
+                rates[1].push(run(
+                    "map-seq",
+                    map.chunk_parameter(),
+                    "simulated",
+                    t_map,
+                    o_map,
+                ));
+
+                let mut par = ParDynamicMsf::new_threaded(n);
+                let (t_par, o_par) = drive_updates_only(&mut par, &stream);
+                rates[2].push(run(
+                    "par-threads",
+                    par.chunk_parameter(),
+                    "threads",
+                    t_par,
+                    o_par,
+                ));
+
+                // The three structures must agree — this benchmark doubles as
+                // a large-n differential test.
+                assert_eq!(arena.forest_weight(), map.forest_weight());
+                assert_eq!(arena.forest_weight(), par.forest_weight());
+            }
+            let median = |xs: &mut Vec<f64>| {
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+                xs[xs.len() / 2]
             };
-            let mut arena = SeqDynamicMsf::new(n);
-            let (t_arena, o_arena) = drive_updates_only(&mut arena, &stream);
-            let r_arena = run("arena-seq", t_arena, o_arena);
-
-            let mut map = MapSeqDynamicMsf::new(n);
-            let (t_map, o_map) = drive_updates_only(&mut map, &stream);
-            let r_map = run("map-seq", t_map, o_map);
-
-            let mut par = ParDynamicMsf::new_threaded(n);
-            let (t_par, o_par) = drive_updates_only(&mut par, &stream);
-            let r_par = run("par-threads", t_par, o_par);
-
-            // The three structures must agree — this benchmark doubles as a
-            // large-n differential test.
-            assert_eq!(arena.forest_weight(), map.forest_weight());
-            assert_eq!(arena.forest_weight(), par.forest_weight());
-
+            let m_arena = median(&mut rates[0]);
+            let m_map = median(&mut rates[1]);
+            let m_par = median(&mut rates[2]);
+            if stream_name == "mixed" {
+                mixed_medians.push(("arena-seq".into(), n, m_arena));
+                mixed_medians.push(("map-seq".into(), n, m_map));
+            }
             println!(
                 "{:>8} {:>8} {:>14.0} {:>14.0} {:>14.0} {:>9.2}x",
                 stream_name,
                 n,
-                r_arena,
-                r_map,
-                r_par,
-                if r_map > 0.0 { r_arena / r_map } else { 0.0 }
+                m_arena,
+                m_map,
+                m_par,
+                if m_map > 0.0 { m_arena / m_map } else { 0.0 }
             );
         }
     }
-    let json = bench_records_to_json("update_time", &records);
+    let meta = RunMeta::collect();
+    let json = bench_records_to_json("update_time", &meta, &records);
     let path = "BENCH_update_time.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    println!("wrote {path} ({} records)", records.len());
+    println!(
+        "wrote {path} ({} records, git {}, {} pool thread(s))",
+        records.len(),
+        meta.git_sha,
+        meta.threads
+    );
+    if gate {
+        gate_mixed_ratio(&mixed_medians);
+    }
+}
+
+/// The CI regression gate: at the **largest** mixed size of the run, the
+/// arena structure's median throughput must be ≥ 1.5× the map baseline's
+/// median. The largest size is the asymptotic regime the ROADMAP target is
+/// stated for (the actual margin there is around 1.8–2×, so 1.5× triggers on
+/// real regressions, not machine noise); small-n ratios are dominated by
+/// constant factors and sit just below 1.5× by design, so they are printed
+/// but not gated.
+fn gate_mixed_ratio(mixed_medians: &[(String, usize, f64)]) {
+    const MIN_RATIO: f64 = 1.5;
+    let gated_n = mixed_medians
+        .iter()
+        .map(|(_, n, _)| *n)
+        .max()
+        .expect("gate mode measured at least one mixed size");
+    let mut failed = false;
+    println!("\n-- bench-smoke gate: arena-seq vs map-seq medians (mixed stream) --");
+    for (structure, n, arena_rate) in mixed_medians {
+        if structure != "arena-seq" {
+            continue;
+        }
+        let map_rate = mixed_medians
+            .iter()
+            .find(|(s, m, _)| s == "map-seq" && m == n)
+            .map(|(_, _, r)| *r)
+            .expect("map baseline measured for every mixed size");
+        let ratio = if map_rate > 0.0 {
+            arena_rate / map_rate
+        } else {
+            f64::INFINITY
+        };
+        if *n != gated_n {
+            println!("n = {n:>7}: arena/map = {ratio:.2}x (informational)");
+            continue;
+        }
+        let ok = ratio >= MIN_RATIO;
+        println!(
+            "n = {n:>7}: arena/map = {ratio:.2}x (gate: >= {MIN_RATIO}x) {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("bench-smoke gate FAILED: arena structure regressed against the map baseline");
+        std::process::exit(1);
+    }
+    println!("bench-smoke gate passed");
 }
 
 /// E1: per-update wall clock vs n — paper structure vs baselines.

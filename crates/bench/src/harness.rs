@@ -1,0 +1,137 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The original Criterion benches under `benches/` could not build offline
+//! (no registry access for the `criterion` crate), so this module provides
+//! the small subset the suite actually uses: named groups, named benches,
+//! N timed samples after one warm-up run, and a min / median / mean report.
+//! Medians are what the suite compares across PRs — wall-clock on shared
+//! machines is noisy and the median is robust to scheduling spikes.
+//!
+//! Sample count defaults to 10 and can be overridden with the
+//! `PDMSF_BENCH_SAMPLES` environment variable (CI smoke runs use 1).
+
+use std::time::{Duration, Instant};
+
+/// Format a duration compactly for the report table.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// The measured samples of one bench, sorted ascending.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Bench id within its group.
+    pub id: String,
+    /// Sorted sample durations.
+    pub samples: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Median sample (the cross-PR comparison statistic).
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of benches, printed as one table.
+pub struct BenchGroup {
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// Start a group with the sample count taken from `PDMSF_BENCH_SAMPLES`
+    /// (default 10). Prints the table header immediately so progress is
+    /// visible while long benches run.
+    pub fn new(name: &str) -> Self {
+        let samples = std::env::var("PDMSF_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Self::with_samples(name, samples)
+    }
+
+    /// Start a group with an explicit sample count (clamped to ≥ 1).
+    pub fn with_samples(name: &str, samples: usize) -> Self {
+        let samples = samples.max(1);
+        println!("\n== {name} ({samples} samples per bench, 1 warm-up) ==");
+        println!(
+            "{:>40} {:>10} {:>10} {:>10}",
+            "bench", "min", "median", "mean"
+        );
+        BenchGroup {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f` (`samples` runs after one warm-up) and print its table row.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let result = BenchResult {
+            id: id.to_string(),
+            samples: times,
+        };
+        println!(
+            "{:>40} {:>10} {:>10} {:>10}",
+            result.id,
+            fmt(min),
+            fmt(result.median()),
+            fmt(mean)
+        );
+        self.results.push(result);
+    }
+
+    /// The results measured so far, in bench order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_sorted_samples_and_median() {
+        let mut g = BenchGroup::with_samples("harness-self-test", 7);
+        let mut runs = 0u32;
+        g.bench("spin", || {
+            runs += 1;
+            std::hint::black_box((0..100).sum::<u64>())
+        });
+        // 1 warm-up + `samples` timed runs.
+        assert_eq!(runs, 7 + 1);
+        let r = &g.results()[0];
+        assert_eq!(r.id, "spin");
+        assert_eq!(r.samples.len(), 7);
+        assert!(r.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert!(r.median() >= r.samples[0]);
+    }
+
+    #[test]
+    fn durations_format_compactly() {
+        assert_eq!(fmt(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt(Duration::from_micros(250)), "250.0µs");
+        assert_eq!(fmt(Duration::from_millis(42)), "42.0ms");
+        assert_eq!(fmt(Duration::from_secs(12)), "12.00s");
+    }
+}

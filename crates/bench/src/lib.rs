@@ -6,6 +6,8 @@
 //! structure drivers, wall-clock measurement and the PRAM cost extraction
 //! used by both the Criterion benches and the table-printing binary.
 
+pub mod harness;
+
 use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf};
 use pdmsf_graph::{DynamicMsf, GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec};
 use pdmsf_pram::CostReport;
@@ -175,6 +177,10 @@ pub struct BenchRecord {
     pub stream: String,
     /// Number of vertices.
     pub n: usize,
+    /// Chunk parameter `K` the structure ran with.
+    pub k: usize,
+    /// Kernel execution mode label (`"simulated"` / `"threads"`).
+    pub exec: &'static str,
     /// Number of timed update operations.
     pub ops: usize,
     /// Wall-clock nanoseconds spent inside the timed updates.
@@ -192,21 +198,71 @@ impl BenchRecord {
     }
 }
 
+/// Run-level metadata stamped into the benchmark JSON so perf trajectories
+/// across PRs stay attributable: which commit produced the numbers, how many
+/// pool threads the kernels could use, and the threading cutoff in force.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD` of the working tree (`"unknown"` outside git),
+    /// with a `-dirty` suffix when uncommitted changes were present.
+    pub git_sha: String,
+    /// Worker-pool width available to the threaded kernels (workers + the
+    /// calling thread).
+    pub threads: usize,
+    /// [`pdmsf_pram::kernels::PAR_CUTOFF`] at build time.
+    pub par_cutoff: usize,
+}
+
+impl RunMeta {
+    /// Collect the metadata of the current process / checkout.
+    pub fn collect() -> RunMeta {
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let dirty = std::process::Command::new("git")
+            .args(["status", "--porcelain"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .is_some_and(|o| !o.stdout.is_empty());
+        RunMeta {
+            git_sha: if dirty && git_sha != "unknown" {
+                format!("{git_sha}-dirty")
+            } else {
+                git_sha
+            },
+            threads: pdmsf_pram::pool::parallelism(),
+            par_cutoff: pdmsf_pram::kernels::PAR_CUTOFF,
+        }
+    }
+}
+
 /// Serialize benchmark records as JSON (hand-rolled: all values are numbers
 /// or label strings that never need escaping, and the offline build has no
 /// serde).
-pub fn bench_records_to_json(benchmark: &str, records: &[BenchRecord]) -> String {
+pub fn bench_records_to_json(benchmark: &str, meta: &RunMeta, records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"benchmark\": \"{benchmark}\",\n"));
     out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"threads\": {}, \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.threads, meta.par_cutoff
+    ));
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"structure\": \"{}\", \"stream\": \"{}\", \"n\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
+            "    {{\"structure\": \"{}\", \"stream\": \"{}\", \"n\": {}, \"k\": {}, \"exec\": \"{}\", \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
             r.structure,
             r.stream,
             r.n,
+            r.k,
+            r.exec,
             r.ops,
             r.elapsed_ns,
             r.ops_per_sec(),
@@ -229,6 +285,8 @@ mod tests {
                 structure: "arena-seq".into(),
                 stream: "mixed".into(),
                 n: 1000,
+                k: 100,
+                exec: "simulated",
                 ops: 500,
                 elapsed_ns: 2_000_000,
             },
@@ -236,17 +294,38 @@ mod tests {
                 structure: "map-seq".into(),
                 stream: "mixed".into(),
                 n: 1000,
+                k: 100,
+                exec: "simulated",
                 ops: 500,
                 elapsed_ns: 4_000_000,
             },
         ];
-        let json = bench_records_to_json("update_time", &records);
+        let meta = RunMeta {
+            git_sha: "deadbeef".into(),
+            threads: 4,
+            par_cutoff: 512,
+        };
+        let json = bench_records_to_json("update_time", &meta, &records);
         assert!(json.contains("\"benchmark\": \"update_time\""));
         assert!(json.contains("\"structure\": \"arena-seq\""));
         assert!(json.contains("\"ops_per_sec\": 250000.00"));
-        // Exactly one separating comma between the two records.
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.contains("\"git_sha\": \"deadbeef\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"par_cutoff\": 512"));
+        assert!(json.contains("\"k\": 100"));
+        assert!(json.contains("\"exec\": \"simulated\""));
+        // Exactly one separating comma between the two records (meta is an
+        // inline object, not a record).
+        assert_eq!(json.matches("},\n").count(), 2);
         assert_eq!(records[0].ops_per_sec(), 250_000.0);
+    }
+
+    #[test]
+    fn run_meta_collects_plausible_values() {
+        let meta = RunMeta::collect();
+        assert!(meta.threads >= 1);
+        assert_eq!(meta.par_cutoff, pdmsf_pram::kernels::PAR_CUTOFF);
+        assert!(!meta.git_sha.is_empty());
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Structure-of-arrays storage for the chunked forest: [`ChunkArena`] (the
+//! chunk banks) and [`RowBank`] (the contiguous `CAdj` row store).
+//!
+//! The previous layout kept every per-chunk field — splay pointers, list
+//! metadata *and* the `O(J)`-sized `base`/`agg`/`memb` vectors — inside one
+//! ~100-byte `Chunk` struct, so the two dominant hot-path loops (`pull_up`
+//! and entry-wise row refresh) touched a handful of `u32`s per node while
+//! dragging whole cache lines of unrelated fields along, and every row was a
+//! separately allocated `Vec` found behind a pointer chase. This module
+//! splits that record by access pattern:
+//!
+//! * a **hot topology bank** (`parent` / `left` / `right` / `size`, flat
+//!   `Vec<u32>`s): splay rotations, `tree_root`, rank and neighbour walks
+//!   read only these four arrays, at 4 bytes per node per array;
+//! * a **list-metadata bank** (`occs`, `adj_count`, `slot`, `row`, flags):
+//!   consulted by surgery and rebalancing, not by tree walks;
+//! * the [`RowBank`]: every `base` and `agg` row lives contiguously in one
+//!   backing `Vec<WKey>` (and every `memb` row in one `Vec<bool>`), addressed
+//!   by a compact slab handle that encodes `(offset, len)` as
+//!   `offset = slab * stride`, `len = stride`. Entry-wise merges, argmin
+//!   scans and row rebuilds become linear sweeps over dense memory, and the
+//!   threaded kernels borrow the slab slices directly.
+//!
+//! Slabs are recycled through a free list (the frequent short-list slot
+//! transitions never hit the allocator), and when the chunk-id capacity
+//! (`J`, the row length) grows, [`RowBank::grow_stride`] re-lays out the
+//! backing store in one pass — the same `O(slabs · J)` cost the old layout
+//! paid to resize every boxed row, but as a single compacting sweep.
+
+use pdmsf_graph::WKey;
+
+/// Sentinel index shared with the rest of the forest module.
+use super::NONE;
+
+const ALIVE: u8 = 1;
+const QUEUED: u8 = 2;
+
+/// Structure-of-arrays chunk storage (see module docs). A chunk id indexes
+/// every bank; banks never shrink, freed ids are recycled via `free_ids`.
+#[derive(Default)]
+pub(crate) struct ChunkArena {
+    // ---- hot bank: splay-tree topology ----
+    pub(crate) parent: Vec<u32>,
+    pub(crate) left: Vec<u32>,
+    pub(crate) right: Vec<u32>,
+    /// Number of chunks in the subtree.
+    pub(crate) size: Vec<u32>,
+
+    // ---- list-metadata bank ----
+    /// Occurrence ids, in list order (the per-chunk `Vec` is reused across
+    /// alloc/free cycles, so steady-state churn does not allocate).
+    pub(crate) occs: Vec<Vec<u32>>,
+    /// Number of graph edges adjacent to this chunk (edges incident to
+    /// vertices whose principal copy lies here); `n_c = occs.len() + adj_count`.
+    pub(crate) adj_count: Vec<usize>,
+    /// Chunk id (`id_c` in the paper); `NONE` for single-chunk lists.
+    pub(crate) slot: Vec<u32>,
+    /// [`RowBank`] slab handle (`NONE` iff `slot` is `NONE`).
+    pub(crate) row: Vec<u32>,
+    flags: Vec<u8>,
+
+    free_ids: Vec<u32>,
+}
+
+impl ChunkArena {
+    /// Number of chunk ids ever allocated (live + free).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    #[inline]
+    pub(crate) fn alive(&self, c: u32) -> bool {
+        self.flags[c as usize] & ALIVE != 0
+    }
+
+    #[inline]
+    pub(crate) fn queued(&self, c: u32) -> bool {
+        self.flags[c as usize] & QUEUED != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_queued(&mut self, c: u32, q: bool) {
+        if q {
+            self.flags[c as usize] |= QUEUED;
+        } else {
+            self.flags[c as usize] &= !QUEUED;
+        }
+    }
+
+    /// `n_c` of Invariant 1.
+    #[inline]
+    pub(crate) fn nc(&self, c: u32) -> usize {
+        self.occs[c as usize].len() + self.adj_count[c as usize]
+    }
+
+    /// Allocate a chunk id as a detached, slotless singleton.
+    pub(crate) fn alloc(&mut self) -> u32 {
+        if let Some(id) = self.free_ids.pop() {
+            let ci = id as usize;
+            self.parent[ci] = NONE;
+            self.left[ci] = NONE;
+            self.right[ci] = NONE;
+            self.size[ci] = 1;
+            self.occs[ci].clear();
+            self.adj_count[ci] = 0;
+            self.slot[ci] = NONE;
+            self.row[ci] = NONE;
+            self.flags[ci] = ALIVE;
+            id
+        } else {
+            self.parent.push(NONE);
+            self.left.push(NONE);
+            self.right.push(NONE);
+            self.size.push(1);
+            self.occs.push(Vec::new());
+            self.adj_count.push(0);
+            self.slot.push(NONE);
+            self.row.push(NONE);
+            self.flags.push(ALIVE);
+            (self.parent.len() - 1) as u32
+        }
+    }
+
+    /// Retire a chunk id. The caller must have released its slot/row first.
+    pub(crate) fn free(&mut self, c: u32) {
+        debug_assert_eq!(self.slot[c as usize], NONE);
+        debug_assert_eq!(self.row[c as usize], NONE);
+        let ci = c as usize;
+        self.occs[ci].clear();
+        // A stale entry may remain on the `touched` stack; `flush_rebalance`
+        // skips it via the cleared flags.
+        self.flags[ci] = 0;
+        self.free_ids.push(c);
+    }
+}
+
+/// Contiguous storage for the per-chunk `CAdj` rows (see module docs).
+///
+/// Every slab holds one chunk's `base` row, `agg` row (both `stride`
+/// [`WKey`]s, laid out back-to-back in `keys`) and `memb` row (`stride`
+/// bools in `memb`). A slab handle is a dense `u32`; offsets are
+/// `slab * 2 * stride` into `keys` and `slab * stride` into `memb`.
+#[derive(Default)]
+pub(crate) struct RowBank {
+    stride: usize,
+    keys: Vec<WKey>,
+    memb: Vec<bool>,
+    free: Vec<u32>,
+    slabs: usize,
+}
+
+impl RowBank {
+    /// Current row length (`J` upper bound, the forest's `slot_cap`).
+    #[inline]
+    pub(crate) fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of slabs currently allocated (live + free).
+    #[inline]
+    pub(crate) fn num_slabs(&self) -> usize {
+        self.slabs
+    }
+
+    /// Number of retired slabs awaiting reuse.
+    #[inline]
+    pub(crate) fn num_free(&self) -> usize {
+        self.free.len()
+    }
+
+    #[inline]
+    fn key_off(&self, slab: u32) -> usize {
+        slab as usize * 2 * self.stride
+    }
+
+    #[inline]
+    fn memb_off(&self, slab: u32) -> usize {
+        slab as usize * self.stride
+    }
+
+    /// Allocate a slab with all-`∞` rows and all-`false` membership,
+    /// recycling a retired slab when possible.
+    pub(crate) fn alloc(&mut self) -> u32 {
+        if let Some(slab) = self.free.pop() {
+            let ko = self.key_off(slab);
+            self.keys[ko..ko + 2 * self.stride].fill(WKey::PLUS_INF);
+            let mo = self.memb_off(slab);
+            self.memb[mo..mo + self.stride].fill(false);
+            slab
+        } else {
+            self.keys
+                .resize(self.keys.len() + 2 * self.stride, WKey::PLUS_INF);
+            self.memb.resize(self.memb.len() + self.stride, false);
+            self.slabs += 1;
+            (self.slabs - 1) as u32
+        }
+    }
+
+    /// Retire a slab for reuse. Contents are reset on the next [`Self::alloc`].
+    pub(crate) fn free(&mut self, slab: u32) {
+        debug_assert!((slab as usize) < self.slabs, "freeing an unknown slab");
+        debug_assert!(!self.free.contains(&slab), "double free of slab {slab}");
+        self.free.push(slab);
+    }
+
+    /// Grow every row to `new_stride` entries, preserving slab contents
+    /// (new entries are `∞` / `false`). One compacting sweep over the
+    /// backing stores.
+    pub(crate) fn grow_stride(&mut self, new_stride: usize) {
+        debug_assert!(new_stride >= self.stride);
+        if new_stride == self.stride {
+            return;
+        }
+        let mut keys = vec![WKey::PLUS_INF; self.slabs * 2 * new_stride];
+        for slab in 0..self.slabs {
+            let old = slab * 2 * self.stride;
+            let new = slab * 2 * new_stride;
+            // base
+            keys[new..new + self.stride].copy_from_slice(&self.keys[old..old + self.stride]);
+            // agg
+            keys[new + new_stride..new + new_stride + self.stride]
+                .copy_from_slice(&self.keys[old + self.stride..old + 2 * self.stride]);
+        }
+        let mut memb = vec![false; self.slabs * new_stride];
+        for slab in 0..self.slabs {
+            let old = slab * self.stride;
+            let new = slab * new_stride;
+            memb[new..new + self.stride].copy_from_slice(&self.memb[old..old + self.stride]);
+        }
+        self.keys = keys;
+        self.memb = memb;
+        self.stride = new_stride;
+    }
+
+    // ---- row accessors -------------------------------------------------
+
+    #[inline]
+    pub(crate) fn base(&self, slab: u32) -> &[WKey] {
+        let o = self.key_off(slab);
+        &self.keys[o..o + self.stride]
+    }
+
+    #[inline]
+    pub(crate) fn base_mut(&mut self, slab: u32) -> &mut [WKey] {
+        let o = self.key_off(slab);
+        let s = self.stride;
+        &mut self.keys[o..o + s]
+    }
+
+    #[inline]
+    pub(crate) fn agg(&self, slab: u32) -> &[WKey] {
+        let o = self.key_off(slab) + self.stride;
+        &self.keys[o..o + self.stride]
+    }
+
+    #[inline]
+    pub(crate) fn agg_mut(&mut self, slab: u32) -> &mut [WKey] {
+        let o = self.key_off(slab) + self.stride;
+        let s = self.stride;
+        &mut self.keys[o..o + s]
+    }
+
+    #[inline]
+    pub(crate) fn memb(&self, slab: u32) -> &[bool] {
+        let o = self.memb_off(slab);
+        &self.memb[o..o + self.stride]
+    }
+
+    #[inline]
+    pub(crate) fn memb_mut(&mut self, slab: u32) -> &mut [bool] {
+        let o = self.memb_off(slab);
+        let s = self.stride;
+        &mut self.memb[o..o + s]
+    }
+
+    /// The `base` and `agg` rows of one slab, both mutable (they are
+    /// adjacent halves of the slab).
+    #[inline]
+    pub(crate) fn base_and_agg_mut(&mut self, slab: u32) -> (&mut [WKey], &mut [WKey]) {
+        let o = self.key_off(slab);
+        let s = self.stride;
+        self.keys[o..o + 2 * s].split_at_mut(s)
+    }
+
+    /// Mutable `agg` row of `dst` together with the shared `agg` row of a
+    /// *different* slab `src` — the borrow shape of `pull_up`'s entry-wise
+    /// child merges.
+    #[inline]
+    pub(crate) fn agg_pair(&mut self, dst: u32, src: u32) -> (&mut [WKey], &[WKey]) {
+        let s = self.stride;
+        disjoint_mut(
+            &mut self.keys,
+            self.stride + dst as usize * 2 * s,
+            self.stride + src as usize * 2 * s,
+            s,
+        )
+    }
+
+    /// Mutable `base` row of `dst` with the shared `base` row of `src`
+    /// (the entry-wise row merge of a chunk merge).
+    #[inline]
+    pub(crate) fn base_pair(&mut self, dst: u32, src: u32) -> (&mut [WKey], &[WKey]) {
+        let s = self.stride;
+        disjoint_mut(
+            &mut self.keys,
+            dst as usize * 2 * s,
+            src as usize * 2 * s,
+            s,
+        )
+    }
+
+    /// Mutable `memb` row of `dst` with the shared `memb` row of `src`.
+    #[inline]
+    pub(crate) fn memb_pair(&mut self, dst: u32, src: u32) -> (&mut [bool], &[bool]) {
+        let s = self.stride;
+        disjoint_mut(&mut self.memb, dst as usize * s, src as usize * s, s)
+    }
+}
+
+/// Split one backing slice into a mutable window at `dst` and a shared
+/// window at `src` (both `len` long, non-overlapping).
+#[inline]
+fn disjoint_mut<T>(v: &mut [T], dst: usize, src: usize, len: usize) -> (&mut [T], &[T]) {
+    debug_assert!(dst.abs_diff(src) >= len, "overlapping row windows");
+    if dst < src {
+        let (a, b) = v.split_at_mut(src);
+        (&mut a[dst..dst + len], &b[..len])
+    } else {
+        let (a, b) = v.split_at_mut(dst);
+        (&mut b[..len], &a[src..src + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_arena_allocates_and_recycles_ids() {
+        let mut a = ChunkArena::default();
+        let c0 = a.alloc();
+        let c1 = a.alloc();
+        assert_eq!((c0, c1), (0, 1));
+        assert!(a.alive(c0) && a.alive(c1));
+        assert_eq!(a.size[c0 as usize], 1);
+        a.occs[c0 as usize].push(7);
+        a.adj_count[c0 as usize] = 3;
+        a.set_queued(c0, true);
+        assert!(a.queued(c0));
+        assert_eq!(a.nc(c0), 4);
+        a.free(c0);
+        assert!(!a.alive(c0));
+        assert!(!a.queued(c0), "freeing clears the queued flag");
+        // The freed id is reused, fully reset.
+        let c2 = a.alloc();
+        assert_eq!(c2, c0);
+        assert!(a.alive(c2));
+        assert!(a.occs[c2 as usize].is_empty());
+        assert_eq!(a.adj_count[c2 as usize], 0);
+        assert_eq!(a.slot[c2 as usize], NONE);
+        assert_eq!(a.row[c2 as usize], NONE);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn row_bank_alloc_free_reuses_slabs() {
+        let mut b = RowBank::default();
+        b.grow_stride(4);
+        let s0 = b.alloc();
+        let s1 = b.alloc();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(b.num_slabs(), 2);
+        b.base_mut(s0)[2] = WKey::new(pdmsf_graph::Weight::new(9), pdmsf_graph::EdgeId(1));
+        b.memb_mut(s0)[1] = true;
+        b.free(s0);
+        assert_eq!(b.num_free(), 1);
+        // Reuse resets contents; no new slab is carved.
+        let s2 = b.alloc();
+        assert_eq!(s2, s0);
+        assert_eq!(b.num_slabs(), 2);
+        assert_eq!(b.num_free(), 0);
+        assert!(b.base(s2).iter().all(|k| *k == WKey::PLUS_INF));
+        assert!(b.agg(s2).iter().all(|k| *k == WKey::PLUS_INF));
+        assert!(b.memb(s2).iter().all(|m| !*m));
+    }
+
+    #[test]
+    fn row_bank_grow_stride_preserves_rows() {
+        let mut b = RowBank::default();
+        b.grow_stride(2);
+        let s0 = b.alloc();
+        let s1 = b.alloc();
+        let k = |w: i64, id: u32| WKey::new(pdmsf_graph::Weight::new(w), pdmsf_graph::EdgeId(id));
+        b.base_mut(s0).copy_from_slice(&[k(1, 0), k(2, 1)]);
+        b.agg_mut(s0).copy_from_slice(&[k(3, 2), k(4, 3)]);
+        b.base_mut(s1)[1] = k(5, 4);
+        b.memb_mut(s1)[0] = true;
+        b.grow_stride(5);
+        assert_eq!(b.stride(), 5);
+        assert_eq!(&b.base(s0)[..2], &[k(1, 0), k(2, 1)]);
+        assert_eq!(&b.agg(s0)[..2], &[k(3, 2), k(4, 3)]);
+        assert!(b.base(s0)[2..].iter().all(|x| *x == WKey::PLUS_INF));
+        assert_eq!(b.base(s1)[1], k(5, 4));
+        assert_eq!(b.memb(s1), &[true, false, false, false, false]);
+        // Backing stores are exactly slabs × stride — contiguous, no gaps.
+        assert_eq!(b.keys.len(), 2 * 2 * 5);
+        assert_eq!(b.memb.len(), 2 * 5);
+    }
+
+    #[test]
+    fn row_bank_pair_accessors_split_disjoint_slabs() {
+        let mut b = RowBank::default();
+        b.grow_stride(3);
+        let s0 = b.alloc();
+        let s1 = b.alloc();
+        let k = |w: i64| WKey::new(pdmsf_graph::Weight::new(w), pdmsf_graph::EdgeId(0));
+        b.agg_mut(s0).fill(k(9));
+        b.agg_mut(s1).fill(k(4));
+        {
+            let (dst, src) = b.agg_pair(s0, s1);
+            for (d, s) in dst.iter_mut().zip(src) {
+                if *s < *d {
+                    *d = *s;
+                }
+            }
+        }
+        assert!(b.agg(s0).iter().all(|x| *x == k(4)));
+        // Same in the other direction (dst above src in the backing store).
+        {
+            let (dst, src) = b.base_pair(s1, s0);
+            dst.copy_from_slice(src);
+        }
+        {
+            let (dst, _src) = b.memb_pair(s1, s0);
+            dst.fill(true);
+        }
+        assert_eq!(b.memb(s1), &[true, true, true]);
+        assert_eq!(b.memb(s0), &[false, false, false]);
+    }
+}

@@ -11,6 +11,10 @@
 //! * the symmetric "cross update" of every other chunk's row,
 //! * the global per-entry refresh of aggregate vectors (the second half of
 //!   `UpdateAdj`, Lemma 2.3).
+//!
+//! Rows live in the forest's [`super::RowBank`]: one slab per slotted chunk,
+//! recycled through the bank's free list, so the frequent short-list slot
+//! transitions never allocate.
 
 use super::{ChunkedEulerForest, EdgeRec, NONE};
 use pdmsf_graph::arena::EdgeStore;
@@ -18,7 +22,7 @@ use pdmsf_graph::WKey;
 use pdmsf_pram::kernels::log2_ceil;
 
 impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
-    /// Allocate a chunk id, growing the id space (and every existing row)
+    /// Allocate a chunk id, growing the id space (and the row bank's stride)
     /// when necessary.
     fn alloc_slot(&mut self, owner: u32) -> u32 {
         if self.slot_free.is_empty() {
@@ -28,16 +32,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             for s in (old_cap..new_cap).rev() {
                 self.slot_free.push(s as u32);
             }
-            // Grow every existing vector to the new capacity.
-            for chunk in &mut self.chunks {
-                if chunk.alive && chunk.slot != NONE {
-                    chunk.base.resize(new_cap, WKey::PLUS_INF);
-                    chunk.agg.resize(new_cap, WKey::PLUS_INF);
-                    chunk.memb.resize(new_cap, false);
-                }
-            }
+            // One compacting sweep re-lays every row to the new width.
+            self.rows.grow_stride(new_cap);
             self.charge(
-                (new_cap * self.chunks.len().max(1)) as u64,
+                (new_cap * self.rows.num_slabs().max(1)) as u64,
                 1,
                 new_cap as u64,
             );
@@ -47,36 +45,29 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         s
     }
 
-    /// Attach an id and (all-`∞`) vectors to chunk `c` without rebuilding
-    /// its row — the caller rebuilds, either singly ([`Self::rebuild_row`])
-    /// or batched for a split pair ([`Self::rebuild_rows_pair`]).
+    /// Attach an id and an (all-`∞`) row slab to chunk `c` without
+    /// rebuilding its row — the caller rebuilds, either singly
+    /// ([`Self::rebuild_row`]) or batched for a split pair
+    /// ([`Self::rebuild_rows_pair`]).
     pub(crate) fn attach_slot(&mut self, c: u32) {
-        debug_assert_eq!(self.chunks[c as usize].slot, NONE);
+        debug_assert_eq!(self.chunks.slot[c as usize], NONE);
         let s = self.alloc_slot(c);
-        let cap = self.slot_cap();
-        let (mut base, mut agg, mut memb) = self.slot_vec_pool.pop().unwrap_or_default();
-        base.clear();
-        base.resize(cap, WKey::PLUS_INF);
-        agg.clear();
-        agg.resize(cap, WKey::PLUS_INF);
-        memb.clear();
-        memb.resize(cap, false);
-        {
-            let ch = &mut self.chunks[c as usize];
-            ch.slot = s;
-            ch.base = base;
-            ch.agg = agg;
-            ch.memb = memb;
-        }
-        self.chunk_slot[c as usize] = s;
+        debug_assert_eq!(
+            self.rows.stride(),
+            self.slot_cap(),
+            "row width must track the chunk-id capacity"
+        );
+        let row = self.rows.alloc();
+        self.chunks.slot[c as usize] = s;
+        self.chunks.row[c as usize] = row;
     }
 
-    /// Give chunk `c` an id: allocate vectors (recycled from the pool when
-    /// possible), rebuild its row from its adjacent edges, propagate the
-    /// symmetric entries and refresh every aggregate that mentions the new
-    /// id.
+    /// Give chunk `c` an id: allocate its row slab (recycled from the bank's
+    /// free list when possible), rebuild its row from its adjacent edges,
+    /// propagate the symmetric entries and refresh every aggregate that
+    /// mentions the new id.
     pub(crate) fn give_slot(&mut self, c: u32) {
-        if self.chunks[c as usize].slot != NONE {
+        if self.chunks.slot[c as usize] != NONE {
             return;
         }
         self.attach_slot(c);
@@ -88,7 +79,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// returns the number of edges scanned.
     fn scan_row(&self, c: u32, row: &mut [WKey]) -> u64 {
         let mut scanned = 0u64;
-        for &o in &self.chunks[c as usize].occs {
+        for &o in &self.chunks.occs[c as usize] {
             let occ = &self.occs[o as usize];
             if !occ.principal {
                 continue;
@@ -103,7 +94,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 let e = self.edges.get(h).edge;
                 let other = e.other(v);
                 let co = self.vertex_chunk[other.index()];
-                let so = self.chunk_slot[co as usize];
+                let so = self.chunks.slot[co as usize];
                 if so == NONE {
                     continue;
                 }
@@ -123,8 +114,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// independent [`Self::rebuild_row`] calls this halves the cross-update
     /// and refresh traffic of every chunk split.
     pub(crate) fn rebuild_rows_pair(&mut self, c: u32, c2: u32) {
-        let s1 = self.chunks[c as usize].slot;
-        let s2 = self.chunks[c2 as usize].slot;
+        let s1 = self.chunks.slot[c as usize];
+        let s2 = self.chunks.slot[c2 as usize];
         debug_assert!(s1 != NONE && s2 != NONE);
         let cap = self.slot_cap();
         let mut row1 = std::mem::take(&mut self.scratch_row);
@@ -148,7 +139,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 continue;
             }
             cross += 1;
-            let row = &mut self.chunks[owner as usize].base;
+            let row = self.rows.base_mut(self.chunks.row[owner as usize]);
             let mut changed = false;
             if row[s1 as usize] != row1[other_slot] {
                 row[s1 as usize] = row1[other_slot];
@@ -162,10 +153,16 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 dirty.push(owner);
             }
         }
-        self.scratch_row = std::mem::replace(&mut self.chunks[c as usize].base, row1);
-        self.scratch_row2 = std::mem::replace(&mut self.chunks[c2 as usize].base, row2);
+        self.rows
+            .base_mut(self.chunks.row[c as usize])
+            .copy_from_slice(&row1);
+        self.rows
+            .base_mut(self.chunks.row[c2 as usize])
+            .copy_from_slice(&row2);
+        self.scratch_row = row1;
+        self.scratch_row2 = row2;
         let occs =
-            (self.chunks[c as usize].occs.len() + self.chunks[c2 as usize].occs.len()) as u64;
+            (self.chunks.occs[c as usize].len() + self.chunks.occs[c2 as usize].len()) as u64;
         self.charge(
             scanned + occs + cross + cap as u64,
             log2_ceil((scanned as usize).max(2)) + 1,
@@ -185,7 +182,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// case, a short list detaching from everything it was connected to, is
     /// already all-`∞` and costs no refresh at all).
     pub(crate) fn drop_slot(&mut self, c: u32) {
-        let s = self.chunks[c as usize].slot;
+        let s = self.chunks.slot[c as usize];
         if s == NONE {
             return;
         }
@@ -200,23 +197,20 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 continue;
             }
             work += 1;
-            let cell = &mut self.chunks[owner as usize].base[s as usize];
+            let cell = &mut self.rows.base_mut(self.chunks.row[owner as usize])[s as usize];
             if *cell != WKey::PLUS_INF {
                 *cell = WKey::PLUS_INF;
                 dirty.push(owner);
             }
         }
-        {
-            let ch = &mut self.chunks[c as usize];
-            ch.slot = NONE;
-            let triple = (
-                std::mem::take(&mut ch.base),
-                std::mem::take(&mut ch.agg),
-                std::mem::take(&mut ch.memb),
-            );
-            self.slot_vec_pool.push(triple);
-        }
-        self.chunk_slot[c as usize] = NONE;
+        // Retire the slab into the bank's free list.
+        self.rows.free(self.chunks.row[c as usize]);
+        debug_assert!(
+            self.rows.num_free() <= self.rows.num_slabs(),
+            "free-slab accounting drifted"
+        );
+        self.chunks.slot[c as usize] = NONE;
+        self.chunks.row[c as usize] = NONE;
         self.slot_owner[s as usize] = NONE;
         self.slot_free.push(s);
         self.charge(work + 1, 1, work.max(1));
@@ -229,7 +223,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// refresh all aggregates (path refresh via splay + global entry
     /// refresh). This is the workhorse of Lemma 2.2 / 3.1.
     pub(crate) fn rebuild_row(&mut self, c: u32) {
-        let s = self.chunks[c as usize].slot;
+        let s = self.chunks.slot[c as usize];
         if s == NONE {
             return;
         }
@@ -249,18 +243,21 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 continue;
             }
             cross += 1;
-            let cell = &mut self.chunks[owner as usize].base[s as usize];
+            let cell = &mut self.rows.base_mut(self.chunks.row[owner as usize])[s as usize];
             if *cell != row[other_slot] {
                 *cell = row[other_slot];
                 dirty.push(owner);
             }
         }
-        // Swap the fresh row in; the retired vector becomes the next scratch.
-        self.scratch_row = std::mem::replace(&mut self.chunks[c as usize].base, row);
+        // Copy the fresh row into the slab; the scratch stays for next time.
+        self.rows
+            .base_mut(self.chunks.row[c as usize])
+            .copy_from_slice(&row);
+        self.scratch_row = row;
         // Sequential: O(K + J). EREW: tournament trees of depth O(log K) with
         // O(K) processors build the row, then O(1) rounds with O(J)
         // processors perform the cross update (Lemma 3.1).
-        let occs = self.chunks[c as usize].occs.len() as u64;
+        let occs = self.chunks.occs[c as usize].len() as u64;
         self.charge(
             scanned + occs + cross + cap as u64,
             log2_ceil((scanned as usize).max(2)) + 1,
@@ -329,8 +326,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             let node = order[next];
             next += 1;
             let (l, r) = (
-                self.chunks[node as usize].left,
-                self.chunks[node as usize].right,
+                self.chunks.left[node as usize],
+                self.chunks.right[node as usize],
             );
             if l != NONE {
                 order.push(l);
@@ -340,21 +337,24 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             }
         }
         for &node in order.iter().rev() {
-            let ch = &self.chunks[node as usize];
-            if ch.slot == NONE {
+            let row = self.chunks.row[node as usize];
+            if row == NONE {
                 continue;
             }
-            let mut agg = ch.base[s as usize];
-            for child in [ch.left, ch.right] {
+            let mut agg = self.rows.base(row)[s as usize];
+            for child in [
+                self.chunks.left[node as usize],
+                self.chunks.right[node as usize],
+            ] {
                 if child == NONE {
                     continue;
                 }
-                let cc = &self.chunks[child as usize];
-                if cc.agg[s as usize] < agg {
-                    agg = cc.agg[s as usize];
+                let ca = self.rows.agg(self.chunks.row[child as usize])[s as usize];
+                if ca < agg {
+                    agg = ca;
                 }
             }
-            self.chunks[node as usize].agg[s as usize] = agg;
+            self.rows.agg_mut(row)[s as usize] = agg;
         }
         let visited = order.len() as u64;
         self.scratch_order = order;
@@ -430,25 +430,29 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut steps = 0u64;
         loop {
             steps += 1;
-            let ch = &self.chunks[node as usize];
-            let mut a1 = ch.base[s1 as usize];
-            let mut a2 = ch.base[s2 as usize];
-            for child in [ch.left, ch.right] {
+            let row = self.chunks.row[node as usize];
+            let base = self.rows.base(row);
+            let mut a1 = base[s1 as usize];
+            let mut a2 = base[s2 as usize];
+            for child in [
+                self.chunks.left[node as usize],
+                self.chunks.right[node as usize],
+            ] {
                 if child == NONE {
                     continue;
                 }
-                let cc = &self.chunks[child as usize];
-                if cc.agg[s1 as usize] < a1 {
-                    a1 = cc.agg[s1 as usize];
+                let cagg = self.rows.agg(self.chunks.row[child as usize]);
+                if cagg[s1 as usize] < a1 {
+                    a1 = cagg[s1 as usize];
                 }
-                if cc.agg[s2 as usize] < a2 {
-                    a2 = cc.agg[s2 as usize];
+                if cagg[s2 as usize] < a2 {
+                    a2 = cagg[s2 as usize];
                 }
             }
-            let parent = self.chunks[node as usize].parent;
-            let ch = &mut self.chunks[node as usize];
-            ch.agg[s1 as usize] = a1;
-            ch.agg[s2 as usize] = a2;
+            let parent = self.chunks.parent[node as usize];
+            let agg = self.rows.agg_mut(row);
+            agg[s1 as usize] = a1;
+            agg[s2 as usize] = a2;
             if parent == NONE {
                 break;
             }
@@ -467,19 +471,22 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut steps = 0u64;
         loop {
             steps += 1;
-            let ch = &self.chunks[node as usize];
-            let mut agg = ch.base[s as usize];
-            for child in [ch.left, ch.right] {
+            let row = self.chunks.row[node as usize];
+            let mut agg = self.rows.base(row)[s as usize];
+            for child in [
+                self.chunks.left[node as usize],
+                self.chunks.right[node as usize],
+            ] {
                 if child == NONE {
                     continue;
                 }
-                let ca = self.chunks[child as usize].agg[s as usize];
+                let ca = self.rows.agg(self.chunks.row[child as usize])[s as usize];
                 if ca < agg {
                     agg = ca;
                 }
             }
-            let parent = self.chunks[node as usize].parent;
-            self.chunks[node as usize].agg[s as usize] = agg;
+            let parent = self.chunks.parent[node as usize];
+            self.rows.agg_mut(row)[s as usize] = agg;
             if parent == NONE {
                 break;
             }
@@ -493,20 +500,26 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// (edge-insertion case of Section 2.6): lower the two symmetric entries
     /// and refresh the two leaf-to-root paths.
     pub(crate) fn note_edge_between(&mut self, c1: u32, c2: u32, key: WKey) {
-        let s1 = self.chunks[c1 as usize].slot;
-        let s2 = self.chunks[c2 as usize].slot;
+        let s1 = self.chunks.slot[c1 as usize];
+        let s2 = self.chunks.slot[c2 as usize];
         if s1 == NONE || s2 == NONE {
             return;
         }
         let mut touched1 = false;
-        if key < self.chunks[c1 as usize].base[s2 as usize] {
-            self.chunks[c1 as usize].base[s2 as usize] = key;
-            touched1 = true;
+        {
+            let cell = &mut self.rows.base_mut(self.chunks.row[c1 as usize])[s2 as usize];
+            if key < *cell {
+                *cell = key;
+                touched1 = true;
+            }
         }
         let mut touched2 = false;
-        if key < self.chunks[c2 as usize].base[s1 as usize] {
-            self.chunks[c2 as usize].base[s1 as usize] = key;
-            touched2 = true;
+        {
+            let cell = &mut self.rows.base_mut(self.chunks.row[c2 as usize])[s1 as usize];
+            if key < *cell {
+                *cell = key;
+                touched2 = true;
+            }
         }
         self.charge(2, 1, 2);
         if touched1 {
@@ -529,14 +542,14 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// edges adjacent to `c1` (edge-deletion case of Section 2.6), then
     /// refresh the two leaf-to-root paths.
     pub(crate) fn recompute_pair_entry(&mut self, c1: u32, c2: u32) {
-        let s1 = self.chunks[c1 as usize].slot;
-        let s2 = self.chunks[c2 as usize].slot;
+        let s1 = self.chunks.slot[c1 as usize];
+        let s2 = self.chunks.slot[c2 as usize];
         if s1 == NONE || s2 == NONE {
             return;
         }
         let mut best = WKey::PLUS_INF;
         let mut scanned = 0u64;
-        for &o in &self.chunks[c1 as usize].occs {
+        for &o in &self.chunks.occs[c1 as usize] {
             let occ = &self.occs[o as usize];
             if !occ.principal {
                 continue;
@@ -559,8 +572,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 }
             }
         }
-        self.chunks[c1 as usize].base[s2 as usize] = best;
-        self.chunks[c2 as usize].base[s1 as usize] = best;
+        self.rows.base_mut(self.chunks.row[c1 as usize])[s2 as usize] = best;
+        self.rows.base_mut(self.chunks.row[c2 as usize])[s1 as usize] = best;
         self.charge(
             scanned + 2,
             log2_ceil((scanned as usize).max(2)) + 1,

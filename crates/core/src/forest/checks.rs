@@ -3,8 +3,10 @@
 //! [`ChunkedEulerForest::validate`] brute-force checks every invariant the
 //! algorithm relies on: occurrence bookkeeping, Euler-tour/arc consistency,
 //! the tour-per-tree correspondence, principal copies, adjacency counts,
-//! `CAdj` rows and the LSDS aggregates. It is `O(n·m)` and only meant for
-//! tests on small inputs.
+//! `CAdj` rows and the LSDS aggregates — the latter against a straightforward
+//! array-of-structs reference walk that is deliberately *independent* of the
+//! SoA banks' pair-merge and in-place-refresh code paths. It is `O(n·m)` and
+//! only meant for tests on small inputs.
 
 use super::{ChunkedEulerForest, EdgeRec, NONE};
 use pdmsf_graph::arena::EdgeStore;
@@ -15,13 +17,14 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// edges (the caller's view of the current MSF). Panics with a
     /// description on the first violation.
     pub fn validate(&self, tree_edges: &[Edge]) {
+        let num_chunks = self.chunks.len();
         // ---- occurrence / chunk bookkeeping ----
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            if !chunk.alive {
+        for ci in 0..num_chunks {
+            if !self.chunks.alive(ci as u32) {
                 continue;
             }
-            assert!(!chunk.occs.is_empty(), "chunk {ci} is empty");
-            for (pos, &o) in chunk.occs.iter().enumerate() {
+            assert!(!self.chunks.occs[ci].is_empty(), "chunk {ci} is empty");
+            for (pos, &o) in self.chunks.occs[ci].iter().enumerate() {
                 let occ = &self.occs[o as usize];
                 assert!(occ.alive, "dead occurrence {o} referenced by chunk {ci}");
                 assert_eq!(occ.chunk as usize, ci, "occurrence {o} has wrong chunk");
@@ -160,42 +163,44 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         }
 
         // ---- adjacency counts ----
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            if !chunk.alive {
+        for ci in 0..num_chunks {
+            if !self.chunks.alive(ci as u32) {
                 continue;
             }
             let mut expected = 0usize;
-            for &o in &chunk.occs {
+            for &o in &self.chunks.occs[ci] {
                 let v = self.occs[o as usize].vertex;
                 if self.principal[v.index()] == o {
                     expected += self.adj[v.index()].len();
                 }
             }
-            assert_eq!(chunk.adj_count, expected, "chunk {ci} adj_count mismatch");
+            assert_eq!(
+                self.chunks.adj_count[ci], expected,
+                "chunk {ci} adj_count mismatch"
+            );
         }
 
         // ---- slot discipline: single-chunk lists have no id, multi-chunk
-        // lists have ids on every chunk ----
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            if !chunk.alive {
+        // lists have ids on every chunk; slots and row slabs pair up ----
+        for ci in 0..num_chunks {
+            if !self.chunks.alive(ci as u32) {
                 continue;
             }
+            let slot = self.chunks.slot[ci];
             let root = self.tree_root(ci as u32);
-            let multi = self.chunks[root as usize].size > 1;
+            let multi = self.chunks.size[root as usize] > 1;
             if multi {
-                assert_ne!(
-                    chunk.slot, NONE,
-                    "chunk {ci} of a multi-chunk list has no id"
-                );
+                assert_ne!(slot, NONE, "chunk {ci} of a multi-chunk list has no id");
             } else {
-                assert_eq!(chunk.slot, NONE, "single-chunk list {ci} carries an id");
+                assert_eq!(slot, NONE, "single-chunk list {ci} carries an id");
             }
-            if chunk.slot != NONE {
-                assert_eq!(self.slot_owner[chunk.slot as usize], ci as u32);
+            if slot != NONE {
+                assert_eq!(self.slot_owner[slot as usize], ci as u32);
             }
             assert_eq!(
-                self.chunk_slot[ci], chunk.slot,
-                "stale chunk_slot cache for chunk {ci}"
+                slot == NONE,
+                self.chunks.row[ci] == NONE,
+                "chunk {ci}: slot and row-bank slab must be paired"
             );
         }
 
@@ -206,8 +211,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             let e = rec.edge;
             let cu = self.occs[self.principal[e.u.index()] as usize].chunk;
             let cv = self.occs[self.principal[e.v.index()] as usize].chunk;
-            let su = self.chunks[cu as usize].slot;
-            let sv = self.chunks[cv as usize].slot;
+            let su = self.chunks.slot[cu as usize];
+            let sv = self.chunks.slot[cv as usize];
             if su == NONE || sv == NONE {
                 return;
             }
@@ -217,12 +222,12 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 brute[sv as usize][su as usize] = key;
             }
         });
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            if !chunk.alive || chunk.slot == NONE {
+        for ci in 0..num_chunks {
+            if !self.chunks.alive(ci as u32) || self.chunks.slot[ci] == NONE {
                 continue;
             }
-            let s = chunk.slot as usize;
-            for (t, cell) in chunk.base.iter().enumerate() {
+            let s = self.chunks.slot[ci] as usize;
+            for (t, cell) in self.rows.base(self.chunks.row[ci]).iter().enumerate() {
                 assert_eq!(
                     *cell, brute[s][t],
                     "CAdj[{ci}][slot {t}] is stale (slot {s})"
@@ -230,9 +235,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             }
         }
 
-        // ---- LSDS aggregates at every slotted chunk ----
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            if !chunk.alive || chunk.slot == NONE {
+        // ---- LSDS aggregates at every slotted chunk, checked against an
+        // AoS-style reference walk over a private snapshot ----
+        for ci in 0..num_chunks {
+            if !self.chunks.alive(ci as u32) || self.chunks.slot[ci] == NONE {
                 continue;
             }
             // Expected aggregate: entry-wise min / OR over the subtree.
@@ -242,23 +248,34 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             let mut subtree = 0u32;
             while let Some(node) = stack.pop() {
                 subtree += 1;
-                let nd = &self.chunks[node as usize];
-                for (t, cell) in nd.base.iter().enumerate() {
+                let ni = node as usize;
+                for (t, cell) in self.rows.base(self.chunks.row[ni]).iter().enumerate() {
                     if *cell < expected_agg[t] {
                         expected_agg[t] = *cell;
                     }
                 }
-                expected_memb[nd.slot as usize] = true;
-                if nd.left != NONE {
-                    stack.push(nd.left);
+                expected_memb[self.chunks.slot[ni] as usize] = true;
+                if self.chunks.left[ni] != NONE {
+                    stack.push(self.chunks.left[ni]);
                 }
-                if nd.right != NONE {
-                    stack.push(nd.right);
+                if self.chunks.right[ni] != NONE {
+                    stack.push(self.chunks.right[ni]);
                 }
             }
-            assert_eq!(chunk.size, subtree, "chunk {ci} subtree size mismatch");
-            assert_eq!(chunk.agg, expected_agg, "chunk {ci} aggregate is stale");
-            assert_eq!(chunk.memb, expected_memb, "chunk {ci} membership is stale");
+            assert_eq!(
+                self.chunks.size[ci], subtree,
+                "chunk {ci} subtree size mismatch"
+            );
+            assert_eq!(
+                self.rows.agg(self.chunks.row[ci]),
+                &expected_agg[..],
+                "chunk {ci} aggregate is stale"
+            );
+            assert_eq!(
+                self.rows.memb(self.chunks.row[ci]),
+                &expected_memb[..],
+                "chunk {ci} membership is stale"
+            );
         }
     }
 }

@@ -47,9 +47,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         }
         let c1 = self.vertex_chunk[e.u.index()];
         let c2 = self.vertex_chunk[e.v.index()];
-        self.chunks[c1 as usize].adj_count += 1;
+        self.chunks.adj_count[c1 as usize] += 1;
         if e.v != e.u {
-            self.chunks[c2 as usize].adj_count += 1;
+            self.chunks.adj_count[c2 as usize] += 1;
         }
         self.note_edge_between(c1, c2, WKey::new(e.weight, e.id));
         self.touch(c1);
@@ -82,9 +82,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             .expect("handle was resolved a moment ago");
         let c1 = self.vertex_chunk[e.u.index()];
         let c2 = self.vertex_chunk[e.v.index()];
-        self.chunks[c1 as usize].adj_count -= 1;
+        self.chunks.adj_count[c1 as usize] -= 1;
         if e.v != e.u {
-            self.chunks[c2 as usize].adj_count -= 1;
+            self.chunks.adj_count[c2 as usize] -= 1;
         }
         self.recompute_pair_entry(c1, c2);
         self.touch(c1);

@@ -29,6 +29,7 @@
 //! `par::ParDynamicMsf` differ only in the chunk parameter `K` and in this
 //! cost model.
 
+mod arena;
 mod cadj;
 mod checks;
 mod edges;
@@ -42,6 +43,8 @@ mod tests;
 use pdmsf_graph::arena::{edges_where, sorted_ids_where, EdgeSlotMap, EdgeStore};
 use pdmsf_graph::{Edge, EdgeId, VertexId, WKey};
 use pdmsf_pram::{CostMeter, ExecMode};
+
+pub(crate) use arena::{ChunkArena, RowBank};
 
 /// Sentinel index ("null pointer") used by every arena in this module.
 pub(crate) const NONE: u32 = u32::MAX;
@@ -98,59 +101,6 @@ pub(crate) struct Occ {
     pub alive: bool,
 }
 
-/// A chunk of consecutive occurrences, which is simultaneously a node of its
-/// list's aggregation tree (the LSDS).
-#[derive(Clone, Debug)]
-pub(crate) struct Chunk {
-    pub alive: bool,
-    /// Whether this chunk is queued on the rebalance stack (`touched`).
-    pub queued: bool,
-    /// Occurrence ids, in list order.
-    pub occs: Vec<u32>,
-    /// Number of graph edges adjacent to this chunk (edges incident to
-    /// vertices whose principal copy lies here). `n_c = occs.len() + adj_count`.
-    pub adj_count: usize,
-    /// Chunk id (`id_c` in the paper); `NONE` when the chunk is the only
-    /// chunk of its list (Section 6, "short lists").
-    pub slot: u32,
-    // ---- LSDS (splay sequence tree) fields ----
-    pub parent: u32,
-    pub left: u32,
-    pub right: u32,
-    /// Number of chunks in this subtree.
-    pub size: u32,
-    /// Own CAdj row (indexed by slot). Empty when `slot == NONE`.
-    pub base: Vec<WKey>,
-    /// Entry-wise minimum of `base` over the subtree.
-    pub agg: Vec<WKey>,
-    /// Membership of slots in the subtree (`Memb` of the paper).
-    pub memb: Vec<bool>,
-}
-
-impl Chunk {
-    fn new_singleton() -> Self {
-        Chunk {
-            alive: true,
-            queued: false,
-            occs: Vec::new(),
-            adj_count: 0,
-            slot: NONE,
-            parent: NONE,
-            left: NONE,
-            right: NONE,
-            size: 1,
-            base: Vec::new(),
-            agg: Vec::new(),
-            memb: Vec::new(),
-        }
-    }
-
-    /// `n_c` of Invariant 1.
-    pub(crate) fn nc(&self) -> usize {
-        self.occs.len() + self.adj_count
-    }
-}
-
 /// Aggregate statistics used by tests and the benchmark harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ForestStats {
@@ -198,22 +148,17 @@ pub struct ChunkedEulerForest<S: EdgeStore<EdgeRec> = ArenaEdgeStore> {
     /// the other endpoint in" with one load instead of a pointer chain).
     pub(crate) vertex_chunk: Vec<u32>,
 
-    // ---- chunks / LSDS ----
-    pub(crate) chunks: Vec<Chunk>,
-    pub(crate) chunk_free: Vec<u32>,
-    /// Dense cache of each chunk's slot (`chunks[c].slot`): the scan loops
-    /// read slots for random chunks, and this flat array stays cache-hot
-    /// where the fat `Chunk` structs do not.
-    pub(crate) chunk_slot: Vec<u32>,
+    // ---- chunks / LSDS (structure-of-arrays banks, see [`arena`]) ----
+    pub(crate) chunks: ChunkArena,
+    /// Contiguous `CAdj` row store; `chunks.row[c]` is the slab handle.
+    pub(crate) rows: RowBank,
 
     // ---- chunk id (slot) allocation ----
     pub(crate) slot_owner: Vec<u32>,
     pub(crate) slot_free: Vec<u32>,
 
-    // ---- scratch buffers reused by pull_up, the MWR search and the CAdj
-    // upkeep (row rebuilds, targeted entry refreshes) ----
-    pub(crate) scratch_agg: Vec<WKey>,
-    pub(crate) scratch_memb: Vec<bool>,
+    // ---- scratch buffers reused by the MWR search and the CAdj upkeep
+    // (row rebuilds, targeted entry refreshes) ----
     pub(crate) scratch_keys: Vec<WKey>,
     pub(crate) scratch_cands: Vec<Edge>,
     pub(crate) scratch_row: Vec<WKey>,
@@ -221,9 +166,6 @@ pub struct ChunkedEulerForest<S: EdgeStore<EdgeRec> = ArenaEdgeStore> {
     pub(crate) scratch_order: Vec<u32>,
     pub(crate) scratch_dirty: Vec<u32>,
     pub(crate) scratch_dirty2: Vec<u32>,
-    /// Retired `(base, agg, memb)` vector triples, recycled by `give_slot`
-    /// so the frequent short-list slot transitions do not hit the allocator.
-    pub(crate) slot_vec_pool: Vec<(Vec<WKey>, Vec<WKey>, Vec<bool>)>,
 
     /// Chunks touched by the current operation, pending Invariant-1 fix-up
     /// (a stack; membership is the `queued` flag on each chunk).
@@ -251,13 +193,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             vertex_occs: Vec::new(),
             principal: Vec::new(),
             vertex_chunk: Vec::new(),
-            chunks: Vec::new(),
-            chunk_free: Vec::new(),
-            chunk_slot: Vec::new(),
+            chunks: ChunkArena::default(),
+            rows: RowBank::default(),
             slot_owner: Vec::new(),
             slot_free: Vec::new(),
-            scratch_agg: Vec::new(),
-            scratch_memb: Vec::new(),
             scratch_keys: Vec::new(),
             scratch_cands: Vec::new(),
             scratch_row: Vec::new(),
@@ -265,7 +204,6 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             scratch_order: Vec::new(),
             scratch_dirty: Vec::new(),
             scratch_dirty2: Vec::new(),
-            slot_vec_pool: Vec::new(),
             touched: Vec::new(),
         };
         for _ in 0..n {
@@ -301,9 +239,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         self.vertex_occs.push(Vec::new());
         self.principal.push(NONE);
         self.vertex_chunk.push(NONE);
-        let c = self.alloc_chunk();
+        let c = self.chunks.alloc();
         let o = self.alloc_occ(v);
-        self.chunks[c as usize].occs.push(o);
+        self.chunks.occs[c as usize].push(o);
         self.occs[o as usize].chunk = c;
         self.occs[o as usize].pos = 0;
         self.occs[o as usize].principal = true;
@@ -317,11 +255,11 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut chunks = 0;
         let mut occurrences = 0;
         let mut max_nc = 0;
-        for c in &self.chunks {
-            if c.alive {
+        for c in 0..self.chunks.len() as u32 {
+            if self.chunks.alive(c) {
                 chunks += 1;
-                occurrences += c.occs.len();
-                max_nc = max_nc.max(c.nc());
+                occurrences += self.chunks.occs[c as usize].len();
+                max_nc = max_nc.max(self.chunks.nc(c));
             }
         }
         ForestStats {
@@ -373,32 +311,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         self.occ_free.push(o);
     }
 
-    pub(crate) fn alloc_chunk(&mut self) -> u32 {
-        if let Some(id) = self.chunk_free.pop() {
-            self.chunks[id as usize] = Chunk::new_singleton();
-            self.chunk_slot[id as usize] = NONE;
-            id
-        } else {
-            self.chunks.push(Chunk::new_singleton());
-            self.chunk_slot.push(NONE);
-            (self.chunks.len() - 1) as u32
-        }
-    }
-
-    pub(crate) fn free_chunk(&mut self, c: u32) {
-        debug_assert!(self.chunks[c as usize].slot == NONE);
-        self.chunks[c as usize].alive = false;
-        self.chunks[c as usize].occs.clear();
-        // A stale entry may remain on the `touched` stack; `flush_rebalance`
-        // skips it via the cleared `queued` flag.
-        self.chunks[c as usize].queued = false;
-        self.chunk_free.push(c);
-    }
-
     /// Queue chunk `c` for Invariant-1 fix-up (idempotent).
     pub(crate) fn touch(&mut self, c: u32) {
-        if !self.chunks[c as usize].queued {
-            self.chunks[c as usize].queued = true;
+        if !self.chunks.queued(c) {
+            self.chunks.set_queued(c, true);
             self.touched.push(c);
         }
     }
@@ -438,9 +354,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// for diagnostics, tests and the benchmark harness.
     pub fn lists(&self) -> Vec<Vec<usize>> {
         let mut roots: Vec<u32> = Vec::new();
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            if chunk.alive && chunk.parent == NONE {
-                roots.push(ci as u32);
+        for c in 0..self.chunks.len() as u32 {
+            if self.chunks.alive(c) && self.chunks.parent[c as usize] == NONE {
+                roots.push(c);
             }
         }
         roots

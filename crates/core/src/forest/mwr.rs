@@ -63,9 +63,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     pub fn find_mwr(&mut self, root_a: u32, root_b: u32) -> Option<Edge> {
         debug_assert_ne!(root_a, root_b, "MWR requires two distinct lists");
         let a_short =
-            self.chunks[root_a as usize].size == 1 && self.chunks[root_a as usize].slot == NONE;
+            self.chunks.size[root_a as usize] == 1 && self.chunks.slot[root_a as usize] == NONE;
         let b_short =
-            self.chunks[root_b as usize].size == 1 && self.chunks[root_b as usize].slot == NONE;
+            self.chunks.size[root_b as usize] == 1 && self.chunks.slot[root_b as usize] == NONE;
         if a_short {
             self.scan_short_list(root_a, root_b)
         } else if b_short {
@@ -84,7 +84,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         keys.clear();
         cands.clear();
         let mut scanned = 0u64;
-        for &o in &self.chunks[short_root as usize].occs {
+        for &o in &self.chunks.occs[short_root as usize] {
             let occ = &self.occs[o as usize];
             if !occ.principal {
                 continue;
@@ -123,12 +123,15 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     fn gamma_search(&mut self, root_a: u32, root_b: u32) -> Option<Edge> {
         let cap = self.slot_cap();
         let best_slot = {
-            let ra = &self.chunks[root_a as usize];
-            let rb = &self.chunks[root_b as usize];
-            debug_assert!(ra.slot != NONE && rb.slot != NONE);
+            debug_assert!(
+                self.chunks.slot[root_a as usize] != NONE
+                    && self.chunks.slot[root_b as usize] != NONE
+            );
+            let ra_agg = self.rows.agg(self.chunks.row[root_a as usize]);
+            let rb_memb = self.rows.memb(self.chunks.row[root_b as usize]);
             // Masked argmin over γ; an `∞` winner means no candidate exists.
-            self.argmin_masked(&ra.agg, &rb.memb).and_then(|i| {
-                let key = ra.agg[i];
+            self.argmin_masked(ra_agg, rb_memb).and_then(|i| {
+                let key = ra_agg[i];
                 if key.is_inf() {
                     None
                 } else {
@@ -150,7 +153,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         keys.clear();
         cands.clear();
         let mut scanned = 0u64;
-        for &o in &self.chunks[chunk as usize].occs {
+        let root_a_memb = self.rows.memb(self.chunks.row[root_a as usize]);
+        for &o in &self.chunks.occs[chunk as usize] {
             let occ = &self.occs[o as usize];
             if !occ.principal {
                 continue;
@@ -165,8 +169,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 let e = self.edges.get(h).edge;
                 let other = e.other(v);
                 let co = self.vertex_chunk[other.index()];
-                let so = self.chunk_slot[co as usize];
-                if so == NONE || !self.chunks[root_a as usize].memb[so as usize] {
+                let so = self.chunks.slot[co as usize];
+                if so == NONE || !root_a_memb[so as usize] {
                     continue;
                 }
                 keys.push(WKey::new(e.weight, e.id));

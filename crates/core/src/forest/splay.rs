@@ -7,10 +7,15 @@
 //! leaf-to-root refresh) with amortised `O(log J)` structural cost. Every
 //! touched node recomputes its `O(J)`-sized aggregate vectors, exactly as in
 //! Lemma 2.3, so the per-operation aggregate cost is `O(J log J)` amortised.
+//!
+//! All topology lives in the flat banks of [`super::ChunkArena`]
+//! (`parent` / `left` / `right` / `size`), so the rotation and walk loops
+//! below touch four `u32` arrays and nothing else; aggregate vectors are
+//! dense [`super::RowBank`] slabs merged in place (threaded kernels borrow
+//! the slab slices directly when [`ExecMode::Threads`] is active).
 
 use super::{ChunkedEulerForest, EdgeRec, NONE};
 use pdmsf_graph::arena::EdgeStore;
-use pdmsf_graph::WKey;
 use pdmsf_pram::kernels::{threaded_entrywise_min, threaded_entrywise_or};
 use pdmsf_pram::ExecMode;
 
@@ -22,95 +27,99 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     }
 
     /// Recompute `size`, `agg` and `memb` of `c` from its own data and its
-    /// children. `O(slot_cap)` when the chunk carries vectors, `O(1)`
-    /// otherwise.
+    /// children. `O(slot_cap)` when the chunk carries rows, `O(1)` otherwise.
     pub(crate) fn pull_up(&mut self, c: u32) {
-        let (l, r, slot) = {
-            let ch = &self.chunks[c as usize];
-            (ch.left, ch.right, ch.slot)
-        };
+        let ci = c as usize;
+        let (l, r, slot) = (
+            self.chunks.left[ci],
+            self.chunks.right[ci],
+            self.chunks.slot[ci],
+        );
         let mut size = 1;
         if l != NONE {
-            size += self.chunks[l as usize].size;
+            size += self.chunks.size[l as usize];
         }
         if r != NONE {
-            size += self.chunks[r as usize].size;
+            size += self.chunks.size[r as usize];
         }
-        self.chunks[c as usize].size = size;
+        self.chunks.size[ci] = size;
         if slot == NONE {
             debug_assert!(l == NONE && r == NONE, "slotless chunk with children");
             return;
         }
-        let cap = self.slot_cap();
-        let mut agg = std::mem::take(&mut self.scratch_agg);
-        let mut memb = std::mem::take(&mut self.scratch_memb);
-        agg.clear();
-        agg.extend_from_slice(&self.chunks[c as usize].base);
-        agg.resize(cap, WKey::PLUS_INF);
-        memb.clear();
-        memb.resize(cap, false);
-        memb[slot as usize] = true;
+        let row = self.chunks.row[ci];
+        {
+            // agg := base, memb := {slot}, in place on the slab.
+            let (base, agg) = self.rows.base_and_agg_mut(row);
+            agg.copy_from_slice(base);
+            let memb = self.rows.memb_mut(row);
+            memb.fill(false);
+            memb[slot as usize] = true;
+        }
         for child in [l, r] {
             if child == NONE {
                 continue;
             }
-            let chd = &self.chunks[child as usize];
-            debug_assert!(chd.slot != NONE, "child chunk without a slot");
+            let crow = self.chunks.row[child as usize];
+            debug_assert!(crow != NONE, "child chunk without a slot");
             match self.exec {
-                // Lemma 3.2's entry-wise merge, fanned out over OS threads
-                // (identical results: entry-wise min/or is deterministic).
+                // Lemma 3.2's entry-wise merge, fanned out over the worker
+                // pool (identical results: entry-wise min/or is
+                // deterministic).
                 ExecMode::Threads => {
-                    threaded_entrywise_min(&mut agg, &chd.agg);
-                    threaded_entrywise_or(&mut memb, &chd.memb);
+                    let (agg, cagg) = self.rows.agg_pair(row, crow);
+                    threaded_entrywise_min(agg, cagg);
+                    let (memb, cmemb) = self.rows.memb_pair(row, crow);
+                    threaded_entrywise_or(memb, cmemb);
                 }
                 ExecMode::Simulated => {
-                    for i in 0..cap {
-                        if chd.agg[i] < agg[i] {
-                            agg[i] = chd.agg[i];
+                    let (agg, cagg) = self.rows.agg_pair(row, crow);
+                    for (a, ca) in agg.iter_mut().zip(cagg) {
+                        if *ca < *a {
+                            *a = *ca;
                         }
-                        if chd.memb[i] {
-                            memb[i] = true;
-                        }
+                    }
+                    let (memb, cmemb) = self.rows.memb_pair(row, crow);
+                    for (m, cm) in memb.iter_mut().zip(cmemb) {
+                        *m |= *cm;
                     }
                 }
             }
         }
-        self.scratch_agg = std::mem::replace(&mut self.chunks[c as usize].agg, agg);
-        self.scratch_memb = std::mem::replace(&mut self.chunks[c as usize].memb, memb);
     }
 
     fn rotate(&mut self, x: u32) {
-        let p = self.chunks[x as usize].parent;
-        let g = self.chunks[p as usize].parent;
-        let dir = (self.chunks[p as usize].right == x) as usize;
+        let p = self.chunks.parent[x as usize];
+        let g = self.chunks.parent[p as usize];
+        let dir = (self.chunks.right[p as usize] == x) as usize;
         let b = if dir == 1 {
-            self.chunks[x as usize].left
+            self.chunks.left[x as usize]
         } else {
-            self.chunks[x as usize].right
+            self.chunks.right[x as usize]
         };
         // p adopts b where x used to be.
         if dir == 1 {
-            self.chunks[p as usize].right = b;
+            self.chunks.right[p as usize] = b;
         } else {
-            self.chunks[p as usize].left = b;
+            self.chunks.left[p as usize] = b;
         }
         if b != NONE {
-            self.chunks[b as usize].parent = p;
+            self.chunks.parent[b as usize] = p;
         }
         // x adopts p.
         if dir == 1 {
-            self.chunks[x as usize].left = p;
+            self.chunks.left[x as usize] = p;
         } else {
-            self.chunks[x as usize].right = p;
+            self.chunks.right[x as usize] = p;
         }
-        self.chunks[p as usize].parent = x;
+        self.chunks.parent[p as usize] = x;
         // g adopts x.
-        self.chunks[x as usize].parent = g;
+        self.chunks.parent[x as usize] = g;
         if g != NONE {
-            if self.chunks[g as usize].left == p {
-                self.chunks[g as usize].left = x;
+            if self.chunks.left[g as usize] == p {
+                self.chunks.left[g as usize] = x;
             } else {
-                self.chunks[g as usize].right = x;
+                self.chunks.right[g as usize] = x;
             }
         }
         // Only the demoted node is pulled up here: the promoted node's
@@ -130,12 +139,12 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// aggregate vectors recomputed).
     pub(crate) fn splay(&mut self, c: u32) {
         let mut rotations: u64 = 0;
-        while self.chunks[c as usize].parent != NONE {
-            let p = self.chunks[c as usize].parent;
-            let g = self.chunks[p as usize].parent;
+        while self.chunks.parent[c as usize] != NONE {
+            let p = self.chunks.parent[c as usize];
+            let g = self.chunks.parent[p as usize];
             if g != NONE {
                 let zig_zig =
-                    (self.chunks[g as usize].right == p) == (self.chunks[p as usize].right == c);
+                    (self.chunks.right[g as usize] == p) == (self.chunks.right[p as usize] == c);
                 if zig_zig {
                     self.rotate(p);
                 } else {
@@ -161,8 +170,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Root of the list containing `c`, without restructuring.
     pub(crate) fn tree_root(&self, c: u32) -> u32 {
         let mut cur = c;
-        while self.chunks[cur as usize].parent != NONE {
-            cur = self.chunks[cur as usize].parent;
+        while self.chunks.parent[cur as usize] != NONE {
+            cur = self.chunks.parent[cur as usize];
         }
         cur
     }
@@ -170,14 +179,14 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Whether the list containing `c` consists of a single chunk.
     pub(crate) fn list_is_single_chunk(&self, c: u32) -> bool {
         let root = self.tree_root(c);
-        self.chunks[root as usize].size == 1
+        self.chunks.size[root as usize] == 1
     }
 
     /// First (leftmost) chunk of the list rooted at `root`.
     pub(crate) fn first_chunk(&self, root: u32) -> u32 {
         let mut cur = root;
-        while self.chunks[cur as usize].left != NONE {
-            cur = self.chunks[cur as usize].left;
+        while self.chunks.left[cur as usize] != NONE {
+            cur = self.chunks.left[cur as usize];
         }
         cur
     }
@@ -185,42 +194,42 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Last (rightmost) chunk of the list rooted at `root`.
     pub(crate) fn last_chunk(&self, root: u32) -> u32 {
         let mut cur = root;
-        while self.chunks[cur as usize].right != NONE {
-            cur = self.chunks[cur as usize].right;
+        while self.chunks.right[cur as usize] != NONE {
+            cur = self.chunks.right[cur as usize];
         }
         cur
     }
 
     /// In-order successor chunk within the same list, if any.
     pub(crate) fn next_chunk(&self, c: u32) -> Option<u32> {
-        if self.chunks[c as usize].right != NONE {
-            return Some(self.first_chunk(self.chunks[c as usize].right));
+        if self.chunks.right[c as usize] != NONE {
+            return Some(self.first_chunk(self.chunks.right[c as usize]));
         }
         let mut cur = c;
-        let mut p = self.chunks[cur as usize].parent;
+        let mut p = self.chunks.parent[cur as usize];
         while p != NONE {
-            if self.chunks[p as usize].left == cur {
+            if self.chunks.left[p as usize] == cur {
                 return Some(p);
             }
             cur = p;
-            p = self.chunks[cur as usize].parent;
+            p = self.chunks.parent[cur as usize];
         }
         None
     }
 
     /// In-order predecessor chunk within the same list, if any.
     pub(crate) fn prev_chunk(&self, c: u32) -> Option<u32> {
-        if self.chunks[c as usize].left != NONE {
-            return Some(self.last_chunk(self.chunks[c as usize].left));
+        if self.chunks.left[c as usize] != NONE {
+            return Some(self.last_chunk(self.chunks.left[c as usize]));
         }
         let mut cur = c;
-        let mut p = self.chunks[cur as usize].parent;
+        let mut p = self.chunks.parent[cur as usize];
         while p != NONE {
-            if self.chunks[p as usize].right == cur {
+            if self.chunks.right[p as usize] == cur {
                 return Some(p);
             }
             cur = p;
-            p = self.chunks[cur as usize].parent;
+            p = self.chunks.parent[cur as usize];
         }
         None
     }
@@ -228,25 +237,25 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// 0-based position of chunk `c` within its list (number of chunks before
     /// it). Does not restructure the tree.
     pub(crate) fn chunk_rank(&self, c: u32) -> usize {
-        let left = self.chunks[c as usize].left;
+        let left = self.chunks.left[c as usize];
         let mut rank = if left != NONE {
-            self.chunks[left as usize].size as usize
+            self.chunks.size[left as usize] as usize
         } else {
             0
         };
         let mut cur = c;
-        let mut p = self.chunks[cur as usize].parent;
+        let mut p = self.chunks.parent[cur as usize];
         while p != NONE {
-            if self.chunks[p as usize].right == cur {
-                let pl = self.chunks[p as usize].left;
+            if self.chunks.right[p as usize] == cur {
+                let pl = self.chunks.left[p as usize];
                 rank += 1 + if pl != NONE {
-                    self.chunks[pl as usize].size as usize
+                    self.chunks.size[pl as usize] as usize
                 } else {
                     0
                 };
             }
             cur = p;
-            p = self.chunks[cur as usize].parent;
+            p = self.chunks.parent[cur as usize];
         }
         rank
     }
@@ -262,9 +271,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         }
         let last = self.last_chunk(a);
         self.splay(last);
-        debug_assert_eq!(self.chunks[last as usize].right, NONE);
-        self.chunks[last as usize].right = b;
-        self.chunks[b as usize].parent = last;
+        debug_assert_eq!(self.chunks.right[last as usize], NONE);
+        self.chunks.right[last as usize] = b;
+        self.chunks.parent[b as usize] = last;
         self.pull_up(last);
         last
     }
@@ -273,10 +282,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// roots `(left, right)`; `right` is `NONE` when `c` is the last chunk.
     pub(crate) fn tree_split_after(&mut self, c: u32) -> (u32, u32) {
         self.splay(c);
-        let r = self.chunks[c as usize].right;
+        let r = self.chunks.right[c as usize];
         if r != NONE {
-            self.chunks[r as usize].parent = NONE;
-            self.chunks[c as usize].right = NONE;
+            self.chunks.parent[r as usize] = NONE;
+            self.chunks.right[c as usize] = NONE;
             self.pull_up(c);
         }
         (c, r)
@@ -285,17 +294,17 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Insert chunk `c_new` (currently a detached singleton) immediately after
     /// `c_exist` in its list.
     pub(crate) fn tree_insert_after(&mut self, c_exist: u32, c_new: u32) {
-        debug_assert_eq!(self.chunks[c_new as usize].parent, NONE);
-        debug_assert_eq!(self.chunks[c_new as usize].left, NONE);
-        debug_assert_eq!(self.chunks[c_new as usize].right, NONE);
+        debug_assert_eq!(self.chunks.parent[c_new as usize], NONE);
+        debug_assert_eq!(self.chunks.left[c_new as usize], NONE);
+        debug_assert_eq!(self.chunks.right[c_new as usize], NONE);
         self.splay(c_exist);
-        let r = self.chunks[c_exist as usize].right;
-        self.chunks[c_new as usize].right = r;
+        let r = self.chunks.right[c_exist as usize];
+        self.chunks.right[c_new as usize] = r;
         if r != NONE {
-            self.chunks[r as usize].parent = c_new;
+            self.chunks.parent[r as usize] = c_new;
         }
-        self.chunks[c_exist as usize].right = c_new;
-        self.chunks[c_new as usize].parent = c_exist;
+        self.chunks.right[c_exist as usize] = c_new;
+        self.chunks.parent[c_new as usize] = c_exist;
         self.pull_up(c_new);
         self.pull_up(c_exist);
     }
@@ -304,16 +313,16 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Returns the root of the remaining list (`NONE` if `c` was alone).
     pub(crate) fn tree_remove(&mut self, c: u32) -> u32 {
         self.splay(c);
-        let l = self.chunks[c as usize].left;
-        let r = self.chunks[c as usize].right;
+        let l = self.chunks.left[c as usize];
+        let r = self.chunks.right[c as usize];
         if l != NONE {
-            self.chunks[l as usize].parent = NONE;
+            self.chunks.parent[l as usize] = NONE;
         }
         if r != NONE {
-            self.chunks[r as usize].parent = NONE;
+            self.chunks.parent[r as usize] = NONE;
         }
-        self.chunks[c as usize].left = NONE;
-        self.chunks[c as usize].right = NONE;
+        self.chunks.left[c as usize] = NONE;
+        self.chunks.right[c as usize] = NONE;
         self.pull_up(c);
         self.tree_join(l, r)
     }
@@ -331,13 +340,13 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         loop {
             while cur != NONE {
                 stack.push(cur);
-                cur = self.chunks[cur as usize].left;
+                cur = self.chunks.left[cur as usize];
             }
             match stack.pop() {
                 None => break,
                 Some(node) => {
                     out.push(node);
-                    cur = self.chunks[node as usize].right;
+                    cur = self.chunks.right[node as usize];
                 }
             }
         }

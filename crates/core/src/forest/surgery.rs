@@ -23,30 +23,28 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// The occurrence immediately preceding `o` in its (linear) list.
     pub(crate) fn pred_occ(&self, o: u32) -> Option<u32> {
         let occ = &self.occs[o as usize];
-        let chunk = &self.chunks[occ.chunk as usize];
         if occ.pos > 0 {
-            return Some(chunk.occs[occ.pos as usize - 1]);
+            return Some(self.chunks.occs[occ.chunk as usize][occ.pos as usize - 1]);
         }
         let prev = self.prev_chunk(occ.chunk)?;
-        self.chunks[prev as usize].occs.last().copied()
+        self.chunks.occs[prev as usize].last().copied()
     }
 
     /// The occurrence immediately following `o` in its (linear) list.
     pub(crate) fn succ_occ(&self, o: u32) -> Option<u32> {
         let occ = &self.occs[o as usize];
-        let chunk = &self.chunks[occ.chunk as usize];
-        if (occ.pos as usize) + 1 < chunk.occs.len() {
-            return Some(chunk.occs[occ.pos as usize + 1]);
+        let chunk_occs = &self.chunks.occs[occ.chunk as usize];
+        if (occ.pos as usize) + 1 < chunk_occs.len() {
+            return Some(chunk_occs[occ.pos as usize + 1]);
         }
         let next = self.next_chunk(occ.chunk)?;
-        self.chunks[next as usize].occs.first().copied()
+        self.chunks.occs[next as usize].first().copied()
     }
 
     /// First occurrence of the list rooted at `root`.
     pub(crate) fn first_occ_of_list(&self, root: u32) -> u32 {
         let c = self.first_chunk(root);
-        *self.chunks[c as usize]
-            .occs
+        *self.chunks.occs[c as usize]
             .first()
             .expect("chunks are never empty")
     }
@@ -54,8 +52,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Last occurrence of the list rooted at `root`.
     pub(crate) fn last_occ_of_list(&self, root: u32) -> u32 {
         let c = self.last_chunk(root);
-        *self.chunks[c as usize]
-            .occs
+        *self.chunks.occs[c as usize]
             .last()
             .expect("chunks are never empty")
     }
@@ -75,7 +72,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// occurrence (its vertex is isolated in the forest).
     pub(crate) fn occ_list_is_singleton(&self, o: u32) -> bool {
         let c = self.occs[o as usize].chunk;
-        self.chunks[c as usize].occs.len() == 1 && self.list_is_single_chunk(c)
+        self.chunks.occs[c as usize].len() == 1 && self.list_is_single_chunk(c)
     }
 
     /// Linear position of `o` within its list, as (chunk rank, in-chunk pos).
@@ -90,11 +87,11 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let o = self.alloc_occ(v);
         let c = self.occs[after as usize].chunk;
         let pos = self.occs[after as usize].pos as usize + 1;
-        self.chunks[c as usize].occs.insert(pos, o);
+        self.chunks.occs[c as usize].insert(pos, o);
         self.occs[o as usize].chunk = c;
-        let len = self.chunks[c as usize].occs.len();
+        let len = self.chunks.occs[c as usize].len();
         for p in pos..len {
-            let oc = self.chunks[c as usize].occs[p];
+            let oc = self.chunks.occs[c as usize][p];
             self.occs[oc as usize].pos = p as u32;
         }
         self.touch(c);
@@ -117,10 +114,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         );
         let c = self.occs[o as usize].chunk;
         let pos = self.occs[o as usize].pos as usize;
-        self.chunks[c as usize].occs.remove(pos);
-        let len = self.chunks[c as usize].occs.len();
+        self.chunks.occs[c as usize].remove(pos);
+        let len = self.chunks.occs[c as usize].len();
         for p in pos..len {
-            let oc = self.chunks[c as usize].occs[p];
+            let oc = self.chunks.occs[c as usize][p];
             self.occs[oc as usize].pos = p as u32;
         }
         self.free_occ(o);
@@ -130,8 +127,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             // single chunk, retire that chunk's id as well (Section 6).
             let rest = self.tree_remove(c);
             self.drop_slot(c);
-            self.free_chunk(c);
-            if rest != NONE && self.chunks[rest as usize].size == 1 {
+            self.chunks.free(c);
+            if rest != NONE && self.chunks.size[rest as usize] == 1 {
                 self.drop_slot(rest);
                 self.touch(rest);
             }
@@ -159,8 +156,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             return;
         }
         let deg = self.degree(v);
-        self.chunks[c_old as usize].adj_count -= deg;
-        self.chunks[c_new as usize].adj_count += deg;
+        self.chunks.adj_count[c_old as usize] -= deg;
+        self.chunks.adj_count[c_new as usize] += deg;
         self.rebuild_row(c_old);
         self.rebuild_row(c_new);
         self.touch(c_old);
@@ -170,14 +167,14 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Recompute a chunk's adjacency count from scratch.
     pub(crate) fn recompute_adj_count(&mut self, c: u32) {
         let mut count = 0;
-        for i in 0..self.chunks[c as usize].occs.len() {
-            let o = self.chunks[c as usize].occs[i];
+        for i in 0..self.chunks.occs[c as usize].len() {
+            let o = self.chunks.occs[c as usize][i];
             let occ = &self.occs[o as usize];
             if occ.principal {
                 count += self.degree(occ.vertex);
             }
         }
-        self.chunks[c as usize].adj_count = count;
+        self.chunks.adj_count[c as usize] = count;
     }
 
     // ------------------------------------------------------------------
@@ -188,13 +185,13 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// new chunk holding the tail is inserted immediately after `c` in the
     /// list and both chunks' rows are rebuilt. Returns the new chunk.
     pub(crate) fn split_chunk_after(&mut self, c: u32, p: usize) -> u32 {
-        let len = self.chunks[c as usize].occs.len();
+        let len = self.chunks.occs[c as usize].len();
         debug_assert!(
             p + 1 < len,
             "split position must leave both sides non-empty"
         );
-        let tail: Vec<u32> = self.chunks[c as usize].occs.split_off(p + 1);
-        let c2 = self.alloc_chunk();
+        let tail: Vec<u32> = self.chunks.occs[c as usize].split_off(p + 1);
+        let c2 = self.chunks.alloc();
         for (i, &o) in tail.iter().enumerate() {
             let occ = &mut self.occs[o as usize];
             occ.chunk = c2;
@@ -204,7 +201,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 self.vertex_chunk[v.index()] = c2;
             }
         }
-        self.chunks[c2 as usize].occs = tail;
+        self.chunks.occs[c2 as usize] = tail;
         self.recompute_adj_count(c);
         self.recompute_adj_count(c2);
         self.charge(len as u64, log2_ceil(len.max(2)) + 1, len as u64);
@@ -212,7 +209,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         // ids; rebuild both rows in one batched pass (the seed baseline
         // keeps its original two independent rebuilds).
         if S::SEED_BASELINE {
-            if self.chunks[c as usize].slot == NONE {
+            if self.chunks.slot[c as usize] == NONE {
                 self.give_slot(c);
             } else {
                 self.rebuild_row(c);
@@ -220,7 +217,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             self.give_slot(c2);
             self.tree_insert_after(c, c2);
         } else {
-            if self.chunks[c as usize].slot == NONE {
+            if self.chunks.slot[c as usize] == NONE {
                 self.attach_slot(c);
             }
             self.attach_slot(c2);
@@ -244,8 +241,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let nxt = self
             .next_chunk(c)
             .expect("merge_with_next requires a successor");
-        let moved: Vec<u32> = std::mem::take(&mut self.chunks[nxt as usize].occs);
-        let offset = self.chunks[c as usize].occs.len();
+        let moved: Vec<u32> = std::mem::take(&mut self.chunks.occs[nxt as usize]);
+        let offset = self.chunks.occs[c as usize].len();
         for (i, &o) in moved.iter().enumerate() {
             let occ = &mut self.occs[o as usize];
             occ.chunk = c;
@@ -256,9 +253,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             }
         }
         let moved_len = moved.len();
-        self.chunks[c as usize].occs.extend(moved);
-        let nxt_adj = self.chunks[nxt as usize].adj_count;
-        self.chunks[c as usize].adj_count += nxt_adj;
+        self.chunks.occs[c as usize].extend(moved);
+        let nxt_adj = self.chunks.adj_count[nxt as usize];
+        self.chunks.adj_count[c as usize] += nxt_adj;
         self.charge(
             moved_len as u64 + 1,
             log2_ceil(moved_len.max(2)) + 1,
@@ -269,7 +266,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             // its O(K) adjacent edges.
             self.tree_remove(nxt);
             self.drop_slot(nxt);
-            self.free_chunk(nxt);
+            self.chunks.free(nxt);
             if self.list_is_single_chunk(c) {
                 self.drop_slot(c);
             } else {
@@ -288,7 +285,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         // Detach the absorbed chunk from the list, retire its id, free it.
         self.tree_remove(nxt);
         self.drop_slot(nxt);
-        self.free_chunk(nxt);
+        self.chunks.free(nxt);
         if !merged_rows {
             self.drop_slot(c);
         } else {
@@ -304,7 +301,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     fn list_is_single_chunk_without(&self, c: u32, other: u32) -> bool {
         debug_assert_ne!(c, other);
         let root = self.tree_root(c);
-        self.chunks[root as usize].size == 2
+        self.chunks.size[root as usize] == 2
     }
 
     /// The entry-wise row merge of Lemma 2.2 / 3.1: fold `nxt`'s `CAdj` row
@@ -313,50 +310,48 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// refresh the affected `S_{s_c}` aggregates. `O(J)` work, `O(1)` depth
     /// with `O(J)` processors.
     fn merge_rows_into(&mut self, c: u32, nxt: u32) {
-        let s_c = self.chunks[c as usize].slot;
-        let s_nxt = self.chunks[nxt as usize].slot;
+        let s_c = self.chunks.slot[c as usize];
+        let s_nxt = self.chunks.slot[nxt as usize];
         debug_assert!(s_c != NONE && s_nxt != NONE, "multi-chunk list without ids");
         let (s_c, s_nxt) = (s_c as usize, s_nxt as usize);
         let cap = self.slot_cap();
+        let row_c = self.chunks.row[c as usize];
+        let row_nxt = self.chunks.row[nxt as usize];
 
         // Self-entry: edges between c and nxt (either direction) and nxt's
         // own self-edges all become self-edges of the merged chunk.
-        let mut self_entry = self.chunks[c as usize].base[s_c];
+        let mut self_entry = self.rows.base(row_c)[s_c];
         for key in [
-            self.chunks[c as usize].base[s_nxt],
-            self.chunks[nxt as usize].base[s_c],
-            self.chunks[nxt as usize].base[s_nxt],
+            self.rows.base(row_c)[s_nxt],
+            self.rows.base(row_nxt)[s_c],
+            self.rows.base(row_nxt)[s_nxt],
         ] {
             if key < self_entry {
                 self_entry = key;
             }
         }
-        self.chunks[c as usize].base[s_c] = self_entry;
+        self.rows.base_mut(row_c)[s_c] = self_entry;
 
         // Entry-wise minimum of the remaining entries (the folded self-entry
         // already is the minimum of its column, so a plain entry-wise min is
-        // equivalent in every mode). Borrow juggling: the absorbed row is
-        // about to be retired anyway, so take it out and put it back.
-        let row_nxt = std::mem::take(&mut self.chunks[nxt as usize].base);
-        match self.exec {
-            pdmsf_pram::ExecMode::Threads => {
-                pdmsf_pram::kernels::threaded_entrywise_min(
-                    &mut self.chunks[c as usize].base,
-                    &row_nxt,
-                );
-            }
-            pdmsf_pram::ExecMode::Simulated => {
-                let row_c = &mut self.chunks[c as usize].base;
-                for i in 0..cap {
-                    if row_nxt[i] < row_c[i] {
-                        row_c[i] = row_nxt[i];
+        // equivalent in every mode). The two rows are disjoint bank slabs.
+        {
+            let (dst, src) = self.rows.base_pair(row_c, row_nxt);
+            match self.exec {
+                pdmsf_pram::ExecMode::Threads => {
+                    pdmsf_pram::kernels::threaded_entrywise_min(dst, src);
+                }
+                pdmsf_pram::ExecMode::Simulated => {
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        if *s < *d {
+                            *d = *s;
+                        }
                     }
                 }
             }
         }
         // Column s_nxt of the merged row dies with the absorbed id (the
         // upcoming drop_slot clears it everywhere, including here).
-        self.chunks[nxt as usize].base = row_nxt;
 
         // Cross update: every other chunk's entry for the merged chunk is
         // the minimum of its entries for the two old chunks.
@@ -369,7 +364,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 continue;
             }
             cross += 1;
-            let row = &mut self.chunks[owner as usize].base;
+            let row = self.rows.base_mut(self.chunks.row[owner as usize]);
             if row[s_nxt] < row[s_c] {
                 row[s_c] = row[s_nxt];
                 dirty.push(owner);
@@ -389,7 +384,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     pub(crate) fn list_split_after_occ(&mut self, o: u32) -> (u32, u32) {
         let c = self.occs[o as usize].chunk;
         let pos = self.occs[o as usize].pos as usize;
-        let split_chunk = if pos + 1 < self.chunks[c as usize].occs.len() {
+        let split_chunk = if pos + 1 < self.chunks.occs[c as usize].len() {
             // The split point is inside the chunk: split the chunk first.
             self.split_chunk_after(c, pos);
             c
@@ -398,7 +393,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         };
         let (l, r) = self.tree_split_after(split_chunk);
         for side in [l, r] {
-            if side != NONE && self.chunks[side as usize].size == 1 {
+            if side != NONE && self.chunks.size[side as usize] == 1 {
                 self.drop_slot(side);
                 self.touch(side);
             }
@@ -416,10 +411,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         if b == NONE {
             return a;
         }
-        if self.chunks[a as usize].size == 1 && self.chunks[a as usize].slot == NONE {
+        if self.chunks.size[a as usize] == 1 && self.chunks.slot[a as usize] == NONE {
             self.give_slot(a);
         }
-        if self.chunks[b as usize].size == 1 && self.chunks[b as usize].slot == NONE {
+        if self.chunks.size[b as usize] == 1 && self.chunks.slot[b as usize] == NONE {
             self.give_slot(b);
         }
         self.tree_join(a, b)
@@ -596,22 +591,22 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// entries unique and lets freed chunks leave stale entries behind.
     pub(crate) fn flush_rebalance(&mut self) {
         while let Some(c) = self.touched.pop() {
-            if !self.chunks[c as usize].queued {
+            if !self.chunks.queued(c) {
                 continue; // stale entry: freed (or already processed)
             }
-            self.chunks[c as usize].queued = false;
+            self.chunks.set_queued(c, false);
             self.rebalance(c);
         }
     }
 
     fn rebalance(&mut self, mut c: u32) {
         loop {
-            if !self.chunks[c as usize].alive {
+            if !self.chunks.alive(c) {
                 return;
             }
-            let nc = self.chunks[c as usize].nc();
+            let nc = self.chunks.nc(c);
             let single = self.list_is_single_chunk(c);
-            if nc > 3 * self.k && self.chunks[c as usize].occs.len() >= 2 {
+            if nc > 3 * self.k && self.chunks.occs[c as usize].len() >= 2 {
                 // Split roughly in half by n_c contribution.
                 if let Some(p) = self.balanced_split_position(c) {
                     let c2 = self.split_chunk_after(c, p);
@@ -629,10 +624,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 // make the split/merge loop cycle.
                 let next_ok = self
                     .next_chunk(c)
-                    .map(|nx| nc + self.chunks[nx as usize].nc() <= 3 * self.k);
+                    .map(|nx| nc + self.chunks.nc(nx) <= 3 * self.k);
                 let prev_ok = self
                     .prev_chunk(c)
-                    .map(|pv| nc + self.chunks[pv as usize].nc() <= 3 * self.k);
+                    .map(|pv| nc + self.chunks.nc(pv) <= 3 * self.k);
                 if next_ok == Some(true) {
                     self.merge_with_next(c);
                     continue;
@@ -644,10 +639,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                     continue;
                 }
                 break;
-            } else if single && self.chunks[c as usize].slot != NONE {
+            } else if single && self.chunks.slot[c as usize] != NONE {
                 self.drop_slot(c);
                 break;
-            } else if !single && self.chunks[c as usize].slot == NONE {
+            } else if !single && self.chunks.slot[c as usize] == NONE {
                 self.give_slot(c);
                 break;
             } else {
@@ -659,17 +654,17 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Find a split position that balances `n_c` between the two halves, or
     /// `None` if no valid position exists.
     fn balanced_split_position(&self, c: u32) -> Option<usize> {
-        let chunk = &self.chunks[c as usize];
-        let total = chunk.nc();
+        let occs = &self.chunks.occs[c as usize];
+        let total = self.chunks.nc(c);
         let mut acc = 0usize;
         let mut best: Option<usize> = None;
-        for (i, &o) in chunk.occs.iter().enumerate() {
+        for (i, &o) in occs.iter().enumerate() {
             let occ = &self.occs[o as usize];
             acc += 1;
             if occ.principal {
                 acc += self.degree(occ.vertex);
             }
-            if i + 1 < chunk.occs.len() {
+            if i + 1 < occs.len() {
                 best = Some(i);
                 if acc * 2 >= total {
                     return Some(i);

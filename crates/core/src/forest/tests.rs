@@ -331,6 +331,166 @@ fn forest_stats_report_invariant_one() {
     assert_eq!(stats.k, 6);
 }
 
+mod soa_vs_aos {
+    //! Property test pinning the structure-of-arrays banks to a plain
+    //! array-of-structs reference: after arbitrary update streams, the
+    //! arena's `size` fields and row-bank `agg` slabs must equal what a
+    //! straightforward recursive walk over an AoS snapshot computes.
+
+    use crate::forest::NONE;
+    use crate::par::ParDynamicMsf;
+    use crate::seq::SeqDynamicMsf;
+    use pdmsf_graph::{DynamicMsf, Edge, EdgeId, VertexId, WKey, Weight};
+    use proptest::prelude::*;
+
+    /// The old fat-`Chunk` shape: everything one record, one `Vec` per row.
+    struct AosChunk {
+        left: u32,
+        right: u32,
+        base: Vec<WKey>,
+    }
+
+    /// Recursive reference: (subtree chunk count, entry-wise min of `base`).
+    fn walk(aos: &[Option<AosChunk>], c: u32, agg: &mut Vec<WKey>) -> u32 {
+        let node = aos[c as usize].as_ref().expect("walked into a dead chunk");
+        let mut out = node.base.clone();
+        let mut size = 1;
+        for child in [node.left, node.right] {
+            if child == NONE {
+                continue;
+            }
+            let mut child_agg = Vec::new();
+            size += walk(aos, child, &mut child_agg);
+            for (o, ca) in out.iter_mut().zip(&child_agg) {
+                if *ca < *o {
+                    *o = *ca;
+                }
+            }
+        }
+        *agg = out;
+        size
+    }
+
+    fn check_against_aos(forest: &crate::forest::ChunkedEulerForest) {
+        // Snapshot the banks into AoS records …
+        let aos: Vec<Option<AosChunk>> = (0..forest.chunks.len() as u32)
+            .map(|c| {
+                let ci = c as usize;
+                if !forest.chunks.alive(c) {
+                    return None;
+                }
+                Some(AosChunk {
+                    left: forest.chunks.left[ci],
+                    right: forest.chunks.right[ci],
+                    base: if forest.chunks.row[ci] == NONE {
+                        Vec::new()
+                    } else {
+                        forest.rows.base(forest.chunks.row[ci]).to_vec()
+                    },
+                })
+            })
+            .collect();
+        // … and require SoA `size`/`agg` to match the reference walk.
+        for c in 0..forest.chunks.len() as u32 {
+            if !forest.chunks.alive(c) {
+                continue;
+            }
+            let mut expected_agg = Vec::new();
+            let expected_size = walk(&aos, c, &mut expected_agg);
+            assert_eq!(
+                forest.chunks.size[c as usize], expected_size,
+                "SoA size of chunk {c} diverged from the AoS walk"
+            );
+            if forest.chunks.row[c as usize] != NONE {
+                assert_eq!(
+                    forest.rows.agg(forest.chunks.row[c as usize]),
+                    &expected_agg[..],
+                    "SoA agg of chunk {c} diverged from the AoS walk"
+                );
+            }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert { u: u8, v: u8, w: u8 },
+        DeleteNth(u8),
+    }
+
+    fn op_strategy(n: u8) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0..n, 0..n, any::<u8>()).prop_map(|(u, v, w)| Op::Insert { u, v, w }),
+            2 => any::<u8>().prop_map(Op::DeleteNth),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+        /// Tiny K maximises chunk churn (splits, merges, slot transitions),
+        /// exercising every RowBank alloc/free/grow path.
+        #[test]
+        fn soa_banks_match_aos_reference(ops in proptest::collection::vec(op_strategy(12), 1..100)) {
+            let n = 12usize;
+            let mut s = SeqDynamicMsf::with_chunk_parameter(n, 2);
+            let mut live: Vec<Edge> = Vec::new();
+            let mut next_id = 0u32;
+            for op in &ops {
+                match *op {
+                    Op::Insert { u, v, w } => {
+                        let e = Edge {
+                            id: EdgeId(next_id),
+                            u: VertexId(u as u32 % n as u32),
+                            v: VertexId(v as u32 % n as u32),
+                            weight: Weight::new(w as i64),
+                        };
+                        next_id += 1;
+                        live.push(e);
+                        s.insert(e);
+                    }
+                    Op::DeleteNth(k) => {
+                        if live.is_empty() { continue; }
+                        let e = live.swap_remove(k as usize % live.len());
+                        s.delete(e.id);
+                    }
+                }
+                check_against_aos(s.forest());
+            }
+        }
+
+        /// Same property through the threaded parallel front-end: the pooled
+        /// kernels must leave the banks bit-for-bit in the reference state.
+        #[test]
+        fn soa_banks_match_aos_reference_threaded(ops in proptest::collection::vec(op_strategy(10), 1..80)) {
+            let n = 10usize;
+            let mut p = ParDynamicMsf::with_execution(n, 2, pdmsf_pram::ExecMode::Threads);
+            let mut live: Vec<Edge> = Vec::new();
+            let mut next_id = 0u32;
+            for op in &ops {
+                match *op {
+                    Op::Insert { u, v, w } => {
+                        let e = Edge {
+                            id: EdgeId(next_id),
+                            u: VertexId(u as u32 % n as u32),
+                            v: VertexId(v as u32 % n as u32),
+                            weight: Weight::new(w as i64),
+                        };
+                        next_id += 1;
+                        live.push(e);
+                        p.insert(e);
+                    }
+                    Op::DeleteNth(k) => {
+                        if live.is_empty() { continue; }
+                        let e = live.swap_remove(k as usize % live.len());
+                        p.delete(e.id);
+                    }
+                }
+                p.validate();
+            }
+        }
+    }
+}
+
 #[test]
 fn meter_accumulates_costs_per_operation() {
     let mut s = ParDynamicMsf::new(16);

@@ -20,6 +20,36 @@
 //! * [`sparsify`] — the sparsification tree of Section 5 (Eppstein et al.),
 //!   generic over the per-level dynamic-MSF structure, which removes the
 //!   sparsity assumption (`m = O(n)`) without changing the asymptotic costs.
+//!
+//! ## Performance architecture: SoA chunk banks + row bank + worker pool
+//!
+//! The chunked forest stores **no per-chunk structs**. Chunk state is split
+//! by access pattern into the structure-of-arrays banks of
+//! `forest::arena` (crate-private):
+//!
+//! * `ChunkArena` keeps the splay-tree topology (`parent` / `left` /
+//!   `right` / `size`) in four flat `Vec<u32>`s — rotations, root walks and
+//!   rank queries touch 4-byte lanes instead of dragging ~100-byte records
+//!   through the cache — and the list metadata (`occs`, `adj_count`,
+//!   `slot`, flags) in separate banks consulted only by surgery and
+//!   rebalancing.
+//! * `RowBank` stores every `CAdj` `base`/`agg` row contiguously in one
+//!   backing `Vec<WKey>` (and every `Memb` row in one `Vec<bool>`),
+//!   addressed by compact slab handles (`offset = slab · stride`,
+//!   `len = stride`). `pull_up`'s entry-wise merges, the `γ`/MWR argmin and
+//!   full-row rebuilds are linear sweeps over dense memory; slabs recycle
+//!   through a free list and a stride growth is one compacting re-layout.
+//!
+//! When a structure runs with [`pdmsf_pram::ExecMode::Threads`], the bulk
+//! kernels borrow those slab slices directly and dispatch shards over the
+//! **persistent worker pool** of `pdmsf_pram::pool` (parked threads, one
+//! published job, caller participates) instead of spawning per call —
+//! inputs below `pdmsf_pram::kernels::PAR_CUTOFF`, single-chunk lists and
+//! `K < 2` graphs degrade to inline execution and never spawn the pool.
+//! Every reduction stays leftmost-on-tie, so `ExecMode::Threads` remains
+//! bit-for-bit identical to `ExecMode::Simulated` (enforced by the four-way
+//! lockstep proptest, and by an SoA-vs-AoS reference-walk proptest over the
+//! banks themselves).
 
 pub mod forest;
 pub mod par;

@@ -10,10 +10,11 @@
 //! is checked by the test-suite rather than taken on faith.
 //!
 //! The bulk kernels also have thread-backed twins (`threaded_*`) that execute
-//! on real OS threads via `std::thread::scope`; the parallel structure
-//! dispatches to them when configured with [`crate::ExecMode::Threads`]. They
-//! reduce deterministically (leftmost-on-tie), so their results are
-//! bit-for-bit identical to the model kernels.
+//! on real OS threads via the persistent worker pool of [`crate::pool`]; the
+//! parallel structure dispatches to them when configured with
+//! [`crate::ExecMode::Threads`]. They reduce deterministically
+//! (leftmost-on-tie), so their results are bit-for-bit identical to the model
+//! kernels.
 
 use crate::cost::CostMeter;
 use crate::erew::{cell, AccessKind, AccessLog};
@@ -238,17 +239,23 @@ pub fn sweep_up_costs(num_leaves: usize, meter: &mut CostMeter) {
 // Threaded twins (real OS-thread execution of the bulk kernels).
 //
 // Rayon is unavailable in offline builds, so the wall-clock execution path
-// fans out over `std::thread::scope` instead: each kernel splits its input
-// into per-thread shards, computes shard-local results and reduces them
-// deterministically (leftmost-on-tie), so the threaded kernels are
-// bit-for-bit identical to their model counterparts. Inputs below
-// [`PAR_CUTOFF`] are computed on the calling thread — thread spawn overhead
-// would otherwise dominate.
+// fans out over the persistent worker pool of [`crate::pool`]: each kernel
+// splits its input into shards, shards execute on parked pool workers (plus
+// the calling thread), and shard-local results reduce deterministically
+// (leftmost-on-tie), so the threaded kernels are bit-for-bit identical to
+// their model counterparts. Inputs below [`PAR_CUTOFF`] are computed on the
+// calling thread — even pooled dispatch overhead would otherwise dominate —
+// and never spawn the pool.
 // ---------------------------------------------------------------------
 
-/// Minimum slice length before the `threaded_*` kernels fan out to OS
-/// threads.
-pub const PAR_CUTOFF: usize = 4096;
+use crate::pool::run_shards;
+
+/// Minimum slice length before the `threaded_*` kernels fan out to the
+/// worker pool. Pooled dispatch costs a mutex round-trip and two condvar
+/// signals instead of a thread spawn + join, so the break-even input is an
+/// order of magnitude smaller than under the original `std::thread::scope`
+/// dispatch (4096).
+pub const PAR_CUTOFF: usize = 512;
 
 /// Number of shards to split `len` elements into (1 = stay on the calling
 /// thread).
@@ -256,10 +263,30 @@ fn num_shards(len: usize) -> usize {
     if len < PAR_CUTOFF {
         return 1;
     }
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    hw.clamp(1, 16).min(len / (PAR_CUTOFF / 2)).max(1)
+    crate::pool::parallelism()
+        .clamp(1, 16)
+        .min(len / (PAR_CUTOFF / 2))
+        .max(1)
+}
+
+/// A raw pointer that may cross thread boundaries. Shards receive disjoint
+/// index ranges, so reconstructing per-shard `&mut` slices from the base
+/// pointer is sound; the pool blocks until every shard finishes, keeping the
+/// underlying borrow alive.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (rather than field
+    /// access) makes edition-2021 closures capture the `Sync` wrapper, not
+    /// the bare raw pointer.
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 #[inline]
@@ -287,12 +314,12 @@ pub fn threaded_min_index<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize
     }
     let shard_len = xs.len().div_ceil(shards);
     let mut locals: Vec<Option<(T, usize)>> = vec![None; shards];
-    std::thread::scope(|scope| {
-        for (shard, (chunk, local)) in xs.chunks(shard_len).zip(locals.iter_mut()).enumerate() {
-            scope.spawn(move || {
-                *local = serial_min_index(chunk).map(|i| (chunk[i], shard * shard_len + i));
-            });
-        }
+    let locals_ptr = SendPtr(locals.as_mut_ptr());
+    run_shards(shards, |shard| {
+        let chunk = &xs[shard * shard_len..xs.len().min((shard + 1) * shard_len)];
+        let local = serial_min_index(chunk).map(|i| (chunk[i], shard * shard_len + i));
+        // Each shard owns exactly one `locals` cell.
+        unsafe { *locals_ptr.get().add(shard) = local };
     });
     locals
         .into_iter()
@@ -327,17 +354,13 @@ pub fn threaded_masked_min_index<T: Ord + Copy + Send + Sync>(
     }
     let shard_len = xs.len().div_ceil(shards);
     let mut locals: Vec<Option<(T, usize)>> = vec![None; shards];
-    std::thread::scope(|scope| {
-        for (shard, ((xc, mc), local)) in xs
-            .chunks(shard_len)
-            .zip(mask.chunks(shard_len))
-            .zip(locals.iter_mut())
-            .enumerate()
-        {
-            scope.spawn(move || {
-                *local = serial(xc, mc).map(|(x, i)| (x, shard * shard_len + i));
-            });
-        }
+    let locals_ptr = SendPtr(locals.as_mut_ptr());
+    run_shards(shards, |shard| {
+        let start = shard * shard_len;
+        let end = xs.len().min(start + shard_len);
+        let local = serial(&xs[start..end], &mask[start..end]).map(|(x, i)| (x, start + i));
+        // Each shard owns exactly one `locals` cell.
+        unsafe { *locals_ptr.get().add(shard) = local };
     });
     locals
         .into_iter()
@@ -365,10 +388,14 @@ pub fn threaded_entrywise_min<T: Ord + Copy + Send + Sync>(dst: &mut [T], src: &
         return;
     }
     let shard_len = dst.len().div_ceil(shards);
-    std::thread::scope(|scope| {
-        for (dc, sc) in dst.chunks_mut(shard_len).zip(src.chunks(shard_len)) {
-            scope.spawn(move || serial(dc, sc));
-        }
+    let n = dst.len();
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    run_shards(shards, |shard| {
+        let start = shard * shard_len;
+        let end = n.min(start + shard_len);
+        // Shards cover disjoint ranges of `dst`.
+        let dc = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(start), end - start) };
+        serial(dc, &src[start..end]);
     });
 }
 
@@ -390,10 +417,14 @@ pub fn threaded_entrywise_or(dst: &mut [bool], src: &[bool]) {
         return;
     }
     let shard_len = dst.len().div_ceil(shards);
-    std::thread::scope(|scope| {
-        for (dc, sc) in dst.chunks_mut(shard_len).zip(src.chunks(shard_len)) {
-            scope.spawn(move || serial(dc, sc));
-        }
+    let n = dst.len();
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    run_shards(shards, |shard| {
+        let start = shard * shard_len;
+        let end = n.min(start + shard_len);
+        // Shards cover disjoint ranges of `dst`.
+        let dc = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(start), end - start) };
+        serial(dc, &src[start..end]);
     });
 }
 

@@ -24,12 +24,21 @@
 //!   leftmost-child tree sweep-up, and ranked assignment of processors to
 //!   edges (`getEdge`). Each kernel has a *simulated* phased implementation
 //!   (used for cost accounting and EREW checking) and a thread-backed twin
-//!   (`threaded_*`, executing over `std::thread::scope`) used by the
-//!   wall-clock execution path when [`ExecMode::Threads`] is selected.
+//!   (`threaded_*`, dispatched over the persistent worker pool of [`pool`])
+//!   used by the wall-clock execution path when [`ExecMode::Threads`] is
+//!   selected.
+//! * [`pool`] — a lazily spawned, process-wide pool of parked worker
+//!   threads. Kernel invocations publish a borrowed sharded closure, the
+//!   calling thread participates, and the call blocks until every shard is
+//!   done — scoped-spawn semantics without per-call thread creation, which
+//!   moves the threaded path's break-even input size down by an order of
+//!   magnitude ([`kernels::PAR_CUTOFF`]). Inputs below the cutoff (tiny
+//!   graphs, single-chunk lists) never spawn the pool at all.
 
 pub mod cost;
 pub mod erew;
 pub mod kernels;
+pub mod pool;
 
 pub use cost::{CostMeter, CostReport, ExecMode};
 pub use erew::{AccessKind, AccessLog, Violation};

@@ -1,0 +1,330 @@
+//! A persistent worker pool for the thread-backed kernels.
+//!
+//! The first threaded execution path dispatched every bulk kernel through
+//! `std::thread::scope`, paying a thread spawn + join per call. That
+//! overhead put the break-even point of [`crate::ExecMode::Threads`] well
+//! beyond 1e6 vertices. This module replaces it with a process-wide pool of
+//! parked workers: a kernel invocation publishes one *job* (a borrowed
+//! closure plus a shard counter), wakes the workers, claims shards on the
+//! calling thread too, and blocks until every shard has finished — so the
+//! borrow of the caller's slices provably outlives all shard executions,
+//! exactly like a scoped spawn, but without creating a single thread.
+//!
+//! Guarantees:
+//!
+//! * **Lazy** — no worker thread exists until the first call of
+//!   [`run_shards`] with more than one shard. Tiny graphs (`K < 2`,
+//!   single-chunk lists, inputs below [`crate::kernels::PAR_CUTOFF`]) never
+//!   touch the pool: their kernels degrade to inline execution on the
+//!   calling thread.
+//! * **Deterministic results** — the pool only distributes *which thread*
+//!   computes a shard; every kernel reduces shard-local results
+//!   leftmost-on-tie on the calling thread, so results are bit-for-bit
+//!   independent of scheduling.
+//! * **Single-machine fallback** — with one hardware thread (or when
+//!   `available_parallelism` is unknown) the pool has zero workers and
+//!   [`run_shards`] runs every shard inline.
+
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Shard index → work. The closure is shared by all workers; shard indices
+/// are claimed from a counter, so each index is executed exactly once.
+struct Job {
+    /// Borrowed closure, lifetime-erased. Soundness: [`run_shards`] does not
+    /// return until `pending == 0`, so the referent outlives every call.
+    f: *const (dyn Fn(usize) + Sync),
+    /// Next shard index to claim.
+    next: usize,
+    /// Total number of shards.
+    shards: usize,
+}
+
+// The raw closure pointer is only ever dereferenced while the submitting
+// call frame is alive (see `Job::f`); sending it between pool threads is
+// therefore safe.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct State {
+    /// The currently published job, if any.
+    job: Option<Job>,
+    /// Incremented once per published job so sleeping workers can tell a new
+    /// job from the one they already helped with.
+    epoch: u64,
+    /// Shards of the current job still running or unclaimed.
+    pending: usize,
+    /// First panic payload raised by a shard of the current job; re-raised
+    /// on the submitting thread once every shard has finished.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Poison-tolerant lock: a shard panic must not wedge every later kernel
+/// call behind a `PoisonError` — the panic is re-raised on the submitter
+/// instead (see [`Pool::run`]).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The submitter sleeps here until `pending == 0`.
+    done_cv: Condvar,
+    /// Serialises submitters (there is one job slot).
+    submit: Mutex<()>,
+    workers: usize,
+}
+
+impl Pool {
+    fn new(workers: usize) -> &'static Pool {
+        let pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submit: Mutex::new(()),
+            workers,
+        }));
+        for w in 0..workers {
+            let p: &'static Pool = pool;
+            std::thread::Builder::new()
+                .name(format!("pdmsf-pool-{w}"))
+                .spawn(move || p.worker_loop())
+                .expect("spawning a pool worker");
+        }
+        pool
+    }
+
+    fn worker_loop(&'static self) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let mut state = lock(&self.state);
+            while state.epoch == seen_epoch || state.job.is_none() {
+                state = self.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            seen_epoch = state.epoch;
+            self.drain(state);
+        }
+    }
+
+    /// Claim and execute shards of the current job until none are left.
+    /// Consumes the lock guard; notifies `done_cv` when the last shard
+    /// finishes. A panicking shard is caught, its payload parked in the
+    /// state, and `pending` still decremented — the submitter re-raises it,
+    /// and neither the worker nor the waiting submitter is lost (the old
+    /// `thread::scope` dispatch had the same propagate-to-caller semantics).
+    fn drain<'a>(&'a self, mut state: std::sync::MutexGuard<'a, State>) {
+        loop {
+            let Some(job) = state.job.as_mut() else {
+                return;
+            };
+            if job.next >= job.shards {
+                return;
+            }
+            let shard = job.next;
+            job.next += 1;
+            let f = job.f;
+            drop(state);
+            // Soundness: the submitter is blocked until `pending` hits zero,
+            // so the closure behind `f` is alive for this call.
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*f)(shard) }));
+            state = lock(&self.state);
+            if let Err(payload) = result {
+                if state.panic.is_none() {
+                    state.panic = Some(payload);
+                }
+            }
+            state.pending -= 1;
+            if state.pending == 0 {
+                state.job = None;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn run(&'static self, shards: usize, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the borrow's lifetime; `run` blocks below until all shards
+        // are done, so the closure outlives every dereference.
+        let f: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let _submit = lock(&self.submit);
+        {
+            let mut state = lock(&self.state);
+            debug_assert!(state.job.is_none(), "job slot busy despite submit lock");
+            state.job = Some(Job { f, next: 0, shards });
+            state.epoch += 1;
+            state.pending = shards;
+            state.panic = None;
+            self.work_cv.notify_all();
+            // The submitter claims shards too — it would otherwise idle.
+            self.drain(state);
+        }
+        let mut state = lock(&self.state);
+        while state.pending > 0 {
+            state = self.done_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        let panic = state.panic.take();
+        drop(state);
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// Hardware thread count, probed once — `available_parallelism` is a
+/// syscall, and `num_shards` asks on every kernel invocation above the
+/// cutoff, which is far too hot a path for per-call probing.
+static HW_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn hw_threads() -> usize {
+    *HW_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    })
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        // The calling thread participates in every job, so spawn one worker
+        // fewer than the hardware offers.
+        Pool::new(hw_threads().saturating_sub(1))
+    })
+}
+
+/// Number of threads a pooled kernel can use (workers + the calling
+/// thread). Reported in benchmark metadata; does not spawn the pool.
+pub fn parallelism() -> usize {
+    match POOL.get() {
+        Some(p) => p.workers + 1,
+        None => hw_threads(),
+    }
+}
+
+/// Whether the pool's worker threads have been spawned. Tiny-input kernels
+/// must never cause a spawn; the test-suite asserts this.
+pub fn is_initialized() -> bool {
+    POOL.get().is_some()
+}
+
+/// Execute `f(0), f(1), …, f(shards - 1)`, each exactly once, distributed
+/// over the persistent worker pool plus the calling thread. Blocks until
+/// every shard has finished, so `f` may borrow from the caller (slices of a
+/// row bank, scratch buffers) like under `std::thread::scope`.
+///
+/// Degrades to an inline loop when `shards <= 1` or when the machine has a
+/// single hardware thread — in particular the pool is **not** spawned in
+/// those cases.
+pub fn run_shards(shards: usize, f: impl Fn(usize) + Sync) {
+    if shards <= 1 {
+        for i in 0..shards {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    if pool.workers == 0 {
+        for i in 0..shards {
+            f(i);
+        }
+        return;
+    }
+    pool.run(shards, &f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_shard_runs_inline_without_spawning_the_pool() {
+        let hits = AtomicUsize::new(0);
+        run_shards(1, |i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        run_shards(0, |_| panic!("no shards requested"));
+        // Other tests in this binary may have spawned the pool already, so
+        // only assert when this test runs in isolation.
+        if std::env::var_os("PDMSF_POOL_ISOLATED").is_some() {
+            assert!(!is_initialized(), "1-shard run must not spawn workers");
+        }
+    }
+
+    #[test]
+    fn every_shard_runs_exactly_once() {
+        for shards in [2usize, 3, 7, 16, 33] {
+            let counts: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+            run_shards(shards, |i| {
+                counts[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::SeqCst),
+                    1,
+                    "shard {i} ran a wrong number of times"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_may_mutate_disjoint_borrowed_slices() {
+        let mut data = vec![0u64; 1000];
+        let shards = 8usize;
+        let shard_len = data.len().div_ceil(shards);
+        let n = data.len();
+        let base = crate::kernels::SendPtr(data.as_mut_ptr());
+        run_shards(shards, |i| {
+            let start = i * shard_len;
+            let end = (start + shard_len).min(n);
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            for (j, x) in slice.iter_mut().enumerate() {
+                *x = (start + j) as u64;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn shard_panics_propagate_and_do_not_wedge_the_pool() {
+        // A panicking shard must re-raise on the submitter (like the old
+        // scoped spawn), not hang `run_shards` or poison the pool.
+        let caught = std::panic::catch_unwind(|| {
+            run_shards(4, |i| {
+                if i == 2 {
+                    panic!("shard bang");
+                }
+            });
+        });
+        let payload = caught.expect_err("the shard panic must reach the submitter");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("shard bang"));
+        // The pool stays fully usable afterwards.
+        for _ in 0..10 {
+            let sum = AtomicUsize::new(0);
+            run_shards(4, |i| {
+                sum.fetch_add(i + 1, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 10);
+        }
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_the_pool() {
+        for round in 0..50u64 {
+            let sum = AtomicUsize::new(0);
+            run_shards(4, |i| {
+                sum.fetch_add(i + round as usize, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 6 + 4 * round as usize);
+        }
+    }
+}

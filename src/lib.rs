@@ -38,13 +38,20 @@
 //!   arc tails, replacing the seed's `HashMap<EdgeId, Edge>` +
 //!   `HashMap<EdgeId, (u32, u32)>` + `BTreeMap<EdgeId, Edge>` triple; the
 //!   link-cut tree keys its edge nodes the same way. Per-vertex caches
-//!   (principal flag, principal chunk, chunk slot) collapse the scan loops'
-//!   pointer chains into single array loads.
+//!   (principal flag, principal chunk) collapse the scan loops' pointer
+//!   chains into single array loads.
+//! * The LSDS itself is **structure-of-arrays**: splay topology
+//!   (`parent`/`left`/`right`/`size`) lives in flat `u32` banks and every
+//!   `CAdj`/`Memb` row lives contiguously in one backing row bank addressed
+//!   by slab handles, so `pull_up`, entry-wise merges and argmin scans are
+//!   linear sweeps over dense memory (see the `pdmsf-core` crate docs for
+//!   the bank layout).
 //! * Aggregate upkeep is *targeted*: chunk merges use the paper's
 //!   entry-wise row minimum instead of an `O(K)` rescan (Lemma 2.2/3.1),
 //!   single-entry `CAdj` changes refresh one leaf-to-root path per affected
 //!   list (Lemma 2.3) instead of splaying whole vectors, split pairs rebuild
-//!   both rows in one batched pass, and retired row vectors are pooled.
+//!   both rows in one batched pass, and retired row slabs are recycled
+//!   through the bank's free list.
 //!
 //! The structures stay generic over the bookkeeping store: the
 //! `HashMap`-backed [`core::MapSeqDynamicMsf`] is **kept for comparison**
@@ -57,10 +64,15 @@
 //! either way; with [`pram::ExecMode::Threads`]
 //! ([`core::ParDynamicMsf::new_threaded`]) its bulk kernels — the `γ`/MWR
 //! argmin tournaments and the entry-wise LSDS merges — actually execute on
-//! OS threads via the `threaded_*` kernels in [`pram::kernels`] (above a
-//! size cutoff; deterministic leftmost-on-tie reductions keep results
-//! bit-for-bit identical to the sequential structure, which the
-//! differential test-suite checks with the threaded path on and off).
+//! OS threads: the `threaded_*` kernels in [`pram::kernels`] borrow row-bank
+//! slices and dispatch shards over the **persistent worker pool** of
+//! [`pram::pool`] (parked threads; no per-call spawn, which lowered the
+//! threading cutoff by an order of magnitude). Inputs below
+//! [`pram::kernels::PAR_CUTOFF`] — tiny graphs, single-chunk lists — run
+//! inline and never spawn the pool. Deterministic leftmost-on-tie
+//! reductions keep results bit-for-bit identical to the sequential
+//! structure, which the differential test-suite checks with the threaded
+//! path on and off.
 //!
 //! ## Quickstart
 //!
