@@ -1,0 +1,38 @@
+//! Batch-engine bench: the batched path (plan + cancellation + query
+//! snapshot fan-out) against the one-op-at-a-time engine path on identical
+//! bursty and tenant-clustered batch streams — the harness twin of
+//! experiment E1.
+//!
+//! Runs on the in-repo harness (`pdmsf_bench::harness`), so it works offline:
+//! `cargo bench -p pdmsf-bench --bench batch_engine`.
+
+use pdmsf_bench::harness::BenchGroup;
+use pdmsf_bench::{
+    bursty_batch_stream, clustered_batch_stream, drive_engine_batched, drive_engine_one_by_one,
+};
+use pdmsf_engine::Engine;
+
+fn main() {
+    let mut group = BenchGroup::new("batch_engine");
+    let n = 2_048;
+
+    let bursty = bursty_batch_stream(n, n / 2, 16, 256, 5);
+    group.bench("bursty/batched", || {
+        let mut engine = Engine::new(n);
+        drive_engine_batched(&mut engine, &bursty)
+    });
+    group.bench("bursty/one-by-one", || {
+        let mut engine = Engine::new(n);
+        drive_engine_one_by_one(&mut engine, &bursty)
+    });
+
+    let clustered = clustered_batch_stream(n, n / 2, 16, 256, 6);
+    group.bench("clustered/batched", || {
+        let mut engine = Engine::new(n);
+        drive_engine_batched(&mut engine, &clustered)
+    });
+    group.bench("clustered/one-by-one", || {
+        let mut engine = Engine::new(n);
+        drive_engine_one_by_one(&mut engine, &clustered)
+    });
+}

@@ -1,4 +1,5 @@
-//! Experiment driver: regenerates every table of `EXPERIMENTS.md`.
+//! Experiment driver: prints the evaluation tables (E0–E10) and writes the
+//! machine-readable benchmark JSON artifacts.
 //!
 //! Usage:
 //! ```text
@@ -6,15 +7,23 @@
 //! cargo run --release -p pdmsf-bench --bin experiments -- e2 e6   # a selection
 //! cargo run --release -p pdmsf-bench --bin experiments -- quick   # smaller sizes
 //! ```
+//!
+//! The machine-readable experiments also write JSON artifacts: E0 emits
+//! `BENCH_update_time.json` (per-update throughput; `gate` adds the CI
+//! regression gate) and E1 emits `BENCH_batch_throughput.json` (batched vs
+//! one-op-at-a-time engine paths over bursty/clustered batch streams).
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
-    bench_records_to_json, drive, drive_updates_only, failure_stream, grid_stream, insert_stream,
-    mixed_stream, pram_profile, seq_mean_update_time, BenchRecord, RunMeta,
+    batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
+    drive, drive_engine_batched, drive_engine_one_by_one, drive_updates_only, failure_stream,
+    grid_stream, insert_stream, mixed_stream, pram_profile, seq_mean_update_time, BatchRecord,
+    BenchRecord, RunMeta,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
 };
+use pdmsf_engine::Engine;
 use pdmsf_graph::{DynamicMsf, UpdateStream};
 use pdmsf_pram::{erew_tournament_min, par_min_index, AccessLog, CostMeter};
 use std::time::Duration;
@@ -58,7 +67,7 @@ fn main() {
         e0_bench_json(quick, gate);
     }
     if want("e1") {
-        e1_update_time(&config);
+        e1_batch_throughput(quick);
     }
     if want("e2") || want("e3") || want("e4") {
         e2_e3_e4_pram_scaling(&config);
@@ -77,6 +86,9 @@ fn main() {
     }
     if want("e9") {
         e9_mwr_cost(&config);
+    }
+    if want("e10") {
+        e10_seq_update_time(&config);
     }
 }
 
@@ -272,9 +284,105 @@ fn gate_mixed_ratio(mixed_medians: &[(String, usize, f64)]) {
     println!("bench-smoke gate passed");
 }
 
-/// E1: per-update wall clock vs n — paper structure vs baselines.
-fn e1_update_time(cfg: &Config) {
-    println!("\n== E1: sequential update time vs n (mixed stream, m ≈ 2n) ==");
+/// E1: batch-engine throughput — the batched path (preprocessing,
+/// cancellation, query snapshot + pooled fan-out) vs the one-op-at-a-time
+/// engine path on identical bursty and tenant-clustered batch streams.
+/// Emits `BENCH_batch_throughput.json` with the same run-metadata stamping
+/// as E0. The ROADMAP acceptance bar: batched ≥ 1.3× one-by-one on the
+/// mixed (bursty) stream at the largest measured batch size, comparing
+/// medians.
+fn e1_batch_throughput(quick: bool) {
+    println!("\n== E1: batch engine throughput (writes BENCH_batch_throughput.json) ==");
+    println!("paths: batched (plan + cancel + dedup + snapshot fan-out) vs one-by-one");
+    println!("(same ops through the same structure, no batch leverage); identical");
+    println!("outcomes, so the ratio is pure batching leverage");
+    let (sizes, batch_sizes, total_ops, reps): (&[usize], &[usize], usize, usize) = if quick {
+        (&[1_000], &[32, 256], 2_048, 1)
+    } else {
+        (&[1_000, 10_000], &[16, 64, 256, 1_024], 8_192, 3)
+    };
+    type StreamMaker = fn(usize, usize, usize, usize, u64) -> pdmsf_graph::BatchStream;
+    let streams: [(&str, StreamMaker); 2] = [
+        ("bursty", bursty_batch_stream),
+        ("clustered", clustered_batch_stream),
+    ];
+    let mut records: Vec<BatchRecord> = Vec::new();
+    println!(
+        "{:>10} {:>8} {:>7} {:>16} {:>16} {:>12}",
+        "stream", "n", "batch", "batched (op/s)", "1-by-1 (op/s)", "batched/1x1"
+    );
+    for (stream_name, make) in streams {
+        for &n in sizes {
+            for &batch_size in batch_sizes {
+                let batches = (total_ops / batch_size).max(1);
+                let stream = make(n, 2 * n, batches, batch_size, 81);
+                let mut rates: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+                for _ in 0..reps {
+                    let mut run = |path: &str, engine: &Engine, t: Duration, ops: usize| -> f64 {
+                        records.push(BatchRecord {
+                            path: path.to_string(),
+                            stream: stream_name.to_string(),
+                            n,
+                            k: engine.structure().chunk_parameter(),
+                            exec: "threads",
+                            batch_size,
+                            batches,
+                            ops,
+                            elapsed_ns: t.as_nanos(),
+                        });
+                        records.last().unwrap().ops_per_sec()
+                    };
+                    let mut batched = Engine::new(n);
+                    let (t_b, ops_b) = drive_engine_batched(&mut batched, &stream);
+                    rates[0].push(run("batched", &batched, t_b, ops_b));
+
+                    let mut serial = Engine::new(n);
+                    let (t_s, ops_s) = drive_engine_one_by_one(&mut serial, &stream);
+                    rates[1].push(run("one-by-one", &serial, t_s, ops_s));
+
+                    // The two paths must agree — this benchmark doubles as a
+                    // large-n differential test of the batch semantics.
+                    assert_eq!(batched.forest_weight(), serial.forest_weight());
+                    assert_eq!(batched.forest_edges(), serial.forest_edges());
+                }
+                let median = |xs: &mut Vec<f64>| {
+                    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+                    xs[xs.len() / 2]
+                };
+                let m_batched = median(&mut rates[0]);
+                let m_serial = median(&mut rates[1]);
+                println!(
+                    "{:>10} {:>8} {:>7} {:>16.0} {:>16.0} {:>11.2}x",
+                    stream_name,
+                    n,
+                    batch_size,
+                    m_batched,
+                    m_serial,
+                    if m_serial > 0.0 {
+                        m_batched / m_serial
+                    } else {
+                        0.0
+                    }
+                );
+            }
+        }
+    }
+    let meta = RunMeta::collect();
+    let json = batch_records_to_json(&meta, &records);
+    let path = "BENCH_batch_throughput.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "wrote {path} ({} records, git {}, {} pool thread(s))",
+        records.len(),
+        meta.git_sha,
+        meta.threads
+    );
+}
+
+/// E10: per-update wall clock vs n — paper structure vs baselines
+/// (numbered E1 before the batch engine claimed that slot).
+fn e10_seq_update_time(cfg: &Config) {
+    println!("\n== E10: sequential update time vs n (mixed stream, m ≈ 2n) ==");
     println!(
         "{:>8} {:>14} {:>14} {:>14}",
         "n", "kpr-seq (µs)", "naive (µs)", "recompute (µs)"

@@ -1,15 +1,23 @@
 //! Shared harness code for the benchmark suite and the `experiments` binary.
 //!
-//! The paper has no experimental section, so `EXPERIMENTS.md` defines the
-//! evaluation (experiments E1–E9) that validates each of its analytical
-//! claims. This crate provides the common machinery: stream construction,
-//! structure drivers, wall-clock measurement and the PRAM cost extraction
-//! used by both the Criterion benches and the table-printing binary.
+//! The paper has no experimental section, so the `experiments` binary in
+//! this crate defines the evaluation (experiments E0–E10) that validates
+//! its analytical claims. This crate provides the common machinery: stream
+//! construction
+//! (update streams and batched update/query streams), structure and
+//! batch-engine drivers, wall-clock measurement, the PRAM cost extraction,
+//! and the machine-readable record types behind `BENCH_update_time.json`
+//! (E0) and `BENCH_batch_throughput.json` (E1), used by both the harness
+//! benches and the table-printing binary.
 
 pub mod harness;
 
 use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf};
-use pdmsf_graph::{DynamicMsf, GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec};
+use pdmsf_engine::{Engine, Op};
+use pdmsf_graph::{
+    BatchKind, BatchStream, BatchStreamSpec, DynamicMsf, GraphSpec, StreamKind, UpdateOp,
+    UpdateStream, UpdateStreamSpec,
+};
 use pdmsf_pram::CostReport;
 use std::time::{Duration, Instant};
 
@@ -58,6 +66,85 @@ pub fn failure_stream(n: usize, m: usize, seed: u64) -> UpdateStream {
         kind: StreamKind::Failures,
         seed: seed ^ 0xFA11,
     })
+}
+
+/// Bursty batched update/query stream: per-batch hotspots, flapping links
+/// (opposing insert/delete pairs within a batch) and a query-heavy mix with
+/// natural duplicates — the E1 serving workload.
+pub fn bursty_batch_stream(
+    n: usize,
+    m: usize,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> BatchStream {
+    BatchStream::generate(&BatchStreamSpec {
+        base: GraphSpec::RandomSparse { n, m, seed },
+        batches,
+        batch_size,
+        kind: BatchKind::Bursty {
+            query_permille: 550,
+            flap_permille: 350,
+        },
+        seed: seed ^ 0xB457,
+    })
+}
+
+/// Tenant-clustered batched stream: each batch's traffic stays inside one
+/// vertex block (the E1 multi-tenant workload).
+pub fn clustered_batch_stream(
+    n: usize,
+    m: usize,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> BatchStream {
+    BatchStream::generate(&BatchStreamSpec {
+        base: GraphSpec::RandomSparse { n, m, seed },
+        batches,
+        batch_size,
+        kind: BatchKind::Clustered {
+            clusters: 8,
+            query_permille: 500,
+        },
+        seed: seed ^ 0xC105,
+    })
+}
+
+/// Feed a batch stream's base graph into an engine (untimed), then drive
+/// every batch through [`Engine::execute`] (timed). Returns (batch wall
+/// clock, operations processed).
+pub fn drive_engine_batched(engine: &mut Engine, stream: &BatchStream) -> (Duration, usize) {
+    drive_engine(engine, stream, Engine::execute)
+}
+
+/// Same stream, but every batch goes through the one-op-at-a-time path
+/// ([`Engine::execute_one_by_one`]) — the baseline the batched path is
+/// measured against.
+pub fn drive_engine_one_by_one(engine: &mut Engine, stream: &BatchStream) -> (Duration, usize) {
+    drive_engine(engine, stream, Engine::execute_one_by_one)
+}
+
+fn drive_engine(
+    engine: &mut Engine,
+    stream: &BatchStream,
+    step: impl Fn(&mut Engine, &[Op]) -> pdmsf_engine::BatchResult,
+) -> (Duration, usize) {
+    let base: Vec<Op> = stream
+        .base_edges
+        .iter()
+        .map(|&(u, v, weight)| Op::Link { u, v, weight })
+        .collect();
+    step(engine, &base);
+    let mut elapsed = Duration::ZERO;
+    let mut ops = 0usize;
+    for batch in &stream.batches {
+        let start = Instant::now();
+        step(engine, batch);
+        elapsed += start.elapsed();
+        ops += batch.len();
+    }
+    (elapsed, ops)
 }
 
 /// Drive a structure through a stream (base graph + all operations).
@@ -273,6 +360,78 @@ pub fn bench_records_to_json(benchmark: &str, meta: &RunMeta, records: &[BenchRe
     out
 }
 
+// ---------------------------------------------------------------------
+// Batch-throughput records (BENCH_batch_throughput.json)
+// ---------------------------------------------------------------------
+
+/// One measured (path, stream, n, batch size) cell of the E1 batch
+/// throughput benchmark.
+#[derive(Clone, Debug)]
+pub struct BatchRecord {
+    /// Engine path (`"batched"` / `"one-by-one"`).
+    pub path: String,
+    /// Stream label (`"bursty"` / `"clustered"`).
+    pub stream: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Chunk parameter `K` the backing structure ran with.
+    pub k: usize,
+    /// Kernel execution mode label.
+    pub exec: &'static str,
+    /// Operations per batch.
+    pub batch_size: usize,
+    /// Number of timed batches.
+    pub batches: usize,
+    /// Total timed operations (updates + queries).
+    pub ops: usize,
+    /// Wall-clock nanoseconds spent inside the timed batches.
+    pub elapsed_ns: u128,
+}
+
+impl BatchRecord {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// Serialize batch-throughput records as JSON, stamped with the same run
+/// metadata as `BENCH_update_time.json` (hand-rolled for the same reason as
+/// [`bench_records_to_json`]).
+pub fn batch_records_to_json(meta: &RunMeta, records: &[BatchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"batch_throughput\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"threads\": {}, \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.threads, meta.par_cutoff
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"stream\": \"{}\", \"n\": {}, \"k\": {}, \"exec\": \"{}\", \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
+            r.path,
+            r.stream,
+            r.n,
+            r.k,
+            r.exec,
+            r.batch_size,
+            r.batches,
+            r.ops,
+            r.elapsed_ns,
+            r.ops_per_sec(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +477,63 @@ mod tests {
         // inline object, not a record).
         assert_eq!(json.matches("},\n").count(), 2);
         assert_eq!(records[0].ops_per_sec(), 250_000.0);
+    }
+
+    #[test]
+    fn batch_json_is_well_formed() {
+        let records = vec![
+            BatchRecord {
+                path: "batched".into(),
+                stream: "bursty".into(),
+                n: 1000,
+                k: 32,
+                exec: "threads",
+                batch_size: 256,
+                batches: 8,
+                ops: 2048,
+                elapsed_ns: 1_024_000,
+            },
+            BatchRecord {
+                path: "one-by-one".into(),
+                stream: "bursty".into(),
+                n: 1000,
+                k: 32,
+                exec: "threads",
+                batch_size: 256,
+                batches: 8,
+                ops: 2048,
+                elapsed_ns: 2_048_000,
+            },
+        ];
+        let meta = RunMeta {
+            git_sha: "deadbeef".into(),
+            threads: 4,
+            par_cutoff: 512,
+        };
+        let json = batch_records_to_json(&meta, &records);
+        assert!(json.contains("\"benchmark\": \"batch_throughput\""));
+        assert!(json.contains("\"path\": \"batched\""));
+        assert!(json.contains("\"path\": \"one-by-one\""));
+        assert!(json.contains("\"batch_size\": 256"));
+        assert!(json.contains("\"ops_per_sec\": 2000000.00"));
+        assert!(json.contains("\"git_sha\": \"deadbeef\""));
+        assert_eq!(json.matches("},\n").count(), 2);
+        assert_eq!(records[0].ops_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn engine_drivers_agree_on_the_final_forest() {
+        let stream = bursty_batch_stream(64, 128, 6, 24, 3);
+        let mut batched = Engine::new(64);
+        let mut serial = Engine::new(64);
+        let (_, ops_a) = drive_engine_batched(&mut batched, &stream);
+        let (_, ops_b) = drive_engine_one_by_one(&mut serial, &stream);
+        assert_eq!(ops_a, stream.total_ops());
+        assert_eq!(ops_a, ops_b);
+        assert_eq!(batched.forest_edges(), serial.forest_edges());
+        assert_eq!(batched.forest_weight(), serial.forest_weight());
+        // The bursty stream actually exercised the batch leverage.
+        assert!(batched.stats().cancelled_pairs > 0);
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! # pdmsf-engine
+//!
+//! The **batched update/query engine** of the `pdmsf` workspace: the
+//! serving layer between bursty operation traffic and the paper's dynamic
+//! MSF structures.
+//!
+//! The paper's structure pays `O(sqrt(n) log n)` work per *single* update,
+//! but real traffic arrives in bursts of independent operations — link
+//! flaps, tenant-clustered churn, and a large majority of read queries.
+//! [`Engine::execute`] accepts one such burst (a slice of [`Op`]) and
+//! exploits its batch structure in three ways a one-op-at-a-time loop
+//! cannot:
+//!
+//! 1. **Cancellation** — an edge inserted *and* deleted within the same
+//!    batch (a flapping link) has no effect on the post-batch forest, so
+//!    neither operation reaches the MSF structure. Only the cheap
+//!    [`DynGraph`] mirror sees the pair (the mirror allocates edge ids, so
+//!    cancelled links must consume their id exactly as a serial execution
+//!    would — ids stay stable across both execution paths).
+//! 2. **Query partitioning with a single snapshot point** — all queries of
+//!    a batch are answered against the forest *after* the batch's updates
+//!    (the batch's snapshot point). The engine captures the forest once
+//!    into flat component labels ([`QuerySnapshot`]) and answers each
+//!    connectivity query with two array loads, instead of paying a
+//!    `&mut`-self link-cut tree walk per query. Large query sets fan out
+//!    across the worker pool of `pdmsf_pram::pool` — possible while other
+//!    submitters run kernels, because the pool queues multiple jobs.
+//! 3. **Deduplication** — repeated questions (the common case in serving
+//!    traffic) collapse to one computed answer; duplicate deletes and other
+//!    invalid operations are rejected up front with a per-op
+//!    [`Outcome::Rejected`] instead of panicking mid-batch.
+//!
+//! ## Semantics
+//!
+//! A batch is **observationally identical** to the following serial
+//! execution, which [`Engine::execute_one_by_one`] implements literally and
+//! the lockstep proptest checks against `SeqDynamicMsf` and a Kruskal
+//! recompute: apply the batch's updates one at a time in arrival order
+//! (validating each against the current edge set), then answer the batch's
+//! queries in arrival order against the resulting forest. Rejected
+//! operations consume no edge id and have no effect. The per-op
+//! [`Outcome`]s of the two paths are equal, as are the resulting forests.
+//!
+//! ```
+//! use pdmsf_engine::{Engine, Op, Outcome};
+//! use pdmsf_graph::{EdgeId, VertexId, Weight};
+//!
+//! let mut engine = Engine::new(4);
+//! let result = engine.execute(&[
+//!     Op::Link { u: VertexId(0), v: VertexId(1), weight: Weight::new(3) },
+//!     Op::Link { u: VertexId(1), v: VertexId(2), weight: Weight::new(5) },
+//!     // A flapping link: inserted and cut within the batch — cancelled.
+//!     Op::Link { u: VertexId(2), v: VertexId(3), weight: Weight::new(9) },
+//!     Op::Cut { id: EdgeId(2) },
+//!     // Queries see the post-update forest.
+//!     Op::QueryConnected { u: VertexId(0), v: VertexId(2) },
+//!     Op::QueryConnected { u: VertexId(0), v: VertexId(3) },
+//!     Op::QueryForestWeight,
+//! ]);
+//! assert_eq!(result.outcomes[4], Outcome::Connected { connected: true });
+//! assert_eq!(result.outcomes[5], Outcome::Connected { connected: false });
+//! assert_eq!(result.outcomes[6], Outcome::ForestWeight { weight: 8 });
+//! assert_eq!(result.summary.cancelled_pairs, 1);
+//! ```
+
+use pdmsf_core::ParDynamicMsf;
+use pdmsf_graph::{DynGraph, DynamicMsf, EdgeId, VertexId};
+use pdmsf_pram::ExecMode;
+
+mod plan;
+pub mod snapshot;
+
+pub use pdmsf_graph::BatchOp as Op;
+pub use snapshot::QuerySnapshot;
+
+use plan::{PlannedQuery, PlannedUpdate};
+
+/// Why an operation was rejected by batch validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// A `Cut` named an edge that was never allocated, is already dead, or
+    /// was already cut earlier in the same batch.
+    UnknownOrDeadEdge,
+    /// A `Link` or `QueryConnected` endpoint is outside `0..n`.
+    EndpointOutOfRange,
+    /// A `Link` with `u == v` (self-loops never affect a spanning forest;
+    /// the engine refuses them at the boundary).
+    SelfLoop,
+}
+
+/// The per-operation result of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The edge was inserted under this id (possibly cancelled later in the
+    /// same batch — the id was still consumed).
+    Linked {
+        /// The id assigned to the inserted edge.
+        id: EdgeId,
+    },
+    /// The edge was deleted.
+    Cut {
+        /// The id of the deleted edge.
+        id: EdgeId,
+    },
+    /// Answer to a [`Op::QueryConnected`] at the batch's snapshot point.
+    Connected {
+        /// Whether the endpoints share a component.
+        connected: bool,
+    },
+    /// Answer to a [`Op::QueryForestWeight`] at the batch's snapshot point.
+    ForestWeight {
+        /// Total forest weight.
+        weight: i128,
+    },
+    /// The operation failed validation and had no effect.
+    Rejected {
+        /// Why.
+        reason: Reject,
+    },
+}
+
+/// Aggregate facts about one executed batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Operations in the batch.
+    pub ops: usize,
+    /// Updates that reached the MSF structure (valid, not cancelled).
+    pub applied_updates: usize,
+    /// Opposing link/cut pairs elided from the structure (batched path
+    /// only; the one-by-one path applies them and reports 0).
+    pub cancelled_pairs: usize,
+    /// Operations rejected by validation.
+    pub rejected: usize,
+    /// Query operations.
+    pub queries: usize,
+    /// Distinct answers computed for those queries (batched path; the
+    /// one-by-one path computes every answer and reports `queries`).
+    pub unique_queries: usize,
+}
+
+/// The result of executing one batch: one [`Outcome`] per input op, in op
+/// order, plus the batch summary.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-op outcomes, index-aligned with the input slice.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregate facts about the batch.
+    pub summary: BatchSummary,
+}
+
+/// Cumulative engine counters across all executed batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Batches executed (either path).
+    pub batches: u64,
+    /// Operations processed.
+    pub ops: u64,
+    /// Updates applied to the MSF structure.
+    pub applied_updates: u64,
+    /// Opposing pairs cancelled before reaching the structure.
+    pub cancelled_pairs: u64,
+    /// Operations rejected by validation.
+    pub rejected: u64,
+    /// Query operations answered.
+    pub queries: u64,
+    /// Queries answered from another query's computed answer (duplicates).
+    pub deduped_queries: u64,
+    /// Query snapshots captured.
+    pub snapshots: u64,
+}
+
+/// Minimum unique queries before a snapshot is ever considered.
+const SNAPSHOT_MIN_QUERIES: usize = 8;
+
+/// A snapshot capture walks all `n` vertices; one structure query walks a
+/// (splaying) tree path, which costs roughly this many vertex-label visits.
+/// The engine captures a snapshot only when
+/// `unique_queries * SNAPSHOT_AMORTIZE >= n`, i.e. when the `O(n)` capture
+/// is amortized by the per-query savings; below that it answers through the
+/// structure directly.
+const SNAPSHOT_AMORTIZE: usize = 32;
+
+/// Validate a `Link`'s endpoints against a structure of `n` vertices. The
+/// single source of the link validation rules — shared by the batched
+/// planner and the one-by-one path so the two can never desynchronize.
+pub(crate) fn link_reject(n: usize, u: VertexId, v: VertexId) -> Option<Reject> {
+    if u.index() >= n || v.index() >= n {
+        Some(Reject::EndpointOutOfRange)
+    } else if u == v {
+        Some(Reject::SelfLoop)
+    } else {
+        None
+    }
+}
+
+/// Validate a `QueryConnected`'s endpoints (shared like [`link_reject`]).
+pub(crate) fn query_reject(n: usize, u: VertexId, v: VertexId) -> Option<Reject> {
+    if u.index() >= n || v.index() >= n {
+        Some(Reject::EndpointOutOfRange)
+    } else {
+        None
+    }
+}
+
+/// The batched update/query engine. Owns the id-allocating [`DynGraph`]
+/// mirror and the MSF structure; see the crate docs for semantics.
+pub struct Engine {
+    graph: DynGraph,
+    msf: ParDynamicMsf,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine over `n` isolated vertices, backed by the parallel
+    /// structure with thread-backed kernels (`K = sqrt(n)`,
+    /// [`ExecMode::Threads`]).
+    pub fn new(n: usize) -> Engine {
+        Engine::with_structure(n, ParDynamicMsf::new_threaded(n))
+    }
+
+    /// Full control over the chunk parameter and kernel execution mode of
+    /// the backing structure.
+    pub fn with_execution(n: usize, k: usize, exec: ExecMode) -> Engine {
+        Engine::with_structure(n, ParDynamicMsf::with_execution(n, k, exec))
+    }
+
+    fn with_structure(n: usize, msf: ParDynamicMsf) -> Engine {
+        Engine {
+            graph: DynGraph::new(n),
+            msf,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of vertices managed.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// The id-allocating graph mirror (every accepted update is reflected
+    /// here, including cancelled pairs). Useful for differential checks
+    /// against Kruskal.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The backing MSF structure.
+    pub fn structure(&self) -> &ParDynamicMsf {
+        &self.msf
+    }
+
+    /// Cumulative engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Current forest edges (sorted by id).
+    pub fn forest_edges(&self) -> Vec<EdgeId> {
+        self.msf.forest_edges()
+    }
+
+    /// Current total forest weight.
+    pub fn forest_weight(&self) -> i128 {
+        self.msf.forest_weight()
+    }
+
+    /// Execute one batch with full batch preprocessing: plan (id
+    /// assignment, validation, cancellation, query dedup), apply the
+    /// surviving updates through the structure, then answer all queries at
+    /// the snapshot point — via a [`QuerySnapshot`] fanned out over the
+    /// worker pool when the batch carries enough distinct queries.
+    pub fn execute(&mut self, ops: &[Op]) -> BatchResult {
+        let mut plan = plan::plan(&self.graph, ops);
+        let mut applied = 0usize;
+        for update in &plan.updates {
+            match *update {
+                PlannedUpdate::Link {
+                    id,
+                    u,
+                    v,
+                    weight,
+                    cancelled,
+                } => {
+                    let got = self.graph.insert_edge(u, v, weight);
+                    debug_assert_eq!(got, id, "plan id allocation diverged from the mirror");
+                    if !cancelled {
+                        self.msf.insert(self.graph.edge_unchecked(id));
+                        applied += 1;
+                    }
+                }
+                PlannedUpdate::Cut { id, cancelled } => {
+                    self.graph.delete_edge(id);
+                    if !cancelled {
+                        self.msf.delete(id);
+                        applied += 1;
+                    }
+                }
+            }
+        }
+
+        if !plan.unique_queries.is_empty() {
+            let unique = plan.unique_queries.len();
+            let snapshot_pays = unique >= SNAPSHOT_MIN_QUERIES
+                && unique * SNAPSHOT_AMORTIZE >= self.graph.num_vertices();
+            let answers: Vec<Outcome> = if !snapshot_pays {
+                // Small query sets: a snapshot's O(n) capture would dominate.
+                plan.unique_queries
+                    .iter()
+                    .map(|q| self.answer_through_structure(q))
+                    .collect()
+            } else {
+                self.stats.snapshots += 1;
+                let snap = QuerySnapshot::capture(&self.graph, &self.msf);
+                snapshot::answer_queries(&snap, &plan.unique_queries)
+            };
+            for &(out, slot) in &plan.query_refs {
+                plan.outcomes[out] = answers[slot];
+            }
+        }
+
+        let summary = BatchSummary {
+            ops: ops.len(),
+            applied_updates: applied,
+            cancelled_pairs: plan.cancelled_pairs,
+            rejected: plan.rejected,
+            queries: plan.query_refs.len(),
+            unique_queries: plan.unique_queries.len(),
+        };
+        self.bump_stats(&summary);
+        self.stats.cancelled_pairs += summary.cancelled_pairs as u64;
+        self.stats.deduped_queries += (summary.queries - summary.unique_queries) as u64;
+        BatchResult {
+            outcomes: plan.outcomes,
+            summary,
+        }
+    }
+
+    /// Execute one batch with **no** batch leverage: every valid update is
+    /// applied to the structure in arrival order (cancelled pairs
+    /// included), and every query is answered individually through the
+    /// structure at the batch's snapshot point. Same outcomes as
+    /// [`Engine::execute`]; this is the baseline the `E1` batch-throughput
+    /// experiment measures against.
+    pub fn execute_one_by_one(&mut self, ops: &[Op]) -> BatchResult {
+        let n = self.graph.num_vertices();
+        let mut outcomes = Vec::with_capacity(ops.len());
+        let mut deferred_queries: Vec<(usize, PlannedQuery)> = Vec::new();
+        let mut applied = 0usize;
+        let mut rejected = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            let outcome = match *op {
+                Op::Link { u, v, weight } => {
+                    if let Some(reason) = link_reject(n, u, v) {
+                        rejected += 1;
+                        Outcome::Rejected { reason }
+                    } else {
+                        let id = self.graph.insert_edge(u, v, weight);
+                        self.msf.insert(self.graph.edge_unchecked(id));
+                        applied += 1;
+                        Outcome::Linked { id }
+                    }
+                }
+                Op::Cut { id } => {
+                    if !self.graph.is_live(id) {
+                        rejected += 1;
+                        Outcome::Rejected {
+                            reason: Reject::UnknownOrDeadEdge,
+                        }
+                    } else {
+                        self.graph.delete_edge(id);
+                        self.msf.delete(id);
+                        applied += 1;
+                        Outcome::Cut { id }
+                    }
+                }
+                Op::QueryConnected { u, v } => {
+                    if let Some(reason) = query_reject(n, u, v) {
+                        rejected += 1;
+                        Outcome::Rejected { reason }
+                    } else {
+                        deferred_queries.push((i, PlannedQuery::Connected { u, v }));
+                        Outcome::Connected { connected: false }
+                    }
+                }
+                Op::QueryForestWeight => {
+                    deferred_queries.push((i, PlannedQuery::ForestWeight));
+                    Outcome::ForestWeight { weight: 0 }
+                }
+            };
+            outcomes.push(outcome);
+        }
+        let queries = deferred_queries.len();
+        for (i, q) in deferred_queries {
+            outcomes[i] = self.answer_through_structure(&q);
+        }
+        let summary = BatchSummary {
+            ops: ops.len(),
+            applied_updates: applied,
+            cancelled_pairs: 0,
+            rejected,
+            queries,
+            unique_queries: queries,
+        };
+        self.bump_stats(&summary);
+        BatchResult { outcomes, summary }
+    }
+
+    fn answer_through_structure(&mut self, q: &PlannedQuery) -> Outcome {
+        match *q {
+            PlannedQuery::Connected { u, v } => Outcome::Connected {
+                connected: self.msf.connected(u, v),
+            },
+            PlannedQuery::ForestWeight => Outcome::ForestWeight {
+                weight: self.msf.forest_weight(),
+            },
+        }
+    }
+
+    fn bump_stats(&mut self, summary: &BatchSummary) {
+        self.stats.batches += 1;
+        self.stats.ops += summary.ops as u64;
+        self.stats.applied_updates += summary.applied_updates as u64;
+        self.stats.rejected += summary.rejected as u64;
+        self.stats.queries += summary.queries as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmsf_graph::{VertexId, Weight};
+
+    fn link(u: u32, v: u32, w: i64) -> Op {
+        Op::Link {
+            u: VertexId(u),
+            v: VertexId(v),
+            weight: Weight::new(w),
+        }
+    }
+
+    fn qconn(u: u32, v: u32) -> Op {
+        Op::QueryConnected {
+            u: VertexId(u),
+            v: VertexId(v),
+        }
+    }
+
+    #[test]
+    fn cancelled_pairs_never_reach_the_structure() {
+        let mut engine = Engine::new(6);
+        let result = engine.execute(&[
+            link(0, 1, 2),
+            link(1, 2, 4),             // flap
+            Op::Cut { id: EdgeId(1) }, // cancels it
+            link(2, 3, 8),
+            qconn(0, 1),
+            qconn(1, 2),
+        ]);
+        assert_eq!(result.summary.cancelled_pairs, 1);
+        assert_eq!(result.summary.applied_updates, 2);
+        assert_eq!(result.outcomes[4], Outcome::Connected { connected: true });
+        assert_eq!(result.outcomes[5], Outcome::Connected { connected: false });
+        // The mirror consumed the cancelled id anyway: the next link gets
+        // id 3, exactly as a serial execution would allocate.
+        let r2 = engine.execute(&[link(4, 5, 1)]);
+        assert_eq!(r2.outcomes[0], Outcome::Linked { id: EdgeId(3) });
+        assert_eq!(engine.forest_weight(), 2 + 8 + 1);
+    }
+
+    #[test]
+    fn queries_see_the_post_update_snapshot_point() {
+        let mut engine = Engine::new(3);
+        // The query is *positioned* before the link but answered at the
+        // batch's snapshot point (after all updates).
+        let result = engine.execute(&[qconn(0, 1), link(0, 1, 5)]);
+        assert_eq!(result.outcomes[0], Outcome::Connected { connected: true });
+        assert_eq!(result.outcomes[1], Outcome::Linked { id: EdgeId(0) });
+    }
+
+    #[test]
+    fn rejections_are_reported_not_panicked() {
+        let mut engine = Engine::new(3);
+        let result = engine.execute(&[
+            link(0, 1, 1),
+            Op::Cut { id: EdgeId(0) },
+            Op::Cut { id: EdgeId(0) },  // duplicate
+            Op::Cut { id: EdgeId(99) }, // unknown
+            link(0, 0, 1),              // self loop
+            link(0, 17, 1),             // out of range
+            qconn(0, 99),               // out of range
+        ]);
+        assert_eq!(result.summary.rejected, 5);
+        assert_eq!(
+            result.outcomes[2],
+            Outcome::Rejected {
+                reason: Reject::UnknownOrDeadEdge
+            }
+        );
+        assert_eq!(
+            result.outcomes[4],
+            Outcome::Rejected {
+                reason: Reject::SelfLoop
+            }
+        );
+        assert_eq!(
+            result.outcomes[5],
+            Outcome::Rejected {
+                reason: Reject::EndpointOutOfRange
+            }
+        );
+        assert_eq!(
+            result.outcomes[6],
+            Outcome::Rejected {
+                reason: Reject::EndpointOutOfRange
+            }
+        );
+        assert_eq!(engine.forest_edges(), Vec::<EdgeId>::new());
+    }
+
+    #[test]
+    fn batched_and_one_by_one_paths_agree() {
+        let ops = vec![
+            link(0, 1, 3),
+            link(1, 2, 1),
+            link(2, 3, 9),             // flap
+            Op::Cut { id: EdgeId(2) }, // cancels
+            Op::Cut { id: EdgeId(0) },
+            qconn(0, 1),
+            qconn(0, 1),
+            qconn(2, 0),
+            Op::QueryForestWeight,
+            Op::Cut { id: EdgeId(7) }, // rejected
+        ];
+        let mut batched = Engine::new(5);
+        let mut serial = Engine::new(5);
+        let rb = batched.execute(&ops);
+        let rs = serial.execute_one_by_one(&ops);
+        assert_eq!(rb.outcomes, rs.outcomes);
+        assert_eq!(batched.forest_edges(), serial.forest_edges());
+        assert_eq!(batched.forest_weight(), serial.forest_weight());
+        // The batched path did strictly less structural work.
+        assert!(rb.summary.applied_updates < rs.summary.applied_updates);
+        assert!(rb.summary.unique_queries < rs.summary.unique_queries);
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches() {
+        let mut engine = Engine::new(4);
+        engine.execute(&[link(0, 1, 1), qconn(0, 1), qconn(1, 0)]);
+        engine.execute(&[link(1, 2, 2), Op::Cut { id: EdgeId(1) }]);
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.ops, 5);
+        assert_eq!(stats.applied_updates, 1);
+        assert_eq!(stats.cancelled_pairs, 1);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.deduped_queries, 1);
+    }
+
+    #[test]
+    fn empty_and_query_only_batches_work() {
+        let mut engine = Engine::new(3);
+        let r = engine.execute(&[]);
+        assert!(r.outcomes.is_empty());
+        let r = engine.execute(&[Op::QueryForestWeight, qconn(0, 2)]);
+        assert_eq!(r.outcomes[0], Outcome::ForestWeight { weight: 0 });
+        assert_eq!(r.outcomes[1], Outcome::Connected { connected: false });
+    }
+}

@@ -1,9 +1,10 @@
 //! Deterministic workload generators.
 //!
-//! The paper has no experimental section, so the evaluation in
-//! `EXPERIMENTS.md` is driven by synthetic-but-realistic workloads built
-//! here. Everything is seeded and fully deterministic so that the tests, the
-//! examples and the benchmark harness replay identical update sequences.
+//! The paper has no experimental section, so the evaluation (the
+//! experiments binary of `pdmsf-bench`) is driven by synthetic-but-realistic
+//! workloads built here. Everything is seeded and fully deterministic so
+//! that the tests, the examples and the benchmark harness replay identical
+//! update sequences.
 //!
 //! Two layers:
 //!
@@ -318,6 +319,303 @@ impl UpdateStream {
     }
 }
 
+/// One operation of a *batched* stream: the update/query mix a serving
+/// front-end sees. Unlike [`UpdateOp`], batched streams carry explicit
+/// read operations (connectivity, forest weight) so the batch engine's
+/// query fan-out is exercised on realistic traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert an edge. Its id is the next sequential id of the driving
+    /// [`DynGraph`] mirror (the generator pre-computes those ids for `Cut`
+    /// ops, exactly like [`UpdateOp::Insert`]).
+    Link {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Weight.
+        weight: Weight,
+    },
+    /// Delete the edge with this (pre-computed) id.
+    Cut {
+        /// The id of the edge to delete.
+        id: EdgeId,
+    },
+    /// Are `u` and `v` in the same component?
+    QueryConnected {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+    /// Total weight of the minimum spanning forest.
+    QueryForestWeight,
+}
+
+impl BatchOp {
+    /// Whether this operation mutates the graph.
+    pub fn is_update(&self) -> bool {
+        matches!(self, BatchOp::Link { .. } | BatchOp::Cut { .. })
+    }
+
+    /// Whether this operation is a read-only query.
+    pub fn is_query(&self) -> bool {
+        !self.is_update()
+    }
+}
+
+/// The flavour of batched stream to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchKind {
+    /// Bursts of traffic around a per-batch hotspot region of the vertex
+    /// space, with **flapping links**: a `flap_permille` fraction of update
+    /// slots insert an edge and delete that same edge later *in the same
+    /// batch* (the link-flap pattern of unstable networks). Flap pairs are
+    /// exactly the opposing insert/delete pairs the batch engine cancels.
+    /// Queries (a `query_permille` fraction of ops) probe the hotspot and
+    /// repeat recent questions, so duplicate queries occur naturally.
+    Bursty {
+        /// Fraction of operations that are queries, in permille.
+        query_permille: u32,
+        /// Fraction of update slots that start a flap pair, in permille.
+        flap_permille: u32,
+    },
+    /// Tenant-sharded traffic: the vertex space is split into `clusters`
+    /// contiguous blocks and batch `b` touches only block `b % clusters`
+    /// (links, cuts and connectivity queries all stay inside the block).
+    Clustered {
+        /// Number of vertex blocks.
+        clusters: usize,
+        /// Fraction of operations that are queries, in permille.
+        query_permille: u32,
+    },
+}
+
+/// Specification of a batched update/query stream.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchStreamSpec {
+    /// The base graph present before the stream starts.
+    pub base: GraphSpec,
+    /// Number of batches to generate.
+    pub batches: usize,
+    /// Number of operations per batch.
+    pub batch_size: usize,
+    /// Stream flavour.
+    pub kind: BatchKind,
+    /// RNG seed (independent of the base graph's seed).
+    pub seed: u64,
+}
+
+/// A generated batched stream: the base graph plus a sequence of batches
+/// with concrete edge ids. `Cut` ids are always live at their position in
+/// the stream (assuming every `Link` — including flap links — is applied to
+/// the id-allocating [`DynGraph`] mirror, which is what the batch engine
+/// does).
+#[derive(Clone, Debug)]
+pub struct BatchStream {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Edges of the base graph (inserted before the stream, ids `0..len`).
+    pub base_edges: Vec<(VertexId, VertexId, Weight)>,
+    /// The batches, in order.
+    pub batches: Vec<Vec<BatchOp>>,
+}
+
+impl BatchStream {
+    /// Generate the stream described by `spec`.
+    pub fn generate(spec: &BatchStreamSpec) -> Self {
+        let base_edges = spec.base.edges();
+        let n = spec.base.num_vertices();
+        assert!(n >= 2, "batched streams need at least two vertices");
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0xBA7C_57E4_11AB_CDEF);
+
+        // Mirror of the id allocation: ids 0..base_edges.len() belong to the
+        // base graph; every subsequent Link (flap or not) gets the next id.
+        let mut next_id: u32 = base_edges.len() as u32;
+        // Live edges a Cut may target, partitioned by the cluster of their
+        // first endpoint (the Bursty kind uses a single cluster). Flap
+        // links are *not* registered here — their cut is scheduled within
+        // the batch that created them.
+        let clusters = match spec.kind {
+            BatchKind::Bursty { .. } => 1,
+            BatchKind::Clustered { clusters, .. } => clusters.max(1),
+        };
+        let block = n.div_ceil(clusters);
+        let cluster_of = |v: VertexId| (v.index() / block).min(clusters - 1);
+        let mut live: Vec<Vec<EdgeId>> = vec![Vec::new(); clusters];
+        for (i, &(u, v, _)) in base_edges.iter().enumerate() {
+            // Only edges fully inside one block are cuttable by that
+            // block's batches — a cross-block base edge belongs to no
+            // tenant, and cutting it would break the documented isolation
+            // of `BatchKind::Clustered`. (Bursty streams have one cluster,
+            // so every edge qualifies.)
+            if cluster_of(u) == cluster_of(v) {
+                live[cluster_of(u)].push(EdgeId(i as u32));
+            }
+        }
+
+        let query_permille = match spec.kind {
+            BatchKind::Bursty { query_permille, .. }
+            | BatchKind::Clustered { query_permille, .. } => query_permille,
+        };
+
+        let mut batches = Vec::with_capacity(spec.batches);
+        for b in 0..spec.batches {
+            // The vertex region this batch concentrates on.
+            let (lo, span) = match spec.kind {
+                BatchKind::Bursty { .. } => {
+                    (rng.gen_range(0..n), (n / 16).clamp(8.min(n), n.max(1)))
+                }
+                BatchKind::Clustered { .. } => {
+                    let c = b % clusters;
+                    let lo = c * block;
+                    let hi = (lo + block).min(n);
+                    if hi - lo >= 2 {
+                        (lo, hi - lo)
+                    } else {
+                        (0, n)
+                    }
+                }
+            };
+            let cluster = b % clusters;
+            let mut ops: Vec<BatchOp> = Vec::with_capacity(spec.batch_size);
+            // Flap links inserted in this batch, awaiting their cut.
+            let mut pending_flaps: Vec<EdgeId> = Vec::new();
+            let mut last_query: Option<BatchOp> = None;
+            while ops.len() < spec.batch_size {
+                let remaining = spec.batch_size - ops.len();
+                // Flap cuts must land in this batch: flush when the budget
+                // runs out, release early with some probability otherwise.
+                if pending_flaps.len() >= remaining
+                    || (!pending_flaps.is_empty() && rng.gen_range(0u32..1000) < 350)
+                {
+                    ops.push(BatchOp::Cut {
+                        id: pending_flaps.remove(0),
+                    });
+                    continue;
+                }
+                let region_vertex = |rng: &mut ChaCha8Rng| -> VertexId {
+                    VertexId::from((lo + rng.gen_range(0..span)) % n)
+                };
+                let region_pair = |rng: &mut ChaCha8Rng| -> (VertexId, VertexId) {
+                    loop {
+                        let u = region_vertex(rng);
+                        let v = region_vertex(rng);
+                        if u != v {
+                            return (u, v);
+                        }
+                        // A span of 1 can never produce a distinct pair.
+                        if span < 2 {
+                            return (u, VertexId::from((u.index() + 1) % n));
+                        }
+                    }
+                };
+                if rng.gen_range(0u32..1000) < query_permille {
+                    // Serving traffic repeats questions: reuse the previous
+                    // query a quarter of the time so batches carry genuine
+                    // duplicates for the engine to dedup.
+                    let repeat = match last_query {
+                        Some(prev) if rng.gen_range(0u32..4) == 0 => Some(prev),
+                        _ => None,
+                    };
+                    let op = if let Some(prev) = repeat {
+                        prev
+                    } else if rng.gen_range(0u32..8) == 0 {
+                        BatchOp::QueryForestWeight
+                    } else {
+                        let (u, mut v) = region_pair(&mut rng);
+                        // Bursty traffic: half the connectivity probes cross
+                        // out of the hotspot (is it still attached to the
+                        // rest of the network?). Clustered traffic stays
+                        // inside its tenant block, queries included.
+                        if matches!(spec.kind, BatchKind::Bursty { .. })
+                            && rng.gen_range(0u32..2) == 0
+                        {
+                            v = VertexId::from(rng.gen_range(0..n));
+                            if v == u {
+                                v = VertexId::from((u.index() + 1) % n);
+                            }
+                        }
+                        BatchOp::QueryConnected { u, v }
+                    };
+                    last_query = Some(op);
+                    ops.push(op);
+                    continue;
+                }
+                // An update slot.
+                let flap_permille = match spec.kind {
+                    BatchKind::Bursty { flap_permille, .. } => flap_permille,
+                    BatchKind::Clustered { .. } => 0,
+                };
+                // A new flap needs budget for its own link *and* cut on top
+                // of every cut already owed — otherwise the batch could end
+                // with an orphaned flap link whose cancelling cut never
+                // lands (flap ids are not in `live`, so no later batch
+                // would ever cut it).
+                if remaining >= pending_flaps.len() + 2 && rng.gen_range(0u32..1000) < flap_permille
+                {
+                    let (u, v) = region_pair(&mut rng);
+                    ops.push(BatchOp::Link {
+                        u,
+                        v,
+                        weight: random_weight(&mut rng),
+                    });
+                    pending_flaps.push(EdgeId(next_id));
+                    next_id += 1;
+                    continue;
+                }
+                let do_insert = live[cluster].is_empty() || rng.gen_range(0u32..2) == 0;
+                if do_insert {
+                    let (u, v) = region_pair(&mut rng);
+                    ops.push(BatchOp::Link {
+                        u,
+                        v,
+                        weight: random_weight(&mut rng),
+                    });
+                    live[cluster_of(u)].push(EdgeId(next_id));
+                    next_id += 1;
+                } else {
+                    let k = rng.gen_range(0..live[cluster].len());
+                    let id = live[cluster].swap_remove(k);
+                    ops.push(BatchOp::Cut { id });
+                }
+            }
+            debug_assert!(
+                pending_flaps.is_empty(),
+                "a flap link's cancelling cut must land in its own batch"
+            );
+            batches.push(ops);
+        }
+
+        BatchStream {
+            num_vertices: n,
+            base_edges,
+            batches,
+        }
+    }
+
+    /// Number of batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Total operations across all batches.
+    pub fn total_ops(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// `(updates, queries)` counts across all batches.
+    pub fn count_ops(&self) -> (usize, usize) {
+        let updates = self
+            .batches
+            .iter()
+            .flatten()
+            .filter(|op| op.is_update())
+            .count();
+        (updates, self.total_ops() - updates)
+    }
+}
+
 fn random_pair<R: Rng>(rng: &mut R, n: usize) -> (VertexId, VertexId) {
     let u = rng.gen_range(0..n);
     let mut v = rng.gen_range(0..n - 1);
@@ -432,6 +730,195 @@ mod tests {
         let g = stream.replay_with(|g, _| max_live = max_live.max(g.num_edges()));
         assert!(max_live <= 25 + 1);
         assert!(g.num_edges() <= 25);
+    }
+
+    /// Replay a batch stream against a [`DynGraph`] mirror the way the
+    /// batch engine does (every Link applied, Cuts validated against
+    /// liveness), returning the mirror.
+    fn replay_batches(stream: &BatchStream) -> DynGraph {
+        let mut g = DynGraph::new(stream.num_vertices);
+        for &(u, v, w) in &stream.base_edges {
+            g.insert_edge(u, v, w);
+        }
+        for batch in &stream.batches {
+            for op in batch {
+                match *op {
+                    BatchOp::Link { u, v, weight } => {
+                        g.insert_edge(u, v, weight);
+                    }
+                    BatchOp::Cut { id } => {
+                        assert!(g.is_live(id), "generated Cut of a dead edge {id:?}");
+                        g.delete_edge(id);
+                    }
+                    BatchOp::QueryConnected { u, v } => {
+                        assert!(u != v, "self-connectivity probes are uninteresting");
+                        assert!(u.index() < g.num_vertices() && v.index() < g.num_vertices());
+                    }
+                    BatchOp::QueryForestWeight => {}
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bursty_batches_are_replayable_and_deterministic() {
+        let spec = BatchStreamSpec {
+            base: GraphSpec::RandomSparse {
+                n: 64,
+                m: 128,
+                seed: 5,
+            },
+            batches: 12,
+            batch_size: 40,
+            kind: BatchKind::Bursty {
+                query_permille: 500,
+                flap_permille: 300,
+            },
+            seed: 17,
+        };
+        let stream = BatchStream::generate(&spec);
+        assert_eq!(stream.num_batches(), 12);
+        assert_eq!(stream.total_ops(), 12 * 40);
+        assert_eq!(stream.batches, BatchStream::generate(&spec).batches);
+        let (updates, queries) = stream.count_ops();
+        assert!(updates > 0 && queries > 0);
+        replay_batches(&stream);
+    }
+
+    #[test]
+    fn bursty_batches_contain_flap_pairs_and_duplicate_queries() {
+        let spec = BatchStreamSpec {
+            base: GraphSpec::RandomSparse {
+                n: 100,
+                m: 200,
+                seed: 2,
+            },
+            batches: 8,
+            batch_size: 64,
+            kind: BatchKind::Bursty {
+                query_permille: 400,
+                flap_permille: 400,
+            },
+            seed: 23,
+        };
+        let stream = BatchStream::generate(&spec);
+        // Flap pair: a Link whose id is Cut later in the same batch. Ids
+        // are sequential, so reconstruct them per batch.
+        let mut next_id = stream.base_edges.len() as u32;
+        let mut flap_pairs = 0usize;
+        let mut duplicate_queries = 0usize;
+        for batch in &stream.batches {
+            let mut born_here: Vec<EdgeId> = Vec::new();
+            let mut seen_queries: Vec<BatchOp> = Vec::new();
+            for op in batch {
+                match *op {
+                    BatchOp::Link { .. } => {
+                        born_here.push(EdgeId(next_id));
+                        next_id += 1;
+                    }
+                    BatchOp::Cut { id } => {
+                        if born_here.contains(&id) {
+                            flap_pairs += 1;
+                        }
+                    }
+                    q => {
+                        if seen_queries.contains(&q) {
+                            duplicate_queries += 1;
+                        }
+                        seen_queries.push(q);
+                    }
+                }
+            }
+        }
+        assert!(flap_pairs > 0, "bursty stream generated no flap pairs");
+        assert!(
+            duplicate_queries > 0,
+            "bursty stream generated no duplicate queries"
+        );
+        replay_batches(&stream);
+    }
+
+    #[test]
+    fn flap_heavy_tiny_batches_never_orphan_a_flap_link() {
+        // Maximal flap pressure against a tiny budget: every update slot
+        // wants to start a flap, and the batch barely fits one pair. The
+        // generator must still land every cancelling cut inside its own
+        // batch (checked by the generate-time assertion) and stay
+        // replayable.
+        for batch_size in [2usize, 3, 5, 8] {
+            let stream = BatchStream::generate(&BatchStreamSpec {
+                base: GraphSpec::RandomSparse {
+                    n: 32,
+                    m: 20,
+                    seed: 3,
+                },
+                batches: 40,
+                batch_size,
+                kind: BatchKind::Bursty {
+                    query_permille: 100,
+                    flap_permille: 1000,
+                },
+                seed: 77,
+            });
+            replay_batches(&stream);
+        }
+    }
+
+    #[test]
+    fn clustered_batches_stay_inside_their_block() {
+        let n = 96usize;
+        let clusters = 4usize;
+        let spec = BatchStreamSpec {
+            base: GraphSpec::RandomSparse { n, m: 150, seed: 9 },
+            batches: 8,
+            batch_size: 32,
+            kind: BatchKind::Clustered {
+                clusters,
+                query_permille: 300,
+            },
+            seed: 31,
+        };
+        let stream = BatchStream::generate(&spec);
+        let block = n.div_ceil(clusters);
+        // id → endpoints, mirroring the sequential allocation (base edges
+        // first, then every Link in stream order).
+        let mut endpoints: Vec<(usize, usize)> = stream
+            .base_edges
+            .iter()
+            .map(|&(u, v, _)| (u.index(), v.index()))
+            .collect();
+        for (b, batch) in stream.batches.iter().enumerate() {
+            let c = b % clusters;
+            let (lo, hi) = (c * block, ((c + 1) * block).min(n));
+            let in_block = |v: usize| (lo..hi).contains(&v);
+            for op in batch {
+                match *op {
+                    BatchOp::Link { u, v, .. } => {
+                        assert!(
+                            in_block(u.index()) && in_block(v.index()),
+                            "batch {b} linked outside its cluster block"
+                        );
+                        endpoints.push((u.index(), v.index()));
+                    }
+                    BatchOp::QueryConnected { u, v } => {
+                        assert!(
+                            in_block(u.index()) && in_block(v.index()),
+                            "batch {b} queried outside its cluster block"
+                        );
+                    }
+                    BatchOp::Cut { id } => {
+                        let (u, v) = endpoints[id.index()];
+                        assert!(
+                            in_block(u) && in_block(v),
+                            "batch {b} cut an edge outside its cluster block"
+                        );
+                    }
+                    BatchOp::QueryForestWeight => {}
+                }
+            }
+        }
+        replay_batches(&stream);
     }
 
     #[test]

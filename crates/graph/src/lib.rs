@@ -23,7 +23,9 @@
 //! * [`degree`] — Frederickson's dynamic degree-3 reduction, exposed as the
 //!   wrapper [`DegreeReduced`],
 //! * [`generators`] — deterministic workload generators (random sparse
-//!   graphs, grids, preferential attachment, update streams) used by the
+//!   graphs, grids, preferential attachment, update streams, and batched
+//!   update/query streams — bursty hotspots with flapping links, tenant-
+//!   clustered traffic — consumed by the batch engine) used by the
 //!   examples, tests and the benchmark harness.
 
 pub mod arena;
@@ -38,7 +40,10 @@ pub mod weight;
 
 pub use arena::{EdgeIdIndex, EdgeSlotMap, EdgeStore, HashEdgeStore, NO_HANDLE};
 pub use degree::DegreeReduced;
-pub use generators::{GraphSpec, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec};
+pub use generators::{
+    BatchKind, BatchOp, BatchStream, BatchStreamSpec, GraphSpec, StreamKind, UpdateOp,
+    UpdateStream, UpdateStreamSpec,
+};
 pub use graph::{DynGraph, Edge};
 pub use ids::{EdgeId, VertexId};
 pub use kruskal::{kruskal_msf, MsfSummary};

@@ -33,7 +33,17 @@
 //!   done — scoped-spawn semantics without per-call thread creation, which
 //!   moves the threaded path's break-even input size down by an order of
 //!   magnitude ([`kernels::PAR_CUTOFF`]). Inputs below the cutoff (tiny
-//!   graphs, single-chunk lists) never spawn the pool at all.
+//!   graphs, single-chunk lists) never spawn the pool at all. The pool is
+//!   **multi-job**: jobs queue in a shared FIFO injector with per-job shard
+//!   counters, so several threads can be inside [`pool::run_shards`] at
+//!   once (the batch engine fans connectivity queries out this way while
+//!   other submitters run kernels) and a shard may itself submit a nested
+//!   job. [`pool::stats`] exposes process-wide counters (jobs run, shards
+//!   executed, inline runs, parked workers), and the `PDMSF_POOL_THREADS`
+//!   environment variable (read once at first use, clamped to `1..=128`)
+//!   overrides the hardware-probed pool width — `PDMSF_POOL_THREADS=1`
+//!   forces fully inline execution, larger values size the pool for the
+//!   machine you are actually serving from.
 
 pub mod cost;
 pub mod erew;
@@ -46,3 +56,4 @@ pub use kernels::{
     erew_tournament_min, par_entrywise_min, par_min_index, ranked_descent, sweep_up_costs,
     threaded_entrywise_min, threaded_entrywise_or, threaded_masked_min_index, threaded_min_index,
 };
+pub use pool::PoolStats;

@@ -1,14 +1,27 @@
-//! A persistent worker pool for the thread-backed kernels.
+//! A persistent worker pool for the thread-backed kernels and the batch
+//! engine's query fan-out.
 //!
 //! The first threaded execution path dispatched every bulk kernel through
 //! `std::thread::scope`, paying a thread spawn + join per call. That
 //! overhead put the break-even point of [`crate::ExecMode::Threads`] well
-//! beyond 1e6 vertices. This module replaces it with a process-wide pool of
+//! beyond 1e6 vertices. The pool replaces it with a process-wide set of
 //! parked workers: a kernel invocation publishes one *job* (a borrowed
 //! closure plus a shard counter), wakes the workers, claims shards on the
 //! calling thread too, and blocks until every shard has finished — so the
 //! borrow of the caller's slices provably outlives all shard executions,
 //! exactly like a scoped spawn, but without creating a single thread.
+//!
+//! Since the batch-engine PR the pool serves **multiple jobs at once**: jobs
+//! live in a shared FIFO injector queue and each carries its own shard
+//! counter, pending count and completion flag, so two threads can both be
+//! inside [`run_shards`] at the same time (the old design serialised
+//! submitters behind a single job slot). Workers drain the front job's
+//! shards, then move on to the next job even if earlier shards are still
+//! executing elsewhere — which is what lets a batch engine fan out
+//! connectivity queries while another submitter runs a kernel. A shard may
+//! itself call [`run_shards`] (the nested job just joins the queue; its
+//! submitter helps drain it), which would have deadlocked behind the old
+//! submitter mutex.
 //!
 //! Guarantees:
 //!
@@ -24,19 +37,38 @@
 //! * **Single-machine fallback** — with one hardware thread (or when
 //!   `available_parallelism` is unknown) the pool has zero workers and
 //!   [`run_shards`] runs every shard inline.
+//! * **Sized by the hardware, overridable** — the pool width defaults to
+//!   `available_parallelism` (capped at 16) and can be forced with the
+//!   `PDMSF_POOL_THREADS` environment variable (clamped to `1..=128`,
+//!   read once at first use; `1` means fully inline execution). The
+//!   benchmark metadata records the effective width via [`parallelism`].
+//! * **Observable** — [`stats`] reports process-wide counters (jobs run,
+//!   shards executed, inline runs, currently parked workers) so tests and
+//!   the batch engine can assert how work was actually executed.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Shard index → work. The closure is shared by all workers; shard indices
-/// are claimed from a counter, so each index is executed exactly once.
+/// Shard index → work. The closure is shared by all executing threads; shard
+/// indices are claimed from the job's counter under the pool lock, so each
+/// index is executed exactly once.
 struct Job {
-    /// Borrowed closure, lifetime-erased. Soundness: [`run_shards`] does not
-    /// return until `pending == 0`, so the referent outlives every call.
+    /// Borrowed closure, lifetime-erased. Soundness: [`Pool::run`] does not
+    /// return until `done` is set, which happens only after every claimed
+    /// shard has finished executing — so the referent outlives every call.
     f: *const (dyn Fn(usize) + Sync),
     /// Next shard index to claim.
     next: usize,
     /// Total number of shards.
     shards: usize,
+    /// Shards claimed or unclaimed that have not finished executing yet.
+    pending: usize,
+    /// First panic payload raised by a shard of this job; re-raised on the
+    /// submitting thread once every shard has finished.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set when `pending` hits zero; the submitter frees the slot.
+    done: bool,
 }
 
 // The raw closure pointer is only ever dereferenced while the submitting
@@ -46,16 +78,31 @@ unsafe impl Send for Job {}
 
 #[derive(Default)]
 struct State {
-    /// The currently published job, if any.
-    job: Option<Job>,
-    /// Incremented once per published job so sleeping workers can tell a new
-    /// job from the one they already helped with.
-    epoch: u64,
-    /// Shards of the current job still running or unclaimed.
-    pending: usize,
-    /// First panic payload raised by a shard of the current job; re-raised
-    /// on the submitting thread once every shard has finished.
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Job slots, indexed by job id. `None` = free slot.
+    jobs: Vec<Option<Job>>,
+    /// Free slot ids, reused before growing `jobs`.
+    free: Vec<usize>,
+    /// The shared injector: ids of jobs that still have **unclaimed**
+    /// shards, in submission order. Invariant: `id ∈ queue` exactly while
+    /// `jobs[id].next < jobs[id].shards`.
+    queue: VecDeque<usize>,
+    /// Workers currently blocked on `work_cv`.
+    parked: usize,
+}
+
+impl State {
+    fn alloc(&mut self, job: Job) -> usize {
+        match self.free.pop() {
+            Some(id) => {
+                self.jobs[id] = Some(job);
+                id
+            }
+            None => {
+                self.jobs.push(Some(job));
+                self.jobs.len() - 1
+            }
+        }
+    }
 }
 
 /// Poison-tolerant lock: a shard panic must not wedge every later kernel
@@ -65,14 +112,18 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+// Process-wide observability counters (see [`stats`]). They cover every
+// pool in the process (the global one plus any test-local instances).
+static JOBS_RUN: AtomicU64 = AtomicU64::new(0);
+static SHARDS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+
 struct Pool {
     state: Mutex<State>,
-    /// Workers sleep here between jobs.
+    /// Workers sleep here while the injector queue is empty.
     work_cv: Condvar,
-    /// The submitter sleeps here until `pending == 0`.
+    /// Submitters sleep here until their job's `done` flag is set.
     done_cv: Condvar,
-    /// Serialises submitters (there is one job slot).
-    submit: Mutex<()>,
     workers: usize,
 }
 
@@ -82,7 +133,6 @@ impl Pool {
             state: Mutex::new(State::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            submit: Mutex::new(()),
             workers,
         }));
         for w in 0..workers {
@@ -96,76 +146,115 @@ impl Pool {
     }
 
     fn worker_loop(&'static self) {
-        let mut seen_epoch = 0u64;
         loop {
             let mut state = lock(&self.state);
-            while state.epoch == seen_epoch || state.job.is_none() {
+            while state.queue.is_empty() {
+                state.parked += 1;
                 state = self.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                state.parked -= 1;
             }
-            seen_epoch = state.epoch;
-            self.drain(state);
+            let id = *state.queue.front().expect("queue checked non-empty");
+            let state = self.help(state, id);
+            drop(state);
         }
     }
 
-    /// Claim and execute shards of the current job until none are left.
-    /// Consumes the lock guard; notifies `done_cv` when the last shard
-    /// finishes. A panicking shard is caught, its payload parked in the
-    /// state, and `pending` still decremented — the submitter re-raises it,
-    /// and neither the worker nor the waiting submitter is lost (the old
-    /// `thread::scope` dispatch had the same propagate-to-caller semantics).
-    fn drain<'a>(&'a self, mut state: std::sync::MutexGuard<'a, State>) {
+    /// Claim and execute shards of job `id` until none are left unclaimed,
+    /// then return (other threads may still be executing shards they
+    /// claimed). Takes and returns the lock guard; the lock is released
+    /// around each shard execution. A panicking shard is caught, its payload
+    /// parked in the job, and `pending` still decremented — the submitter
+    /// re-raises it, and neither the executing worker nor the waiting
+    /// submitter is lost (the old `thread::scope` dispatch had the same
+    /// propagate-to-caller semantics).
+    fn help<'a>(
+        &'a self,
+        mut state: std::sync::MutexGuard<'a, State>,
+        id: usize,
+    ) -> std::sync::MutexGuard<'a, State> {
         loop {
-            let Some(job) = state.job.as_mut() else {
-                return;
-            };
+            let job = state.jobs[id]
+                .as_mut()
+                .expect("job slot freed while still queued or pending");
             if job.next >= job.shards {
-                return;
+                return state;
             }
             let shard = job.next;
             job.next += 1;
             let f = job.f;
+            if job.next >= job.shards {
+                // Last shard claimed: maintain the queue invariant. The job
+                // is usually at the front (workers drain FIFO), but a
+                // submitter helping its own job may claim past jobs queued
+                // ahead of it.
+                if let Some(pos) = state.queue.iter().position(|&q| q == id) {
+                    state.queue.remove(pos);
+                }
+            }
+            SHARDS_EXECUTED.fetch_add(1, Ordering::Relaxed);
             drop(state);
-            // Soundness: the submitter is blocked until `pending` hits zero,
-            // so the closure behind `f` is alive for this call.
+            // Soundness: the submitter blocks until `done`, which is set
+            // only after this shard's `pending` decrement below — the
+            // closure behind `f` is alive for this call.
             let result =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*f)(shard) }));
             state = lock(&self.state);
+            let job = state.jobs[id]
+                .as_mut()
+                .expect("job slot freed while a shard was executing");
             if let Err(payload) = result {
-                if state.panic.is_none() {
-                    state.panic = Some(payload);
+                if job.panic.is_none() {
+                    job.panic = Some(payload);
                 }
             }
-            state.pending -= 1;
-            if state.pending == 0 {
-                state.job = None;
+            job.pending -= 1;
+            if job.pending == 0 {
+                job.done = true;
                 self.done_cv.notify_all();
             }
         }
     }
 
     fn run(&'static self, shards: usize, f: &(dyn Fn(usize) + Sync)) {
-        // Erase the borrow's lifetime; `run` blocks below until all shards
-        // are done, so the closure outlives every dereference.
+        // A zero-shard job must not reach the queue: the queue invariant
+        // (`id ∈ queue` ⟺ unclaimed shards exist) would be violated on
+        // entry, pinning a worker on the never-dequeued front job while the
+        // submitter waits forever for a completion that no shard can
+        // signal. `run_shards` already filters this; keep the internal
+        // entry point safe for future callers too.
+        if shards == 0 {
+            return;
+        }
+        // Erase the borrow's lifetime; `run` blocks below until the job is
+        // done, so the closure outlives every dereference.
         let f: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
-        let _submit = lock(&self.submit);
+        let id;
         {
             let mut state = lock(&self.state);
-            debug_assert!(state.job.is_none(), "job slot busy despite submit lock");
-            state.job = Some(Job { f, next: 0, shards });
-            state.epoch += 1;
-            state.pending = shards;
-            state.panic = None;
+            id = state.alloc(Job {
+                f,
+                next: 0,
+                shards,
+                pending: shards,
+                panic: None,
+                done: false,
+            });
+            state.queue.push_back(id);
             self.work_cv.notify_all();
-            // The submitter claims shards too — it would otherwise idle.
-            self.drain(state);
+            // The submitter claims shards of its own job too — it would
+            // otherwise idle while holding work the workers must finish.
+            let state = self.help(state, id);
+            drop(state);
         }
         let mut state = lock(&self.state);
-        while state.pending > 0 {
+        while !state.jobs[id].as_ref().is_some_and(|j| j.done) {
             state = self.done_cv.wait(state).unwrap_or_else(|e| e.into_inner());
         }
-        let panic = state.panic.take();
+        let job = state.jobs[id].take().expect("done job vanished");
+        state.free.push(id);
         drop(state);
-        if let Some(payload) = panic {
+        JOBS_RUN.fetch_add(1, Ordering::Relaxed);
+        if let Some(payload) = job.panic {
             std::panic::resume_unwind(payload);
         }
     }
@@ -175,15 +264,27 @@ static POOL: OnceLock<&'static Pool> = OnceLock::new();
 
 /// Hardware thread count, probed once — `available_parallelism` is a
 /// syscall, and `num_shards` asks on every kernel invocation above the
-/// cutoff, which is far too hot a path for per-call probing.
+/// cutoff, which is far too hot a path for per-call probing. The
+/// `PDMSF_POOL_THREADS` environment variable (also read once) overrides the
+/// probe.
 static HW_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Parse a `PDMSF_POOL_THREADS` value: a positive integer, clamped to
+/// `1..=128`. Anything unparsable is ignored (the hardware probe wins).
+fn parse_thread_override(raw: Option<std::ffi::OsString>) -> Option<usize> {
+    let s = raw?.into_string().ok()?;
+    let v: usize = s.trim().parse().ok()?;
+    Some(v.clamp(1, 128))
+}
 
 fn hw_threads() -> usize {
     *HW_THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16)
+        parse_thread_override(std::env::var_os("PDMSF_POOL_THREADS")).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        })
     })
 }
 
@@ -210,16 +311,56 @@ pub fn is_initialized() -> bool {
     POOL.get().is_some()
 }
 
+/// Process-wide pool observability counters (see [`stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pooled jobs completed (every [`run_shards`] call that dispatched to
+    /// a pool, plus test-local pool runs).
+    pub jobs_run: u64,
+    /// Shards executed through pooled jobs (on workers or submitters).
+    pub shards_executed: u64,
+    /// [`run_shards`] calls that ran entirely inline (single shard, or a
+    /// zero-worker pool).
+    pub inline_runs: u64,
+    /// Worker threads of the global pool (0 until first spawn).
+    pub workers: usize,
+    /// Global-pool workers currently parked waiting for work.
+    pub workers_parked: usize,
+}
+
+/// Snapshot the pool's observability counters. Counters are cumulative over
+/// the process lifetime; `workers`/`workers_parked` describe the global pool
+/// only and read 0 before it has been spawned.
+pub fn stats() -> PoolStats {
+    let (workers, workers_parked) = match POOL.get() {
+        Some(p) => (p.workers, lock(&p.state).parked),
+        None => (0, 0),
+    };
+    PoolStats {
+        jobs_run: JOBS_RUN.load(Ordering::Relaxed),
+        shards_executed: SHARDS_EXECUTED.load(Ordering::Relaxed),
+        inline_runs: INLINE_RUNS.load(Ordering::Relaxed),
+        workers,
+        workers_parked,
+    }
+}
+
 /// Execute `f(0), f(1), …, f(shards - 1)`, each exactly once, distributed
 /// over the persistent worker pool plus the calling thread. Blocks until
 /// every shard has finished, so `f` may borrow from the caller (slices of a
 /// row bank, scratch buffers) like under `std::thread::scope`.
+///
+/// Multiple threads may be inside `run_shards` concurrently: each call is
+/// an independent job in the pool's injector queue. A shard may itself call
+/// `run_shards` (the nested job queues behind the current one and the
+/// nested submitter helps drain it).
 ///
 /// Degrades to an inline loop when `shards <= 1` or when the machine has a
 /// single hardware thread — in particular the pool is **not** spawned in
 /// those cases.
 pub fn run_shards(shards: usize, f: impl Fn(usize) + Sync) {
     if shards <= 1 {
+        INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
         for i in 0..shards {
             f(i);
         }
@@ -227,6 +368,7 @@ pub fn run_shards(shards: usize, f: impl Fn(usize) + Sync) {
     }
     let pool = pool();
     if pool.workers == 0 {
+        INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
         for i in 0..shards {
             f(i);
         }
@@ -238,7 +380,8 @@ pub fn run_shards(shards: usize, f: impl Fn(usize) + Sync) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn single_shard_runs_inline_without_spawning_the_pool() {
@@ -326,5 +469,140 @@ mod tests {
             });
             assert_eq!(sum.load(Ordering::SeqCst), 6 + 4 * round as usize);
         }
+    }
+
+    // ---- multi-job queue tests (satellite: per-job pool queue) ----
+    //
+    // These run against dedicated `Pool` instances (not the global pool) so
+    // they exercise real worker threads even on a 1-core machine, where the
+    // global pool degrades to inline execution.
+
+    /// Block until `flag` is set, failing the test after 30s instead of
+    /// hanging the suite forever if the pool regressed to a deadlock.
+    fn await_flag(flag: &AtomicBool) {
+        let start = Instant::now();
+        while !flag.load(Ordering::SeqCst) {
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "pool deadlock: dependent job never ran"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn two_jobs_from_two_threads_complete_concurrently() {
+        // Job A's shards spin until job B (submitted later, from another
+        // thread) has executed — under the old single-job-slot design B
+        // could not start before A finished, so this test would deadlock.
+        let pool = Pool::new(2);
+        let b_ran = &*Box::leak(Box::new(AtomicBool::new(false)));
+        let a_done = &*Box::leak(Box::new(AtomicBool::new(false)));
+        let a = std::thread::spawn(move || {
+            pool.run(2, &|_shard| {
+                await_flag(b_ran);
+            });
+            a_done.store(true, Ordering::SeqCst);
+        });
+        let b = std::thread::spawn(move || {
+            // Make sure A is (very likely) submitted first.
+            std::thread::sleep(Duration::from_millis(20));
+            pool.run(2, &|_shard| {
+                b_ran.store(true, Ordering::SeqCst);
+            });
+        });
+        b.join().expect("job B's submitter");
+        a.join().expect("job A's submitter");
+        assert!(a_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn nested_submission_from_inside_a_shard_completes() {
+        // A shard submitting its own job joins the queue instead of
+        // deadlocking behind the outer submitter (the old design's submit
+        // mutex made this impossible).
+        let pool = Pool::new(2);
+        let inner_runs = AtomicUsize::new(0);
+        pool.run(2, &|_outer| {
+            pool.run(3, &|_inner| {
+                inner_runs.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(inner_runs.load(Ordering::SeqCst), 2 * 3);
+    }
+
+    #[test]
+    fn many_concurrent_submitters_all_complete() {
+        let pool = Pool::new(3);
+        let total = &*Box::leak(Box::new(AtomicUsize::new(0)));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        pool.run(5, &|shard| {
+                            total.fetch_add(shard + 1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("submitter thread");
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 25 * (1 + 2 + 3 + 4 + 5));
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_every_shard_on_the_submitter() {
+        // The 1-core degradation path: no workers, the submitter drains its
+        // own job inline (this is also what `run_shards` does for the global
+        // pool on a single-core machine).
+        let pool = Pool::new(0);
+        let me = std::thread::current().id();
+        let hits = AtomicUsize::new(0);
+        pool.run(6, &|_shard| {
+            assert_eq!(std::thread::current().id(), me, "shard left the submitter");
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn zero_shard_jobs_return_immediately_without_queueing() {
+        // `Pool::run(0, …)` must not enqueue (the queue invariant requires
+        // unclaimed shards) — it returns without touching the closure.
+        let pool = Pool::new(1);
+        pool.run(0, &|_| panic!("no shards requested"));
+        // The pool is untouched and fully usable.
+        let hits = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn stats_count_jobs_shards_and_inline_runs() {
+        let before = stats();
+        let pool = Pool::new(1);
+        pool.run(4, &|_| {});
+        run_shards(1, |_| {});
+        let after = stats();
+        assert!(after.jobs_run > before.jobs_run);
+        assert!(after.shards_executed >= before.shards_executed + 4);
+        assert!(after.inline_runs > before.inline_runs);
+    }
+
+    #[test]
+    fn thread_override_parses_and_clamps() {
+        let os = |s: &str| Some(std::ffi::OsString::from(s));
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(os("")), None);
+        assert_eq!(parse_thread_override(os("abc")), None);
+        assert_eq!(parse_thread_override(os("-3")), None);
+        assert_eq!(parse_thread_override(os("4")), Some(4));
+        assert_eq!(parse_thread_override(os(" 12 ")), Some(12));
+        assert_eq!(parse_thread_override(os("0")), Some(1));
+        assert_eq!(parse_thread_override(os("9999")), Some(128));
     }
 }

@@ -18,6 +18,8 @@
 //!   `O(sqrt(n log n))`-time structure (Theorem 1.2), the parallel
 //!   `O(log n)`-depth / `O(sqrt n)`-processor structure (Theorem 3.1) and the
 //!   sparsification tree (Section 5),
+//! * [`engine`] ([`pdmsf_engine`]) — the batched update/query serving layer
+//!   on top of the parallel structure,
 //! * [`baselines`] ([`pdmsf_baselines`]) — comparison structures.
 //!
 //! ## Performance architecture
@@ -74,6 +76,41 @@
 //! structure, which the differential test-suite checks with the threaded
 //! path on and off.
 //!
+//! ## The batch engine layer
+//!
+//! Above the single-operation structures sits the **batched update/query
+//! engine** ([`Engine`], crate [`pdmsf_engine`]): real traffic arrives in
+//! bursts of independent operations, and the engine exploits the burst
+//! structure a one-op-at-a-time loop cannot see. Per batch it
+//!
+//! * **plans** in plain code (no structural work): assigns edge ids,
+//!   validates every op into a per-op [`engine::Outcome`] instead of
+//!   panicking, **cancels opposing insert/delete pairs** (flapping links
+//!   never reach the `O(sqrt(n) log n)` update path — only the cheap
+//!   id-allocating mirror sees them, keeping ids identical to a serial
+//!   execution), and **dedups queries**,
+//! * **applies** the surviving updates through [`core::ParDynamicMsf`],
+//! * **answers all queries at one snapshot point** (after the batch's
+//!   updates): the forest is captured once into flat component labels
+//!   ([`engine::QuerySnapshot`], `O(n + f·α)`) and every connectivity query
+//!   becomes two array loads — instead of a `&mut`-self link-cut-tree walk
+//!   per query — fanned out across the worker pool when the batch is query-
+//!   heavy enough to amortize dispatch.
+//!
+//! The pool itself serves **multiple jobs concurrently** (a shared FIFO
+//! injector with per-job shard counters replaced the single-submitter
+//! mutex), so query fan-out can proceed while another submitter runs
+//! kernels; `PDMSF_POOL_THREADS` overrides its width and
+//! [`pram::pool::stats`] exposes its counters. Batch semantics are pinned
+//! by a lockstep proptest: batched execution is observationally identical
+//! (outcomes, forest, weights) to applying the same ops one at a time
+//! against [`core::SeqDynamicMsf`] and to a Kruskal recompute, under
+//! duplicate cuts, flap pairs, self-loops and out-of-range endpoints.
+//! Experiment E1 (`cargo run --release -p pdmsf-bench --bin experiments --
+//! e1`) measures the batched path against the one-op-at-a-time path on
+//! bursty and tenant-clustered streams and records the trajectory in
+//! `BENCH_batch_throughput.json`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -108,8 +145,11 @@
 pub use pdmsf_baselines as baselines;
 pub use pdmsf_core as core;
 pub use pdmsf_dyntree as dyntree;
+pub use pdmsf_engine as engine;
 pub use pdmsf_graph as graph;
 pub use pdmsf_pram as pram;
+
+pub use pdmsf_engine::Engine;
 
 /// Convenient single-import prelude for applications.
 pub mod prelude {
@@ -117,10 +157,11 @@ pub mod prelude {
     pub use pdmsf_core::par::ParDynamicMsf;
     pub use pdmsf_core::seq::SeqDynamicMsf;
     pub use pdmsf_core::sparsify::SparsifiedMsf;
+    pub use pdmsf_engine::{BatchResult, BatchSummary, Engine, Outcome, Reject};
     pub use pdmsf_graph::{
-        assert_matches_kruskal, kruskal_msf, DegreeReduced, DynGraph, DynamicMsf, Edge, EdgeId,
-        GraphSpec, MsfDelta, StreamKind, UpdateOp, UpdateStream, UpdateStreamSpec, VertexId, WKey,
-        Weight,
+        assert_matches_kruskal, kruskal_msf, BatchKind, BatchOp, BatchStream, BatchStreamSpec,
+        DegreeReduced, DynGraph, DynamicMsf, Edge, EdgeId, GraphSpec, MsfDelta, StreamKind,
+        UpdateOp, UpdateStream, UpdateStreamSpec, VertexId, WKey, Weight,
     };
     pub use pdmsf_pram::{CostMeter, CostReport, ExecMode};
 }
