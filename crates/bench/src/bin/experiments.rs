@@ -1,4 +1,4 @@
-//! Experiment driver: prints the evaluation tables (E0–E10) and writes the
+//! Experiment driver: prints the evaluation tables (E0–E11) and writes the
 //! machine-readable benchmark JSON artifacts.
 //!
 //! Usage:
@@ -10,22 +10,26 @@
 //!
 //! The machine-readable experiments also write JSON artifacts: E0 emits
 //! `BENCH_update_time.json` (per-update throughput; `gate` adds the CI
-//! regression gate) and E1 emits `BENCH_batch_throughput.json` (batched vs
-//! one-op-at-a-time engine paths over bursty/clustered batch streams).
+//! regression gate), E1 emits `BENCH_batch_throughput.json` (batched vs
+//! one-op-at-a-time engine paths over bursty/clustered batch streams) and
+//! E2 emits `BENCH_shard_throughput.json` (sharded multi-tenant service vs
+//! one flat merged engine, across shard counts and tenant skews).
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
     batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
-    drive, drive_engine_batched, drive_engine_one_by_one, drive_updates_only, failure_stream,
-    grid_stream, insert_stream, mixed_stream, pram_profile, seq_mean_update_time, BatchRecord,
-    BenchRecord, RunMeta,
+    drive, drive_engine_batched, drive_engine_one_by_one, drive_service_flat,
+    drive_service_sharded, drive_updates_only, failure_stream, grid_stream, insert_stream,
+    mixed_stream, pram_profile, seq_mean_update_time, shard_records_to_json, tenant_stream,
+    BatchRecord, BenchRecord, MergedTenantEngine, RunMeta, ShardRecord,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
 };
 use pdmsf_engine::Engine;
-use pdmsf_graph::{DynamicMsf, UpdateStream};
-use pdmsf_pram::{erew_tournament_min, par_min_index, AccessLog, CostMeter};
+use pdmsf_graph::{DynamicMsf, TenantId, UpdateStream};
+use pdmsf_pram::{erew_tournament_min, par_min_index, pool, AccessLog, CostMeter};
+use pdmsf_shard::{ShardedService, TenantSpec};
 use std::time::Duration;
 
 fn micros(d: Duration, ops: usize) -> f64 {
@@ -69,8 +73,11 @@ fn main() {
     if want("e1") {
         e1_batch_throughput(quick);
     }
-    if want("e2") || want("e3") || want("e4") {
-        e2_e3_e4_pram_scaling(&config);
+    if want("e2") {
+        e2_shard_throughput(quick);
+    }
+    if want("e11") || want("e3") || want("e4") {
+        e11_pram_scaling(&config);
     }
     if want("e5") {
         e5_workloads(&config);
@@ -379,6 +386,144 @@ fn e1_batch_throughput(quick: bool) {
     );
 }
 
+/// E2: sharded-service throughput — the multi-tenant sharded service
+/// (tenant routing, per-shard planning, concurrent shard application on
+/// the pool injector) vs one flat single-`Engine` over the merged vertex
+/// space, on identical tenant-tagged streams, across shard counts and
+/// tenant popularity skews. Emits `BENCH_shard_throughput.json`, each
+/// record stamped with the pool-stats delta of its timed region on top of
+/// the usual run metadata.
+///
+/// The ROADMAP acceptance bar: sharded with ≥ 4 shards ≥ 1.2× the flat
+/// merged engine (median ops/sec) at the largest quick size on the skewed
+/// stream. The win has two independent sources — each shard holds
+/// `n_shard << n_total` vertices, so the `O(sqrt(n) log n)` updates and
+/// the `O(n)` query snapshots are cheaper *per core*; and shard batches
+/// run concurrently when cores exist — so the bar holds on one core too.
+fn e2_shard_throughput(quick: bool) {
+    println!("\n== E2: sharded service throughput (writes BENCH_shard_throughput.json) ==");
+    println!("paths: sharded (tenant routing + per-shard plan + concurrent shard jobs)");
+    println!("vs flat-merged (one engine over the merged vertex space); identical");
+    println!("streams and final forests, so the ratio is pure sharding leverage");
+    let (sizes, shard_counts, total_ops, reps): (&[(usize, usize)], &[usize], usize, usize) =
+        if quick {
+            (&[(16, 256), (16, 512)], &[1, 2, 4, 8], 4_096, 1)
+        } else {
+            (
+                &[(16, 256), (16, 512), (32, 512), (16, 1_024)],
+                &[1, 2, 4, 8],
+                8_192,
+                3,
+            )
+        };
+    let batch_size = 512usize;
+    let skews: &[(&str, u32)] = &[("skewed", 900), ("uniform", 0)];
+    let mut records: Vec<ShardRecord> = Vec::new();
+    println!(
+        "{:>8} {:>8} {:>8} {:>7} {:>16} {:>14}",
+        "stream", "total_n", "tenants", "shards", "ops/s (median)", "vs flat"
+    );
+    for &(tenants, tenant_n) in sizes {
+        let total_n = tenants * tenant_n;
+        for &(skew_name, zipf) in skews {
+            let batches = (total_ops / batch_size).max(1);
+            let stream = tenant_stream(tenants, tenant_n, batches, batch_size, zipf, 91);
+            let specs: Vec<TenantSpec> = (0..tenants)
+                .map(|t| TenantSpec::new(TenantId(t as u32), tenant_n))
+                .collect();
+            // The flat merged baseline first; shard counts ride against it.
+            // Its final forest weight is the differential reference every
+            // sharded run below is checked against.
+            let mut flat_rates: Vec<f64> = Vec::new();
+            let mut flat_weight = 0i128;
+            for _ in 0..reps {
+                let mut flat = MergedTenantEngine::new(tenants, tenant_n);
+                let snap = pool::snapshot();
+                let (t, ops) = drive_service_flat(&mut flat, &stream);
+                let delta = snap.delta();
+                flat_weight = flat.engine().forest_weight();
+                records.push(ShardRecord {
+                    path: "flat-merged".into(),
+                    shards: 1,
+                    tenants,
+                    tenant_n,
+                    total_n,
+                    zipf_permille: zipf,
+                    batch_size,
+                    batches,
+                    ops,
+                    elapsed_ns: t.as_nanos(),
+                    pool_jobs: delta.jobs_run,
+                    pool_shards: delta.shards_executed,
+                    pool_inline: delta.inline_runs,
+                });
+                flat_rates.push(records.last().unwrap().ops_per_sec());
+            }
+            let median = |xs: &mut Vec<f64>| {
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+                xs[xs.len() / 2]
+            };
+            let m_flat = median(&mut flat_rates);
+            println!(
+                "{:>8} {:>8} {:>8} {:>7} {:>16.0} {:>13.2}x",
+                skew_name, total_n, tenants, "flat", m_flat, 1.0
+            );
+            for &shards in shard_counts {
+                let mut rates: Vec<f64> = Vec::new();
+                for _ in 0..reps {
+                    let mut service = ShardedService::new(shards, &specs);
+                    let snap = pool::snapshot();
+                    let (t, ops) = drive_service_sharded(&mut service, &stream);
+                    let delta = snap.delta();
+                    records.push(ShardRecord {
+                        path: "sharded".into(),
+                        shards,
+                        tenants,
+                        tenant_n,
+                        total_n,
+                        zipf_permille: zipf,
+                        batch_size,
+                        batches,
+                        ops,
+                        elapsed_ns: t.as_nanos(),
+                        pool_jobs: delta.jobs_run,
+                        pool_shards: delta.shards_executed,
+                        pool_inline: delta.inline_runs,
+                    });
+                    rates.push(records.last().unwrap().ops_per_sec());
+                    // The two paths must agree — this benchmark doubles as a
+                    // large-n differential test of the sharded semantics.
+                    assert_eq!(
+                        service.total_forest_weight(),
+                        flat_weight,
+                        "sharded and flat-merged forests diverged"
+                    );
+                }
+                let m = median(&mut rates);
+                println!(
+                    "{:>8} {:>8} {:>8} {:>7} {:>16.0} {:>13.2}x",
+                    skew_name,
+                    total_n,
+                    tenants,
+                    shards,
+                    m,
+                    if m_flat > 0.0 { m / m_flat } else { 0.0 }
+                );
+            }
+        }
+    }
+    let meta = RunMeta::collect();
+    let json = shard_records_to_json(&meta, &records);
+    let path = "BENCH_shard_throughput.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "wrote {path} ({} records, git {}, {} pool thread(s))",
+        records.len(),
+        meta.git_sha,
+        meta.threads
+    );
+}
+
 /// E10: per-update wall clock vs n — paper structure vs baselines
 /// (numbered E1 before the batch engine claimed that slot).
 fn e10_seq_update_time(cfg: &Config) {
@@ -413,9 +558,10 @@ fn e10_seq_update_time(cfg: &Config) {
     }
 }
 
-/// E2/E3/E4: PRAM depth, work and processors per update vs n.
-fn e2_e3_e4_pram_scaling(cfg: &Config) {
-    println!("\n== E2/E3/E4: EREW PRAM scaling of the parallel structure ==");
+/// E11: PRAM depth, work and processors per update vs n (numbered E2/E3/E4
+/// before the sharded service claimed E2; also selected by `e3` / `e4`).
+fn e11_pram_scaling(cfg: &Config) {
+    println!("\n== E11: EREW PRAM scaling of the parallel structure (formerly E2/E3/E4) ==");
     println!(
         "{:>8} {:>6} {:>12} {:>12} {:>14} {:>14} {:>12} {:>10}",
         "n", "K", "worst depth", "mean depth", "worst work", "mean work", "peak procs", "sqrt(n)"

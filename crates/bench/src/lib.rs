@@ -1,24 +1,26 @@
 //! Shared harness code for the benchmark suite and the `experiments` binary.
 //!
 //! The paper has no experimental section, so the `experiments` binary in
-//! this crate defines the evaluation (experiments E0–E10) that validates
+//! this crate defines the evaluation (experiments E0–E11) that validates
 //! its analytical claims. This crate provides the common machinery: stream
-//! construction
-//! (update streams and batched update/query streams), structure and
-//! batch-engine drivers, wall-clock measurement, the PRAM cost extraction,
-//! and the machine-readable record types behind `BENCH_update_time.json`
-//! (E0) and `BENCH_batch_throughput.json` (E1), used by both the harness
-//! benches and the table-printing binary.
+//! construction (update streams, batched update/query streams and
+//! tenant-tagged multi-tenant streams), structure, batch-engine and
+//! sharded-service drivers, wall-clock measurement, the PRAM cost
+//! extraction, and the machine-readable record types behind
+//! `BENCH_update_time.json` (E0), `BENCH_batch_throughput.json` (E1) and
+//! `BENCH_shard_throughput.json` (E2), used by both the harness benches
+//! and the table-printing binary.
 
 pub mod harness;
 
 use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf};
 use pdmsf_engine::{Engine, Op};
 use pdmsf_graph::{
-    BatchKind, BatchStream, BatchStreamSpec, DynamicMsf, GraphSpec, StreamKind, UpdateOp,
-    UpdateStream, UpdateStreamSpec,
+    BatchKind, BatchOp, BatchStream, BatchStreamSpec, DynamicMsf, EdgeId, GraphSpec, StreamKind,
+    TenantOp, TenantStream, TenantStreamSpec, UpdateOp, UpdateStream, UpdateStreamSpec, VertexId,
 };
 use pdmsf_pram::CostReport;
+use pdmsf_shard::ShardedService;
 use std::time::{Duration, Instant};
 
 /// Insert-only stream over a random sparse graph (the "growing network"
@@ -109,6 +111,140 @@ pub fn clustered_batch_stream(
         },
         seed: seed ^ 0xC105,
     })
+}
+
+/// Multi-tenant tenant-tagged stream with Zipf-skewed tenant popularity and
+/// bursty per-tenant traffic (flap pairs, duplicate queries) — the E2
+/// serving workload. `zipf_permille = 0` gives uniform popularity.
+pub fn tenant_stream(
+    tenants: usize,
+    tenant_vertices: usize,
+    batches: usize,
+    batch_size: usize,
+    zipf_permille: u32,
+    seed: u64,
+) -> TenantStream {
+    TenantStream::generate(&TenantStreamSpec {
+        tenants,
+        tenant_vertices,
+        tenant_edges: 2 * tenant_vertices,
+        batches,
+        batch_size,
+        burst: (batch_size / 8).max(1),
+        zipf_permille,
+        kind: BatchKind::Bursty {
+            query_permille: 550,
+            flap_permille: 350,
+        },
+        seed: seed ^ 0x5AA2_D001,
+    })
+}
+
+/// One flat [`Engine`] over the **merged** vertex space of every tenant —
+/// the baseline the sharded service is measured against in E2. Tenant
+/// vertices translate by a per-tenant block offset and tenant-local edge
+/// ids through per-tenant id maps that mirror the merged engine's global
+/// sequential allocation, so the same tenant-tagged stream drives both
+/// paths. (Tenant weight queries become whole-forest weight queries here —
+/// cheaper than the sharded service's per-tenant sweeps, which only biases
+/// the comparison *against* sharding.)
+pub struct MergedTenantEngine {
+    engine: Engine,
+    tenant_vertices: usize,
+    id_maps: Vec<Vec<EdgeId>>,
+    next_gid: u32,
+    scratch: Vec<BatchOp>,
+}
+
+impl MergedTenantEngine {
+    /// A merged engine over `tenants * tenant_vertices` vertices.
+    pub fn new(tenants: usize, tenant_vertices: usize) -> MergedTenantEngine {
+        MergedTenantEngine {
+            engine: Engine::new(tenants * tenant_vertices),
+            tenant_vertices,
+            id_maps: vec![Vec::new(); tenants],
+            next_gid: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Translate and execute one tenant-tagged batch.
+    pub fn execute(&mut self, ops: &[TenantOp]) -> pdmsf_engine::BatchResult {
+        let block = self.tenant_vertices as u32;
+        self.scratch.clear();
+        for top in ops {
+            let t = top.tenant.index();
+            let offset = |v: VertexId| VertexId(top.tenant.0 * block + v.0);
+            let op = match top.op {
+                BatchOp::Link { u, v, weight } => {
+                    // Every generated link is valid, so it consumes the next
+                    // global id — mirror the allocation for later Cuts.
+                    self.id_maps[t].push(EdgeId(self.next_gid));
+                    self.next_gid += 1;
+                    BatchOp::Link {
+                        u: offset(u),
+                        v: offset(v),
+                        weight,
+                    }
+                }
+                BatchOp::Cut { id } => BatchOp::Cut {
+                    id: self.id_maps[t][id.index()],
+                },
+                BatchOp::QueryConnected { u, v } => BatchOp::QueryConnected {
+                    u: offset(u),
+                    v: offset(v),
+                },
+                BatchOp::QueryForestWeight => BatchOp::QueryForestWeight,
+            };
+            self.scratch.push(op);
+        }
+        let batch = std::mem::take(&mut self.scratch);
+        let result = self.engine.execute(&batch);
+        self.scratch = batch;
+        result
+    }
+
+    /// The underlying merged engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+/// Feed a tenant stream's per-tenant base graphs into the sharded service
+/// (untimed), then drive every service batch through
+/// [`ShardedService::execute`] (timed). Returns (wall clock, ops).
+pub fn drive_service_sharded(
+    service: &mut ShardedService,
+    stream: &TenantStream,
+) -> (Duration, usize) {
+    service.execute(&stream.base_ops());
+    let mut elapsed = Duration::ZERO;
+    let mut ops = 0usize;
+    for batch in &stream.batches {
+        let start = Instant::now();
+        service.execute(batch);
+        elapsed += start.elapsed();
+        ops += batch.len();
+    }
+    (elapsed, ops)
+}
+
+/// Same stream through the flat merged single-engine baseline (base graphs
+/// untimed, batches timed). Returns (wall clock, ops).
+pub fn drive_service_flat(
+    merged: &mut MergedTenantEngine,
+    stream: &TenantStream,
+) -> (Duration, usize) {
+    merged.execute(&stream.base_ops());
+    let mut elapsed = Duration::ZERO;
+    let mut ops = 0usize;
+    for batch in &stream.batches {
+        let start = Instant::now();
+        merged.execute(batch);
+        elapsed += start.elapsed();
+        ops += batch.len();
+    }
+    (elapsed, ops)
 }
 
 /// Feed a batch stream's base graph into an engine (untimed), then drive
@@ -432,6 +568,93 @@ pub fn batch_records_to_json(meta: &RunMeta, records: &[BatchRecord]) -> String 
     out
 }
 
+// ---------------------------------------------------------------------
+// Shard-throughput records (BENCH_shard_throughput.json)
+// ---------------------------------------------------------------------
+
+/// One measured (path, shard count, size, skew) cell of the E2 shard
+/// throughput benchmark. On top of the usual wall-clock fields, each record
+/// carries the **pool-stats delta** of its timed region
+/// (`pdmsf_pram::pool::snapshot`), so pool activity — dispatched jobs,
+/// executed shards, inline degradations — is attributable per cell.
+#[derive(Clone, Debug)]
+pub struct ShardRecord {
+    /// Execution path (`"sharded"` / `"flat-merged"`).
+    pub path: String,
+    /// Shard count of the service (1 for the flat-merged engine).
+    pub shards: usize,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Vertices per tenant.
+    pub tenant_n: usize,
+    /// Merged vertex-space size (`tenants * tenant_n`).
+    pub total_n: usize,
+    /// Tenant popularity skew of the stream, in permille.
+    pub zipf_permille: u32,
+    /// Operations per service batch.
+    pub batch_size: usize,
+    /// Number of timed service batches.
+    pub batches: usize,
+    /// Total timed operations.
+    pub ops: usize,
+    /// Wall-clock nanoseconds inside the timed batches.
+    pub elapsed_ns: u128,
+    /// Pool jobs dispatched during the timed region.
+    pub pool_jobs: u64,
+    /// Pool shards executed during the timed region.
+    pub pool_shards: u64,
+    /// Inline (non-pooled) runs during the timed region.
+    pub pool_inline: u64,
+}
+
+impl ShardRecord {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// Serialize shard-throughput records as JSON, stamped with the same run
+/// metadata as the other benchmark artifacts (hand-rolled for the same
+/// reason as [`bench_records_to_json`]).
+pub fn shard_records_to_json(meta: &RunMeta, records: &[ShardRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"shard_throughput\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"threads\": {}, \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.threads, meta.par_cutoff
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"shards\": {}, \"tenants\": {}, \"tenant_n\": {}, \"total_n\": {}, \"zipf_permille\": {}, \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}}}{}\n",
+            r.path,
+            r.shards,
+            r.tenants,
+            r.tenant_n,
+            r.total_n,
+            r.zipf_permille,
+            r.batch_size,
+            r.batches,
+            r.ops,
+            r.elapsed_ns,
+            r.ops_per_sec(),
+            r.pool_jobs,
+            r.pool_shards,
+            r.pool_inline,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +757,72 @@ mod tests {
         assert_eq!(batched.forest_weight(), serial.forest_weight());
         // The bursty stream actually exercised the batch leverage.
         assert!(batched.stats().cancelled_pairs > 0);
+    }
+
+    #[test]
+    fn shard_json_is_well_formed() {
+        let records = vec![
+            ShardRecord {
+                path: "sharded".into(),
+                shards: 4,
+                tenants: 16,
+                tenant_n: 256,
+                total_n: 4096,
+                zipf_permille: 900,
+                batch_size: 512,
+                batches: 8,
+                ops: 4096,
+                elapsed_ns: 2_048_000,
+                pool_jobs: 12,
+                pool_shards: 40,
+                pool_inline: 3,
+            },
+            ShardRecord {
+                path: "flat-merged".into(),
+                shards: 1,
+                tenants: 16,
+                tenant_n: 256,
+                total_n: 4096,
+                zipf_permille: 900,
+                batch_size: 512,
+                batches: 8,
+                ops: 4096,
+                elapsed_ns: 4_096_000,
+                pool_jobs: 0,
+                pool_shards: 0,
+                pool_inline: 8,
+            },
+        ];
+        let meta = RunMeta {
+            git_sha: "deadbeef".into(),
+            threads: 4,
+            par_cutoff: 512,
+        };
+        let json = shard_records_to_json(&meta, &records);
+        assert!(json.contains("\"benchmark\": \"shard_throughput\""));
+        assert!(json.contains("\"path\": \"sharded\""));
+        assert!(json.contains("\"path\": \"flat-merged\""));
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"zipf_permille\": 900"));
+        assert!(json.contains("\"ops_per_sec\": 2000000.00"));
+        assert!(json.contains("\"pool_jobs\": 12"));
+        assert_eq!(json.matches("},\n").count(), 2);
+        assert_eq!(records[0].ops_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn sharded_and_flat_drivers_agree_on_total_weight() {
+        use pdmsf_graph::TenantId;
+        use pdmsf_shard::TenantSpec;
+        let stream = tenant_stream(4, 32, 5, 48, 800, 9);
+        let specs: Vec<TenantSpec> = (0..4).map(|t| TenantSpec::new(TenantId(t), 32)).collect();
+        let mut sharded = ShardedService::new(2, &specs);
+        let mut flat = MergedTenantEngine::new(4, 32);
+        let (_, ops_a) = drive_service_sharded(&mut sharded, &stream);
+        let (_, ops_b) = drive_service_flat(&mut flat, &stream);
+        assert_eq!(ops_a, stream.total_ops());
+        assert_eq!(ops_a, ops_b);
+        assert_eq!(sharded.total_forest_weight(), flat.engine().forest_weight());
     }
 
     #[test]

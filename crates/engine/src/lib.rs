@@ -86,6 +86,10 @@ pub enum Reject {
     /// A `Link` with `u == v` (self-loops never affect a spanning forest;
     /// the engine refuses them at the boundary).
     SelfLoop,
+    /// The operation named a tenant the serving layer has never registered
+    /// (raised by the sharded service's router, not by a plain [`Engine`] —
+    /// a single engine has no tenant notion).
+    UnknownTenant,
 }
 
 /// The per-operation result of a batch.
@@ -202,6 +206,40 @@ pub(crate) fn query_reject(n: usize, u: VertexId, v: VertexId) -> Option<Reject>
     }
 }
 
+/// A batch planned by [`Engine::plan_batch`], awaiting application through
+/// [`Engine::execute_planned`]. Opaque: it carries pre-assigned edge ids,
+/// the cancellation/dedup decisions and the provisional per-op outcomes.
+///
+/// Planning borrows the engine immutably, so a serving layer can plan the
+/// sub-batches of many shard engines back to back on the caller thread and
+/// then apply them concurrently (one pool job per shard) — the pattern the
+/// sharded service uses. A plan is `Send`: it contains only ids, weights
+/// and outcome slots.
+pub struct PlannedBatch {
+    plan: plan::BatchPlan,
+    ops: usize,
+    /// The mirror's id-allocation frontier at plan time; `execute_planned`
+    /// asserts it has not moved (a stale plan would mis-assign ids).
+    id_base: usize,
+}
+
+impl PlannedBatch {
+    /// Operations in the planned batch.
+    pub fn num_ops(&self) -> usize {
+        self.ops
+    }
+
+    /// Updates that survived validation (cancelled pairs included).
+    pub fn num_updates(&self) -> usize {
+        self.plan.updates.len()
+    }
+
+    /// Distinct queries the batch will answer.
+    pub fn num_unique_queries(&self) -> usize {
+        self.plan.unique_queries.len()
+    }
+}
+
 /// The batched update/query engine. Owns the id-allocating [`DynGraph`]
 /// mirror and the MSF structure; see the crate docs for semantics.
 pub struct Engine {
@@ -209,6 +247,17 @@ pub struct Engine {
     msf: ParDynamicMsf,
     stats: EngineStats,
 }
+
+// The sharded serving layer drives one engine per shard from pool workers
+// (plans move to the worker, results move back). Everything inside is flat
+// `Vec`s and integers; pin that so a future field can't silently take the
+// concurrency away.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+    assert_send::<PlannedBatch>();
+    assert_send::<BatchResult>();
+};
 
 impl Engine {
     /// An engine over `n` isolated vertices, backed by the parallel
@@ -264,13 +313,108 @@ impl Engine {
         self.msf.forest_weight()
     }
 
+    /// Total weight of the forest edges whose endpoints lie in the vertex
+    /// range `lo..hi`. `O(f)` over the current forest edges.
+    ///
+    /// This is the tenant-scoped weight query of the sharded service: a
+    /// shard engine hosts several tenants in disjoint vertex ranges whose
+    /// edges never cross ranges, so the forest decomposes exactly and the
+    /// range sum *is* that tenant's forest weight. (Edges only partially
+    /// inside the range count too — the caller guarantees there are none.)
+    pub fn forest_weight_in_range(&self, lo: VertexId, hi: VertexId) -> i128 {
+        self.forest_weights_in_ranges(&[(lo, hi)])[0]
+    }
+
+    /// [`Engine::forest_weight_in_range`] for many disjoint ranges in **one**
+    /// sweep over the forest edges (enumerating the forest costs a scan of
+    /// the live edge set, so per-range sweeps would multiply that scan by
+    /// the range count — the sharded service answers all of a shard's
+    /// tenant weight queries through this). Returns one sum per input
+    /// range, in input order; ranges may be passed in any order but must
+    /// not overlap.
+    pub fn forest_weights_in_ranges(&self, ranges: &[(VertexId, VertexId)]) -> Vec<i128> {
+        let mut totals = vec![0i128; ranges.len()];
+        if ranges.is_empty() {
+            return totals;
+        }
+        // Sort range indices by start so each edge resolves its range with
+        // one binary search. Empty ranges can hold no edge but could tie
+        // with a real range on the start vertex and shadow it in the
+        // search — leave them out (their sum is 0 by definition).
+        let mut order: Vec<u32> = (0..ranges.len() as u32)
+            .filter(|&i| ranges[i as usize].0 < ranges[i as usize].1)
+            .collect();
+        order.sort_by_key(|&i| ranges[i as usize].0);
+        for id in self.msf.forest_edges() {
+            let e = self.graph.edge_unchecked(id);
+            // Last range starting at or before e.u, if any.
+            let pos = order.partition_point(|&i| ranges[i as usize].0 <= e.u);
+            if pos == 0 {
+                continue;
+            }
+            let slot = order[pos - 1] as usize;
+            let (lo, hi) = ranges[slot];
+            if e.u < hi {
+                debug_assert!(
+                    e.v >= lo && e.v < hi,
+                    "forest edge crosses a queried vertex range"
+                );
+                totals[slot] += e.weight.as_summable();
+            }
+        }
+        totals
+    }
+
     /// Execute one batch with full batch preprocessing: plan (id
     /// assignment, validation, cancellation, query dedup), apply the
     /// surviving updates through the structure, then answer all queries at
     /// the snapshot point — via a [`QuerySnapshot`] fanned out over the
     /// worker pool when the batch carries enough distinct queries.
+    ///
+    /// Equivalent to [`Engine::plan_batch`] followed by
+    /// [`Engine::execute_planned`]; the split form lets a serving layer
+    /// plan many shard batches on the caller thread and apply them
+    /// concurrently on pool workers.
     pub fn execute(&mut self, ops: &[Op]) -> BatchResult {
-        let mut plan = plan::plan(&self.graph, ops);
+        let plan = self.plan_batch(ops);
+        self.execute_planned(plan)
+    }
+
+    /// Plan one batch against the engine's current state **without applying
+    /// anything**: sequential id assignment against the [`DynGraph`]
+    /// mirror, per-op validation, cancellation of opposing link/cut pairs
+    /// and query dedup, all in plain code (`&self` — no structural work).
+    ///
+    /// The returned plan is only valid against this engine in this state:
+    /// it must be applied with [`Engine::execute_planned`] before any other
+    /// batch executes (the plan pre-assigns edge ids from the mirror's
+    /// current allocation frontier, which an intervening batch would move).
+    pub fn plan_batch(&self, ops: &[Op]) -> PlannedBatch {
+        PlannedBatch {
+            plan: plan::plan(&self.graph, ops),
+            ops: ops.len(),
+            id_base: self.graph.edge_id_bound(),
+        }
+    }
+
+    /// Apply a batch planned by [`Engine::plan_batch`]: apply the surviving
+    /// updates through the structure and answer all queries at the
+    /// post-update snapshot point. This is the `&mut self` half of
+    /// [`Engine::execute`] — a sharded serving layer plans every shard's
+    /// sub-batch on the caller thread and runs this half concurrently, one
+    /// shard engine per pool job.
+    pub fn execute_planned(&mut self, planned: PlannedBatch) -> BatchResult {
+        // A real assert, not a debug_assert: applying a stale plan would
+        // silently collide its pre-assigned edge ids with ids the engine
+        // allocated since, corrupting the mirror — and this is a public
+        // API whose misuse must fail loudly in release builds too. One
+        // usize comparison per batch.
+        assert_eq!(
+            planned.id_base,
+            self.graph.edge_id_bound(),
+            "plan applied to an engine whose state moved since plan_batch"
+        );
+        let PlannedBatch { mut plan, ops, .. } = planned;
         let mut applied = 0usize;
         for update in &plan.updates {
             match *update {
@@ -319,7 +463,7 @@ impl Engine {
         }
 
         let summary = BatchSummary {
-            ops: ops.len(),
+            ops,
             applied_updates: applied,
             cancelled_pairs: plan.cancelled_pairs,
             rejected: plan.rejected,
@@ -555,6 +699,54 @@ mod tests {
         assert_eq!(stats.cancelled_pairs, 1);
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.deduped_queries, 1);
+    }
+
+    #[test]
+    fn plan_then_execute_matches_execute() {
+        let ops = vec![
+            link(0, 1, 3),
+            link(2, 3, 9),             // flap
+            Op::Cut { id: EdgeId(1) }, // cancels
+            qconn(0, 1),
+            qconn(0, 1),
+            Op::QueryForestWeight,
+            Op::Cut { id: EdgeId(7) }, // rejected
+        ];
+        let mut split = Engine::new(6);
+        let mut fused = Engine::new(6);
+        let plan = split.plan_batch(&ops);
+        assert_eq!(plan.num_ops(), ops.len());
+        assert_eq!(plan.num_updates(), 3);
+        assert_eq!(plan.num_unique_queries(), 2);
+        let rs = split.execute_planned(plan);
+        let rf = fused.execute(&ops);
+        assert_eq!(rs.outcomes, rf.outcomes);
+        assert_eq!(rs.summary, rf.summary);
+        assert_eq!(split.forest_edges(), fused.forest_edges());
+    }
+
+    #[test]
+    fn ranged_forest_weight_decomposes_disjoint_blocks() {
+        // Two isolated vertex blocks (0..3 and 3..6), edges never cross.
+        let mut engine = Engine::new(6);
+        engine.execute(&[link(0, 1, 2), link(1, 2, 5), link(3, 4, 7), link(4, 5, 11)]);
+        assert_eq!(engine.forest_weight_in_range(VertexId(0), VertexId(3)), 7);
+        assert_eq!(engine.forest_weight_in_range(VertexId(3), VertexId(6)), 18);
+        assert_eq!(
+            engine.forest_weight_in_range(VertexId(0), VertexId(6)),
+            engine.forest_weight()
+        );
+        assert_eq!(engine.forest_weight_in_range(VertexId(6), VertexId(6)), 0);
+        // An empty range tying with a real range's start must not shadow
+        // it (the zero-vertex-tenant case of the sharded service).
+        assert_eq!(
+            engine.forest_weights_in_ranges(&[
+                (VertexId(0), VertexId(3)),
+                (VertexId(0), VertexId(0)),
+                (VertexId(3), VertexId(6)),
+            ]),
+            vec![7, 0, 18]
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   insertion order), so a stream can be replayed against any structure.
 
 use crate::graph::DynGraph;
-use crate::ids::{EdgeId, VertexId};
+use crate::ids::{EdgeId, TenantId, VertexId};
 use crate::weight::Weight;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -616,6 +616,194 @@ impl BatchStream {
     }
 }
 
+/// One operation of a **multi-tenant** batched stream: a [`BatchOp`] tagged
+/// with the tenant it belongs to. Vertex ids and edge ids inside the op are
+/// **tenant-local**: vertices live in `0..tenant_n` and edge ids are the
+/// sequential ids a dedicated per-tenant [`DynGraph`] would allocate — the
+/// serving layer translates them into whatever shard hosts the tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantOp {
+    /// The tenant this operation belongs to.
+    pub tenant: TenantId,
+    /// The operation, in the tenant's local vertex/edge-id spaces.
+    pub op: BatchOp,
+}
+
+/// Specification of a multi-tenant batched stream.
+///
+/// The stream models a serving front-end shared by `tenants` independent
+/// tenants, each owning a private `tenant_vertices`-vertex graph. Traffic
+/// arrives in service batches of `batch_size` operations, assembled from
+/// per-tenant **bursts** of `burst` consecutive operations; which tenant a
+/// burst comes from follows a Zipf-like popularity distribution
+/// (`zipf_permille / 1000` is the exponent: `0` = uniform, `1000` ≈ classic
+/// Zipf where tenant 0 dominates) — the skewed tenant popularity of real
+/// multi-tenant traffic. Each tenant's own traffic has the shape of `kind`
+/// (bursty hotspots with flap pairs, or clustered blocks), generated by
+/// [`BatchStream`] over the tenant's private graph.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantStreamSpec {
+    /// Number of tenants (ids `0..tenants`).
+    pub tenants: usize,
+    /// Vertices per tenant.
+    pub tenant_vertices: usize,
+    /// Base edges per tenant (present before the stream starts).
+    pub tenant_edges: usize,
+    /// Number of service batches.
+    pub batches: usize,
+    /// Operations per service batch (rounded down to a whole number of
+    /// bursts).
+    pub batch_size: usize,
+    /// Consecutive operations drawn from one tenant at a time.
+    pub burst: usize,
+    /// Zipf exponent of tenant popularity, in permille.
+    pub zipf_permille: u32,
+    /// Shape of each tenant's own traffic.
+    pub kind: BatchKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated multi-tenant stream: per-tenant base graphs plus a sequence
+/// of service batches of tenant-tagged operations. Within each tenant the
+/// operations (in stream order) are exactly a [`BatchStream`] over that
+/// tenant's private graph, so per-tenant `Cut` ids are always live at their
+/// position — provided every tenant's operations are applied in stream
+/// order, which any per-tenant-order-preserving router guarantees.
+#[derive(Clone, Debug)]
+pub struct TenantStream {
+    /// Vertices per tenant.
+    pub tenant_vertices: usize,
+    /// Per-tenant base edges (tenant-local endpoints, ids `0..len`).
+    pub base_edges: Vec<Vec<(VertexId, VertexId, Weight)>>,
+    /// The service batches, in order.
+    pub batches: Vec<Vec<TenantOp>>,
+}
+
+impl TenantStream {
+    /// Generate the stream described by `spec`.
+    pub fn generate(spec: &TenantStreamSpec) -> Self {
+        assert!(spec.tenants >= 1, "need at least one tenant");
+        assert!(spec.burst >= 1, "bursts must carry at least one op");
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x7E4A_4711_5EED_00D1);
+        let bursts_per_batch = (spec.batch_size / spec.burst).max(1);
+
+        // Zipf-like popularity: weight of tenant t ∝ 1/(t+1)^alpha, scaled
+        // to integers so the vendored RNG only needs integer ranges.
+        let alpha = spec.zipf_permille as f64 / 1000.0;
+        let weights: Vec<u64> = (0..spec.tenants)
+            .map(|t| ((1.0 / (t as f64 + 1.0).powf(alpha)) * 1_000_000.0).max(1.0) as u64)
+            .collect();
+        let total_weight: u64 = weights.iter().sum();
+
+        // Phase 1: sample the burst → tenant assignment, counting how many
+        // bursts each tenant must supply.
+        let mut assignment: Vec<Vec<usize>> = Vec::with_capacity(spec.batches);
+        let mut bursts_needed = vec![0usize; spec.tenants];
+        for _ in 0..spec.batches {
+            let mut slots = Vec::with_capacity(bursts_per_batch);
+            for _ in 0..bursts_per_batch {
+                let mut draw = rng.gen_range(0..total_weight);
+                let mut tenant = spec.tenants - 1;
+                for (t, &w) in weights.iter().enumerate() {
+                    if draw < w {
+                        tenant = t;
+                        break;
+                    }
+                    draw -= w;
+                }
+                slots.push(tenant);
+                bursts_needed[tenant] += 1;
+            }
+            assignment.push(slots);
+        }
+
+        // Phase 2: each tenant generates exactly the bursts it owes, as a
+        // private BatchStream over its own graph (burst = one sub-batch).
+        let mut base_edges = Vec::with_capacity(spec.tenants);
+        let mut pending: Vec<std::vec::IntoIter<Vec<BatchOp>>> = Vec::with_capacity(spec.tenants);
+        for (t, &need) in bursts_needed.iter().enumerate() {
+            let stream = BatchStream::generate(&BatchStreamSpec {
+                base: GraphSpec::RandomSparse {
+                    n: spec.tenant_vertices,
+                    m: spec.tenant_edges,
+                    seed: spec.seed ^ (0x9E37_79B9 * (t as u64 + 1)),
+                },
+                batches: need,
+                batch_size: spec.burst,
+                kind: spec.kind,
+                seed: spec.seed ^ (0xC2B2_AE35 * (t as u64 + 1)),
+            });
+            base_edges.push(stream.base_edges);
+            pending.push(stream.batches.into_iter());
+        }
+
+        // Phase 3: assemble the service batches in assignment order,
+        // tagging every op with its tenant. Per-tenant op order is the
+        // tenant's own stream order by construction.
+        let batches = assignment
+            .into_iter()
+            .map(|slots| {
+                let mut ops = Vec::with_capacity(slots.len() * spec.burst);
+                for t in slots {
+                    let burst = pending[t].next().expect("tenant owes this burst");
+                    ops.extend(burst.into_iter().map(|op| TenantOp {
+                        tenant: TenantId(t as u32),
+                        op,
+                    }));
+                }
+                ops
+            })
+            .collect();
+
+        TenantStream {
+            tenant_vertices: spec.tenant_vertices,
+            base_edges,
+            batches,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.base_edges.len()
+    }
+
+    /// Number of service batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Total operations across all service batches.
+    pub fn total_ops(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// The per-tenant base graphs as one tenant-tagged link batch (tenant
+    /// order, then base-edge order) — tenant-local edge ids `0..len` per
+    /// tenant, exactly what the per-tenant `Cut` ids of the stream assume
+    /// was loaded before the first batch.
+    pub fn base_ops(&self) -> Vec<TenantOp> {
+        let mut ops = Vec::new();
+        for (t, edges) in self.base_edges.iter().enumerate() {
+            ops.extend(edges.iter().map(|&(u, v, weight)| TenantOp {
+                tenant: TenantId(t as u32),
+                op: BatchOp::Link { u, v, weight },
+            }));
+        }
+        ops
+    }
+
+    /// Per-tenant operation counts across all batches (the popularity
+    /// histogram the zipf skew produces).
+    pub fn ops_per_tenant(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_tenants()];
+        for op in self.batches.iter().flatten() {
+            counts[op.tenant.index()] += 1;
+        }
+        counts
+    }
+}
+
 fn random_pair<R: Rng>(rng: &mut R, n: usize) -> (VertexId, VertexId) {
     let u = rng.gen_range(0..n);
     let mut v = rng.gen_range(0..n - 1);
@@ -919,6 +1107,129 @@ mod tests {
             }
         }
         replay_batches(&stream);
+    }
+
+    fn tenant_spec() -> TenantStreamSpec {
+        TenantStreamSpec {
+            tenants: 5,
+            tenant_vertices: 32,
+            tenant_edges: 48,
+            batches: 10,
+            batch_size: 64,
+            burst: 16,
+            zipf_permille: 900,
+            kind: BatchKind::Bursty {
+                query_permille: 400,
+                flap_permille: 300,
+            },
+            seed: 51,
+        }
+    }
+
+    #[test]
+    fn tenant_stream_is_deterministic_and_exactly_sized() {
+        let spec = tenant_spec();
+        let a = TenantStream::generate(&spec);
+        let b = TenantStream::generate(&spec);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.base_edges, b.base_edges);
+        assert_eq!(a.num_tenants(), 5);
+        assert_eq!(a.num_batches(), 10);
+        // Every service batch is a whole number of bursts.
+        for batch in &a.batches {
+            assert_eq!(batch.len(), (spec.batch_size / spec.burst) * spec.burst);
+        }
+        assert_eq!(a.total_ops(), a.ops_per_tenant().iter().sum::<usize>());
+    }
+
+    #[test]
+    fn tenant_popularity_is_skewed_by_zipf() {
+        let mut spec = tenant_spec();
+        spec.batches = 40;
+        spec.zipf_permille = 1000;
+        let skewed = TenantStream::generate(&spec);
+        let counts = skewed.ops_per_tenant();
+        // Under Zipf-1 the head tenant dominates the tail tenant clearly.
+        assert!(
+            counts[0] > 2 * counts[4],
+            "zipf skew missing: head {} vs tail {}",
+            counts[0],
+            counts[4]
+        );
+        // Uniform popularity spreads far more evenly.
+        spec.zipf_permille = 0;
+        let uniform = TenantStream::generate(&spec);
+        let u = uniform.ops_per_tenant();
+        let (min, max) = (u.iter().min().unwrap(), u.iter().max().unwrap());
+        assert!(
+            max < &(2 * min),
+            "uniform popularity came out skewed: {u:?}"
+        );
+    }
+
+    #[test]
+    fn tenant_streams_are_replayable_per_tenant() {
+        // Each tenant's filtered op sequence (after its base edges) must be
+        // a valid batch stream over the tenant's private graph: Cut ids
+        // live, endpoints in range — the property the serving layer's
+        // per-tenant order preservation relies on.
+        for kind in [
+            BatchKind::Bursty {
+                query_permille: 400,
+                flap_permille: 500,
+            },
+            BatchKind::Clustered {
+                clusters: 2,
+                query_permille: 300,
+            },
+        ] {
+            let mut spec = tenant_spec();
+            spec.kind = kind;
+            let stream = TenantStream::generate(&spec);
+            let mut mirrors: Vec<DynGraph> = stream
+                .base_edges
+                .iter()
+                .map(|edges| {
+                    let mut g = DynGraph::new(stream.tenant_vertices);
+                    for &(u, v, w) in edges {
+                        g.insert_edge(u, v, w);
+                    }
+                    g
+                })
+                .collect();
+            for op in stream.batches.iter().flatten() {
+                let g = &mut mirrors[op.tenant.index()];
+                match op.op {
+                    BatchOp::Link { u, v, weight } => {
+                        assert!(u != v && u.index() < g.num_vertices());
+                        g.insert_edge(u, v, weight);
+                    }
+                    BatchOp::Cut { id } => {
+                        assert!(g.is_live(id), "tenant {:?} cut a dead edge", op.tenant);
+                        g.delete_edge(id);
+                    }
+                    BatchOp::QueryConnected { u, v } => {
+                        assert!(u.index() < g.num_vertices() && v.index() < g.num_vertices());
+                    }
+                    BatchOp::QueryForestWeight => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_base_ops_cover_every_tenant_in_order() {
+        let stream = TenantStream::generate(&tenant_spec());
+        let base = stream.base_ops();
+        let total: usize = stream.base_edges.iter().map(Vec::len).sum();
+        assert_eq!(base.len(), total);
+        // Tenant-major order, links only.
+        let mut last_tenant = 0u32;
+        for op in &base {
+            assert!(op.tenant.0 >= last_tenant);
+            last_tenant = op.tenant.0;
+            assert!(matches!(op.op, BatchOp::Link { .. }));
+        }
     }
 
     #[test]

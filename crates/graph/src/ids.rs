@@ -57,6 +57,42 @@ impl EdgeId {
     }
 }
 
+/// Identifier of a serving-layer tenant.
+///
+/// Tenants are the unit of multi-tenant traffic: each tenant owns a private
+/// vertex space `0..tenant_n` and a private edge-id space (sequential per
+/// accepted link, exactly like a dedicated [`crate::DynGraph`] would
+/// allocate). The sharded serving layer places tenants onto shards; tenant
+/// ids are opaque `u32`s — they need not be dense.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The id as a `usize`, for direct array indexing when ids are dense.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for TenantId {
+    fn from(v: u32) -> Self {
+        TenantId(v)
+    }
+}
+
+impl fmt::Debug for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
 impl From<u32> for VertexId {
     fn from(v: u32) -> Self {
         VertexId(v)

@@ -23,10 +23,12 @@
 //! * [`degree`] — Frederickson's dynamic degree-3 reduction, exposed as the
 //!   wrapper [`DegreeReduced`],
 //! * [`generators`] — deterministic workload generators (random sparse
-//!   graphs, grids, preferential attachment, update streams, and batched
+//!   graphs, grids, preferential attachment, update streams, batched
 //!   update/query streams — bursty hotspots with flapping links, tenant-
-//!   clustered traffic — consumed by the batch engine) used by the
-//!   examples, tests and the benchmark harness.
+//!   clustered traffic — consumed by the batch engine, and tenant-tagged
+//!   multi-tenant streams with Zipf-skewed tenant popularity consumed by
+//!   the sharded serving layer) used by the examples, tests and the
+//!   benchmark harness.
 
 pub mod arena;
 pub mod degree;
@@ -41,11 +43,11 @@ pub mod weight;
 pub use arena::{EdgeIdIndex, EdgeSlotMap, EdgeStore, HashEdgeStore, NO_HANDLE};
 pub use degree::DegreeReduced;
 pub use generators::{
-    BatchKind, BatchOp, BatchStream, BatchStreamSpec, GraphSpec, StreamKind, UpdateOp,
-    UpdateStream, UpdateStreamSpec,
+    BatchKind, BatchOp, BatchStream, BatchStreamSpec, GraphSpec, StreamKind, TenantOp,
+    TenantStream, TenantStreamSpec, UpdateOp, UpdateStream, UpdateStreamSpec,
 };
 pub use graph::{DynGraph, Edge};
-pub use ids::{EdgeId, VertexId};
+pub use ids::{EdgeId, TenantId, VertexId};
 pub use kruskal::{kruskal_msf, MsfSummary};
 pub use msf::{assert_matches_kruskal, verify_against_kruskal, DynamicMsf, MsfDelta};
 pub use unionfind::UnionFind;

@@ -44,7 +44,9 @@
 //!   benchmark metadata records the effective width via [`parallelism`].
 //! * **Observable** — [`stats`] reports process-wide counters (jobs run,
 //!   shards executed, inline runs, currently parked workers) so tests and
-//!   the batch engine can assert how work was actually executed.
+//!   the batch engine can assert how work was actually executed, and
+//!   [`snapshot`] / [`StatsSnapshot::delta`] difference them so experiments
+//!   can attribute pool activity to a single phase.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -328,9 +330,44 @@ pub struct PoolStats {
     pub workers_parked: usize,
 }
 
+/// A point-in-time capture of the cumulative pool counters, taken with
+/// [`snapshot`]. [`stats`] is cumulative over the whole process lifetime,
+/// which makes it useless for attributing pool activity to one phase of a
+/// benchmark or experiment (every earlier warm-up run is mixed in); a
+/// snapshot pins the baseline so [`StatsSnapshot::delta`] reports exactly
+/// the jobs/shards/inline-runs that happened since.
+#[derive(Clone, Copy, Debug)]
+pub struct StatsSnapshot {
+    base: PoolStats,
+}
+
+/// Capture the current counters as a baseline for [`StatsSnapshot::delta`].
+pub fn snapshot() -> StatsSnapshot {
+    StatsSnapshot { base: stats() }
+}
+
+impl StatsSnapshot {
+    /// Pool activity since this snapshot was taken: the cumulative counters
+    /// (`jobs_run`, `shards_executed`, `inline_runs`) are differenced
+    /// against the baseline; `workers`/`workers_parked` are instantaneous
+    /// and report the current values.
+    pub fn delta(&self) -> PoolStats {
+        let now = stats();
+        PoolStats {
+            jobs_run: now.jobs_run - self.base.jobs_run,
+            shards_executed: now.shards_executed - self.base.shards_executed,
+            inline_runs: now.inline_runs - self.base.inline_runs,
+            workers: now.workers,
+            workers_parked: now.workers_parked,
+        }
+    }
+}
+
 /// Snapshot the pool's observability counters. Counters are cumulative over
 /// the process lifetime; `workers`/`workers_parked` describe the global pool
-/// only and read 0 before it has been spawned.
+/// only and read 0 before it has been spawned. For per-phase attribution
+/// (a single experiment run, one service batch) use [`snapshot`] and
+/// [`StatsSnapshot::delta`] instead.
 pub fn stats() -> PoolStats {
     let (workers, workers_parked) = match POOL.get() {
         Some(p) => (p.workers, lock(&p.state).parked),
@@ -591,6 +628,32 @@ mod tests {
         assert!(after.jobs_run > before.jobs_run);
         assert!(after.shards_executed >= before.shards_executed + 4);
         assert!(after.inline_runs > before.inline_runs);
+    }
+
+    #[test]
+    fn stats_snapshot_delta_attributes_one_phase() {
+        // Warm-up noise that predates the snapshot must never appear in the
+        // delta: the baseline subtraction swallows it. (The counters are
+        // process-global and other tests run concurrently in this binary,
+        // so every check is a lower bound on the delta, never an exact or
+        // zero count.)
+        let pool = Pool::new(1);
+        pool.run(3, &|_| {});
+        run_shards(1, |_| {});
+        let before = stats();
+        let snap = snapshot();
+        pool.run(5, &|_| {});
+        run_shards(1, |_| {});
+        let delta = snap.delta();
+        assert!(delta.jobs_run >= 1);
+        assert!(delta.shards_executed >= 5);
+        assert!(delta.inline_runs >= 1);
+        // The delta excludes everything before the snapshot: it is bounded
+        // by the raw counter movement since then, not the process totals.
+        let after = stats();
+        assert!(delta.jobs_run <= after.jobs_run - before.jobs_run);
+        assert!(delta.shards_executed <= after.shards_executed - before.shards_executed);
+        assert!(delta.inline_runs <= after.inline_runs - before.inline_runs);
     }
 
     #[test]

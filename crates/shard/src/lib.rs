@@ -1,0 +1,753 @@
+//! # pdmsf-shard
+//!
+//! The **multi-tenant sharded serving layer** of the `pdmsf` workspace: the
+//! first layer where the system holds *many* dynamic-MSF structures and the
+//! worker pool runs *many* simultaneous jobs.
+//!
+//! A [`ShardedService`] owns `S` independent **shards**, each wrapping its
+//! own [`Engine`] (own `DynGraph` mirror, own `ParDynamicMsf`). **Tenants**
+//! — independent customers, each owning a private vertex space
+//! `0..tenant_n` and a private sequential edge-id space — are placed onto
+//! shards deterministically (a stable hash of the tenant id, overridable
+//! per tenant with [`TenantSpec::pin`]) and never move; a shard hosts its
+//! tenants in disjoint vertex ranges of one engine, and since every tenant
+//! operation stays inside its tenant's range, shard forests decompose
+//! exactly per tenant.
+//!
+//! Sharding buys two independent wins:
+//!
+//! * **An algorithmic win that needs no cores at all.** The paper's update
+//!   bound is `O(sqrt(n) log n)` per update — sublinear in `n` — so
+//!   routing a tenant's updates to a shard with `n_shard << n_total`
+//!   vertices makes every update cheaper (`K = sqrt(n)` shrinks with the
+//!   shard), and the engine's `O(n)` query-snapshot capture shrinks with
+//!   it. This is why the sharded service beats a single flat engine over
+//!   the merged stream even on one core (experiment E2).
+//! * **Concurrency across shards.** Per batch, [`ShardedService::execute`]
+//!   routes the tenant-tagged operations into per-shard sub-batches
+//!   (preserving per-tenant arrival order), **plans** every sub-batch on
+//!   the caller thread ([`Engine::plan_batch`] — pure, `&self`), then
+//!   **applies** all non-empty shard batches concurrently, one job per
+//!   shard on the multi-job injector of `pdmsf_pram::pool`
+//!   ([`Engine::execute_planned`] on a worker; each shard batch reuses the
+//!   full plan/cancel/dedup/snapshot pipeline internally, including nested
+//!   pool submission for its own kernels and query fan-outs). Outcomes are
+//!   reassembled into the caller's original op order.
+//!
+//! ## Identifier translation
+//!
+//! Callers speak **tenant-local** ids: vertices `0..tenant_n`, edge ids as
+//! a dedicated per-tenant engine would allocate them (sequential per
+//! accepted link). The router translates tenant vertices by the tenant's
+//! base offset in its shard, pre-assigns shard-global edge ids by
+//! mirroring the shard engine's deterministic id allocation, and
+//! translates them back in the returned outcomes — so the service is
+//! **observationally identical** to running one flat engine per tenant
+//! (the lockstep proptest pins this, per-op outcomes included).
+//! Per-tenant forest-weight queries are answered by a ranged sweep
+//! ([`Engine::forest_weight_in_range`]) over the tenant's vertex block —
+//! exact, because tenant edges never cross blocks.
+//!
+//! Operations that cannot be routed — unknown tenants, endpoints outside
+//! the tenant's vertex space, never-allocated edge ids — are rejected at
+//! the router with the same [`Outcome::Rejected`] a per-tenant engine
+//! would produce, and never reach a shard.
+//!
+//! ```
+//! use pdmsf_shard::{ShardedService, TenantSpec};
+//! use pdmsf_graph::{BatchOp, TenantId, TenantOp, VertexId, Weight};
+//!
+//! let tenants: Vec<TenantSpec> = (0..4).map(|t| TenantSpec::new(TenantId(t), 8)).collect();
+//! let mut service = ShardedService::new(2, &tenants);
+//! let link = |t: u32, u: u32, v: u32, w: i64| TenantOp {
+//!     tenant: TenantId(t),
+//!     op: BatchOp::Link { u: VertexId(u), v: VertexId(v), weight: Weight::new(w) },
+//! };
+//! let result = service.execute(&[
+//!     link(0, 0, 1, 5),
+//!     link(3, 0, 1, 7), // same local ids, different tenant — isolated
+//!     TenantOp { tenant: TenantId(0), op: BatchOp::QueryForestWeight },
+//!     TenantOp { tenant: TenantId(3), op: BatchOp::QueryForestWeight },
+//! ]);
+//! assert_eq!(result.outcomes[2], pdmsf_engine::Outcome::ForestWeight { weight: 5 });
+//! assert_eq!(result.outcomes[3], pdmsf_engine::Outcome::ForestWeight { weight: 7 });
+//! ```
+
+use pdmsf_engine::{Engine, Outcome, PlannedBatch};
+use pdmsf_graph::{TenantId, TenantOp, VertexId};
+use pdmsf_pram::kernels::SendPtr;
+use pdmsf_pram::pool;
+use std::collections::HashMap;
+
+mod router;
+
+use router::Routed;
+pub use router::Source;
+
+/// One tenant to register with a [`ShardedService`].
+#[derive(Clone, Copy, Debug)]
+pub struct TenantSpec {
+    /// The tenant's id (opaque, need not be dense).
+    pub id: TenantId,
+    /// Size of the tenant's private vertex space.
+    pub vertices: usize,
+    /// Pin the tenant to this shard index instead of the stable-hash
+    /// placement (e.g. to co-locate a tenant with its replica reader, or
+    /// to isolate a noisy tenant on its own shard).
+    pub pin: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with stable-hash placement.
+    pub fn new(id: TenantId, vertices: usize) -> TenantSpec {
+        TenantSpec {
+            id,
+            vertices,
+            pin: None,
+        }
+    }
+
+    /// A tenant pinned to an explicit shard.
+    pub fn pinned(id: TenantId, vertices: usize, shard: usize) -> TenantSpec {
+        TenantSpec {
+            id,
+            vertices,
+            pin: Some(shard),
+        }
+    }
+}
+
+/// The deterministic tenant → shard placement: a stable 64-bit mix of the
+/// tenant id (splitmix64 finalizer), reduced mod the shard count. Stable
+/// across processes, platforms and service rebuilds — the same tenant
+/// always lands on the same shard for a given shard count.
+pub fn stable_shard(id: TenantId, shards: usize) -> usize {
+    let mut x = (id.0 as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// Registered tenant state: placement, vertex block, and the tenant-local →
+/// shard-global edge-id map (index = tenant-local id).
+pub(crate) struct TenantState {
+    pub(crate) shard: u32,
+    /// First vertex of the tenant's block in its shard engine.
+    pub(crate) base: u32,
+    /// Size of the tenant's vertex space.
+    pub(crate) vertices: u32,
+    /// Tenant-local edge id (index) → shard-global edge id.
+    pub(crate) edge_ids: Vec<pdmsf_graph::EdgeId>,
+}
+
+/// Per-shard facts about one executed service batch (only shards the batch
+/// touched appear).
+#[derive(Clone, Debug)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Operations routed to this shard (tenant weight queries excluded —
+    /// those are answered by a ranged sweep, not a shard-engine op).
+    pub ops: usize,
+    /// Updates that reached the shard's MSF structure.
+    pub applied_updates: usize,
+    /// Opposing link/cut pairs the shard's planner cancelled.
+    pub cancelled_pairs: usize,
+    /// Operations the shard engine rejected (dead/duplicate cuts).
+    pub rejected: usize,
+    /// Connectivity queries routed to the shard.
+    pub queries: usize,
+    /// Distinct answers the shard computed for them.
+    pub unique_queries: usize,
+    /// Tenant forest-weight sweeps this shard served.
+    pub weight_sweeps: usize,
+    /// Query snapshots the shard captured for this batch.
+    pub snapshots: u64,
+    /// The shard's whole forest weight after the batch (all its tenants).
+    pub forest_weight: i128,
+}
+
+/// Aggregate facts about one executed service batch.
+#[derive(Clone, Debug)]
+pub struct ServiceSummary {
+    /// Operations in the batch.
+    pub ops: usize,
+    /// Shards the batch touched (= concurrent jobs dispatched).
+    pub shards_touched: usize,
+    /// Updates applied across all shard structures.
+    pub applied_updates: usize,
+    /// Opposing pairs cancelled across all shards.
+    pub cancelled_pairs: usize,
+    /// Rejected operations (router rejections + shard rejections).
+    pub rejected: usize,
+    /// Of those, rejected at the router (unknown tenant, out-of-range
+    /// endpoint, never-allocated edge id) without reaching any shard.
+    pub router_rejected: usize,
+    /// Query operations (connectivity + tenant weight).
+    pub queries: usize,
+    /// Distinct answers computed for them.
+    pub unique_queries: usize,
+    /// Total forest weight across **all** shards after the batch.
+    pub forest_weight: i128,
+    /// Per-shard breakdowns, in dispatch order.
+    pub per_shard: Vec<ShardSummary>,
+}
+
+/// The result of one service batch: per-op outcomes in the caller's
+/// original order (ids tenant-local), plus the summary.
+#[derive(Clone, Debug)]
+pub struct ServiceResult {
+    /// Index-aligned with the input slice.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregate + per-shard facts.
+    pub summary: ServiceSummary,
+}
+
+/// Cumulative service counters across all executed batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Service batches executed.
+    pub batches: u64,
+    /// Tenant operations processed.
+    pub ops: u64,
+    /// Operations rejected at the router.
+    pub router_rejected: u64,
+    /// Shard sub-batches dispatched (concurrent jobs).
+    pub shard_batches: u64,
+    /// Tenant weight sweeps served.
+    pub weight_sweeps: u64,
+}
+
+/// What one shard job produced: the engine's batch result, the requested
+/// tenant weight sweeps, and post-batch shard facts.
+struct ShardOutput {
+    result: pdmsf_engine::BatchResult,
+    weights: Vec<i128>,
+    forest_weight: i128,
+    snapshots: u64,
+}
+
+/// The multi-tenant sharded serving layer. See the crate docs.
+pub struct ShardedService {
+    shards: Vec<Engine>,
+    tenants: Vec<TenantState>,
+    /// Tenant id → dense index into `tenants`.
+    lookup: HashMap<TenantId, u32>,
+    stats: ServiceStats,
+}
+
+impl ShardedService {
+    /// A service of `shards` shards hosting `tenants`, each shard backed by
+    /// the default engine configuration ([`Engine::new`]: thread-backed
+    /// kernels, `K = sqrt(n_shard)`).
+    ///
+    /// # Panics
+    /// Panics on zero shards, duplicate tenant ids, or a pin outside
+    /// `0..shards`.
+    pub fn new(shards: usize, tenants: &[TenantSpec]) -> ShardedService {
+        ShardedService::with_engine_factory(shards, tenants, Engine::new)
+    }
+
+    /// Full control over how each shard's engine is built from its vertex
+    /// count (chunk parameter, execution mode) — used by the lockstep tests
+    /// to force stress configurations.
+    pub fn with_engine_factory(
+        shards: usize,
+        tenants: &[TenantSpec],
+        factory: impl Fn(usize) -> Engine,
+    ) -> ShardedService {
+        assert!(shards >= 1, "a service needs at least one shard");
+        let mut lookup = HashMap::with_capacity(tenants.len());
+        let mut states = Vec::with_capacity(tenants.len());
+        let mut shard_vertices = vec![0usize; shards];
+        for spec in tenants {
+            let shard = match spec.pin {
+                Some(pin) => {
+                    assert!(
+                        pin < shards,
+                        "tenant {:?} pinned to shard {pin} of {shards}",
+                        spec.id
+                    );
+                    pin
+                }
+                None => stable_shard(spec.id, shards),
+            };
+            let prev = lookup.insert(spec.id, states.len() as u32);
+            assert!(prev.is_none(), "duplicate tenant id {:?}", spec.id);
+            states.push(TenantState {
+                shard: shard as u32,
+                base: u32::try_from(shard_vertices[shard]).expect("shard vertex space fits u32"),
+                vertices: u32::try_from(spec.vertices).expect("tenant vertex space fits u32"),
+                edge_ids: Vec::new(),
+            });
+            shard_vertices[shard] += spec.vertices;
+        }
+        let shards = shard_vertices.into_iter().map(factory).collect();
+        ShardedService {
+            shards,
+            tenants: states,
+            lookup,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The shard hosting `tenant`, if registered.
+    pub fn shard_of(&self, tenant: TenantId) -> Option<usize> {
+        self.lookup
+            .get(&tenant)
+            .map(|&ix| self.tenants[ix as usize].shard as usize)
+    }
+
+    /// A shard's engine (read access, e.g. for differential checks).
+    pub fn shard_engine(&self, shard: usize) -> &Engine {
+        &self.shards[shard]
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Total forest weight across all shards (= sum of all tenant forests).
+    pub fn total_forest_weight(&self) -> i128 {
+        self.shards.iter().map(Engine::forest_weight).sum()
+    }
+
+    /// A tenant's current forest weight (ranged sweep over its shard).
+    pub fn tenant_forest_weight(&self, tenant: TenantId) -> Option<i128> {
+        let t = &self.tenants[*self.lookup.get(&tenant)? as usize];
+        Some(
+            self.shards[t.shard as usize]
+                .forest_weight_in_range(VertexId(t.base), VertexId(t.base + t.vertices)),
+        )
+    }
+
+    /// Execute one service batch **concurrently**: route to per-shard
+    /// sub-batches (per-tenant order preserved), plan every sub-batch on
+    /// the caller thread, apply all touched shards as independent jobs on
+    /// the worker-pool injector, and reassemble outcomes into the caller's
+    /// op order. See the crate docs for the full pipeline.
+    pub fn execute(&mut self, ops: &[TenantOp]) -> ServiceResult {
+        self.run(ops, true)
+    }
+
+    /// Execute one service batch with the same routing and per-shard batch
+    /// pipeline, but applying the touched shards **serially on the caller
+    /// thread** — the dispatcher-off baseline. Outcomes are identical to
+    /// [`ShardedService::execute`]; the E2 experiment and the lockstep
+    /// tests compare the two.
+    pub fn execute_serial(&mut self, ops: &[TenantOp]) -> ServiceResult {
+        self.run(ops, false)
+    }
+
+    fn run(&mut self, ops: &[TenantOp], concurrent: bool) -> ServiceResult {
+        let routed = router::route(&mut self.tenants, &self.lookup, &self.shards, ops);
+        let slots = routed.slots.len();
+
+        // Plan every touched shard's sub-batch on the caller thread (pure,
+        // `&self` per engine) so the workers only run the `&mut` half.
+        let mut plans: Vec<Option<PlannedBatch>> = routed
+            .slots
+            .iter()
+            .zip(&routed.sub_batches)
+            .map(|(&s, sub)| Some(self.shards[s].plan_batch(sub)))
+            .collect();
+
+        let mut outputs: Vec<Option<ShardOutput>> = (0..slots).map(|_| None).collect();
+        {
+            let shards_base = SendPtr(self.shards.as_mut_ptr());
+            let plans_base = SendPtr(plans.as_mut_ptr());
+            let outputs_base = SendPtr(outputs.as_mut_ptr());
+            let tenants = &self.tenants;
+            let routed = &routed;
+            // Each slot targets a distinct shard, takes its own plan and
+            // writes its own output slot — all raw accesses are disjoint,
+            // and `run_shards` blocks until every slot finished, so the
+            // borrows outlive every access (scoped-spawn semantics).
+            let job = |slot: usize| {
+                let engine = unsafe { &mut *shards_base.get().add(routed.slots[slot]) };
+                let plan = unsafe { &mut *plans_base.get().add(slot) }
+                    .take()
+                    .expect("each slot claims its plan exactly once");
+                let snapshots_before = engine.stats().snapshots;
+                let result = engine.execute_planned(plan);
+                // All of this shard's tenant weight queries in one sweep
+                // over its forest (per-tenant sweeps would rescan the live
+                // edge set once per tenant).
+                let ranges: Vec<(VertexId, VertexId)> = routed.weight_reqs[slot]
+                    .iter()
+                    .map(|&tix| {
+                        let t = &tenants[tix as usize];
+                        (VertexId(t.base), VertexId(t.base + t.vertices))
+                    })
+                    .collect();
+                let weights = engine.forest_weights_in_ranges(&ranges);
+                let output = ShardOutput {
+                    result,
+                    weights,
+                    forest_weight: engine.forest_weight(),
+                    snapshots: engine.stats().snapshots - snapshots_before,
+                };
+                unsafe { *outputs_base.get().add(slot) = Some(output) };
+            };
+            if concurrent {
+                pool::run_shards(slots, job);
+            } else {
+                (0..slots).for_each(job);
+            }
+        }
+
+        self.reassemble(ops.len(), routed, outputs)
+    }
+
+    fn reassemble(
+        &mut self,
+        ops: usize,
+        routed: Routed,
+        outputs: Vec<Option<ShardOutput>>,
+    ) -> ServiceResult {
+        let outputs: Vec<ShardOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("every dispatched slot produced an output"))
+            .collect();
+        let outcomes = routed
+            .sources
+            .iter()
+            .map(|src| match *src {
+                Source::Ready(outcome) => outcome,
+                Source::Link { slot, pos, local } => {
+                    let got = outputs[slot as usize].result.outcomes[pos as usize];
+                    debug_assert!(
+                        matches!(got, Outcome::Linked { .. }),
+                        "router-validated link rejected by the shard engine"
+                    );
+                    let _ = got;
+                    Outcome::Linked {
+                        id: pdmsf_graph::EdgeId(local),
+                    }
+                }
+                Source::Cut { slot, pos, local } => {
+                    match outputs[slot as usize].result.outcomes[pos as usize] {
+                        Outcome::Cut { .. } => Outcome::Cut {
+                            id: pdmsf_graph::EdgeId(local),
+                        },
+                        rejected => rejected,
+                    }
+                }
+                Source::Query { slot, pos } => outputs[slot as usize].result.outcomes[pos as usize],
+                Source::Weight { slot, req } => Outcome::ForestWeight {
+                    weight: outputs[slot as usize].weights[req as usize],
+                },
+            })
+            .collect();
+
+        let per_shard: Vec<ShardSummary> = routed
+            .slots
+            .iter()
+            .zip(&outputs)
+            .zip(&routed.weight_reqs)
+            .map(|((&shard, out), reqs)| {
+                let s = out.result.summary;
+                ShardSummary {
+                    shard,
+                    ops: s.ops,
+                    applied_updates: s.applied_updates,
+                    cancelled_pairs: s.cancelled_pairs,
+                    rejected: s.rejected,
+                    queries: s.queries,
+                    unique_queries: s.unique_queries,
+                    weight_sweeps: reqs.len(),
+                    snapshots: out.snapshots,
+                    forest_weight: out.forest_weight,
+                }
+            })
+            .collect();
+
+        let unique_weights: usize = routed.weight_reqs.iter().map(Vec::len).sum();
+        let summary = ServiceSummary {
+            ops,
+            shards_touched: per_shard.len(),
+            applied_updates: per_shard.iter().map(|s| s.applied_updates).sum(),
+            cancelled_pairs: per_shard.iter().map(|s| s.cancelled_pairs).sum(),
+            rejected: routed.router_rejected + per_shard.iter().map(|s| s.rejected).sum::<usize>(),
+            router_rejected: routed.router_rejected,
+            queries: routed.weight_queries + per_shard.iter().map(|s| s.queries).sum::<usize>(),
+            unique_queries: unique_weights
+                + per_shard.iter().map(|s| s.unique_queries).sum::<usize>(),
+            forest_weight: self.total_forest_weight(),
+            per_shard,
+        };
+
+        self.stats.batches += 1;
+        self.stats.ops += ops as u64;
+        self.stats.router_rejected += summary.router_rejected as u64;
+        self.stats.shard_batches += summary.shards_touched as u64;
+        self.stats.weight_sweeps += unique_weights as u64;
+
+        ServiceResult { outcomes, summary }
+    }
+}
+
+// The dispatcher moves shard engines' `&mut` halves and their plans across
+// pool workers; pin the service itself as Send so a future field can't
+// silently break that.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ShardedService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmsf_engine::Reject;
+    use pdmsf_graph::{BatchOp, EdgeId, Weight};
+
+    fn tenant_op(t: u32, op: BatchOp) -> TenantOp {
+        TenantOp {
+            tenant: TenantId(t),
+            op,
+        }
+    }
+
+    fn link(t: u32, u: u32, v: u32, w: i64) -> TenantOp {
+        tenant_op(
+            t,
+            BatchOp::Link {
+                u: VertexId(u),
+                v: VertexId(v),
+                weight: Weight::new(w),
+            },
+        )
+    }
+
+    fn cut(t: u32, id: u32) -> TenantOp {
+        tenant_op(t, BatchOp::Cut { id: EdgeId(id) })
+    }
+
+    fn qconn(t: u32, u: u32, v: u32) -> TenantOp {
+        tenant_op(
+            t,
+            BatchOp::QueryConnected {
+                u: VertexId(u),
+                v: VertexId(v),
+            },
+        )
+    }
+
+    fn qweight(t: u32) -> TenantOp {
+        tenant_op(t, BatchOp::QueryForestWeight)
+    }
+
+    fn service(shards: usize, tenants: u32, vertices: usize) -> ShardedService {
+        let specs: Vec<TenantSpec> = (0..tenants)
+            .map(|t| TenantSpec::new(TenantId(t), vertices))
+            .collect();
+        ShardedService::new(shards, &specs)
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_pinning_overrides_it() {
+        let specs = [
+            TenantSpec::new(TenantId(7), 4),
+            TenantSpec::pinned(TenantId(8), 4, 3),
+        ];
+        let a = ShardedService::new(4, &specs);
+        let b = ShardedService::new(4, &specs);
+        assert_eq!(a.shard_of(TenantId(7)), b.shard_of(TenantId(7)));
+        assert_eq!(a.shard_of(TenantId(7)), Some(stable_shard(TenantId(7), 4)));
+        assert_eq!(a.shard_of(TenantId(8)), Some(3));
+        assert_eq!(a.shard_of(TenantId(99)), None);
+    }
+
+    #[test]
+    fn stable_shard_spreads_tenants() {
+        // Not a statistical test — just pin that the mix actually uses more
+        // than one shard over a small id range (a catastrophic hash would
+        // pile everything onto one shard and void the whole layer).
+        let shards = 4;
+        let mut hit = vec![false; shards];
+        for t in 0..64u32 {
+            hit[stable_shard(TenantId(t), shards)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 tenants left a shard empty");
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_ids_are_tenant_local() {
+        let mut svc = service(2, 4, 8);
+        let r = svc.execute(&[
+            link(0, 0, 1, 5),
+            link(1, 0, 1, 7),
+            link(0, 1, 2, 9),
+            qconn(0, 0, 2),
+            qconn(1, 0, 2),
+            qweight(0),
+            qweight(1),
+        ]);
+        // Both tenants allocate their own local ids from 0.
+        assert_eq!(r.outcomes[0], Outcome::Linked { id: EdgeId(0) });
+        assert_eq!(r.outcomes[1], Outcome::Linked { id: EdgeId(0) });
+        assert_eq!(r.outcomes[2], Outcome::Linked { id: EdgeId(1) });
+        assert_eq!(r.outcomes[3], Outcome::Connected { connected: true });
+        assert_eq!(r.outcomes[4], Outcome::Connected { connected: false });
+        assert_eq!(r.outcomes[5], Outcome::ForestWeight { weight: 14 });
+        assert_eq!(r.outcomes[6], Outcome::ForestWeight { weight: 7 });
+        assert_eq!(r.summary.forest_weight, 21);
+        // Cutting tenant 0's local edge 0 must not touch tenant 1's.
+        let r = svc.execute(&[cut(0, 0), qweight(0), qweight(1)]);
+        assert_eq!(r.outcomes[0], Outcome::Cut { id: EdgeId(0) });
+        assert_eq!(r.outcomes[1], Outcome::ForestWeight { weight: 9 });
+        assert_eq!(r.outcomes[2], Outcome::ForestWeight { weight: 7 });
+    }
+
+    #[test]
+    fn router_rejections_match_engine_semantics() {
+        let mut svc = service(2, 2, 4);
+        let r = svc.execute(&[
+            link(0, 0, 9, 1), // endpoint outside the tenant's space
+            link(0, 2, 2, 1), // self loop
+            cut(0, 5),        // never-allocated local id
+            qconn(0, 0, 17),  // out-of-range query
+            link(9, 0, 1, 1), // unknown tenant
+            link(0, 0, 1, 3), // valid — and gets local id 0
+        ]);
+        assert_eq!(
+            r.outcomes[0],
+            Outcome::Rejected {
+                reason: Reject::EndpointOutOfRange
+            }
+        );
+        assert_eq!(
+            r.outcomes[1],
+            Outcome::Rejected {
+                reason: Reject::SelfLoop
+            }
+        );
+        assert_eq!(
+            r.outcomes[2],
+            Outcome::Rejected {
+                reason: Reject::UnknownOrDeadEdge
+            }
+        );
+        assert_eq!(
+            r.outcomes[3],
+            Outcome::Rejected {
+                reason: Reject::EndpointOutOfRange
+            }
+        );
+        assert_eq!(
+            r.outcomes[4],
+            Outcome::Rejected {
+                reason: Reject::UnknownTenant
+            }
+        );
+        assert_eq!(r.outcomes[5], Outcome::Linked { id: EdgeId(0) });
+        assert_eq!(r.summary.router_rejected, 5);
+        assert_eq!(r.summary.rejected, 5);
+    }
+
+    #[test]
+    fn flap_pairs_cancel_inside_a_shard_batch() {
+        let mut svc = service(1, 2, 8);
+        let r = svc.execute(&[
+            link(0, 0, 1, 2),
+            link(0, 2, 3, 4), // flap: local id 1 …
+            cut(0, 1),        // … cancelled here
+            link(1, 0, 1, 6),
+        ]);
+        assert_eq!(r.summary.cancelled_pairs, 1);
+        assert_eq!(r.summary.applied_updates, 2);
+        // The cancelled link still consumed tenant 0's local id 1.
+        let r2 = svc.execute(&[link(0, 4, 5, 1)]);
+        assert_eq!(r2.outcomes[0], Outcome::Linked { id: EdgeId(2) });
+    }
+
+    #[test]
+    fn empty_shards_and_empty_batches_are_fine() {
+        // More shards than tenants: some shards stay empty forever.
+        let mut svc = service(8, 2, 4);
+        assert_eq!(svc.num_shards(), 8);
+        let r = svc.execute(&[]);
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.summary.shards_touched, 0);
+        let r = svc.execute(&[link(0, 0, 1, 2), qweight(1)]);
+        assert_eq!(r.outcomes[0], Outcome::Linked { id: EdgeId(0) });
+        // Tenant 1 has no edges yet; its weight query still routes (to a
+        // shard whose sub-batch may otherwise be empty).
+        assert_eq!(r.outcomes[1], Outcome::ForestWeight { weight: 0 });
+        assert_eq!(svc.total_forest_weight(), 2);
+    }
+
+    #[test]
+    fn concurrent_and_serial_paths_agree() {
+        let mut concurrent = service(4, 6, 12);
+        let mut serial = service(4, 6, 12);
+        let batches: Vec<Vec<TenantOp>> = vec![
+            (0..6).map(|t| link(t, 0, 1, t as i64 + 1)).collect(),
+            vec![
+                link(0, 1, 2, 9),
+                cut(1, 0),
+                qconn(2, 0, 1),
+                qweight(3),
+                link(4, 2, 3, 2),
+                cut(4, 1),
+                qweight(4),
+            ],
+            (0..6).flat_map(|t| [qconn(t, 0, 2), qweight(t)]).collect(),
+        ];
+        for ops in &batches {
+            let a = concurrent.execute(ops);
+            let b = serial.execute_serial(ops);
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.summary.forest_weight, b.summary.forest_weight);
+            assert_eq!(a.summary.shards_touched, b.summary.shards_touched);
+        }
+        assert_eq!(
+            concurrent.total_forest_weight(),
+            serial.total_forest_weight()
+        );
+    }
+
+    #[test]
+    fn per_shard_summaries_add_up() {
+        let mut svc = service(3, 6, 8);
+        let ops: Vec<TenantOp> = (0..6)
+            .flat_map(|t| {
+                [
+                    link(t, 0, 1, 1),
+                    link(t, 1, 2, 2),
+                    qconn(t, 0, 2),
+                    qweight(t),
+                ]
+            })
+            .collect();
+        let r = svc.execute(&ops);
+        let s = &r.summary;
+        assert_eq!(s.ops, ops.len());
+        assert_eq!(
+            s.applied_updates,
+            s.per_shard.iter().map(|p| p.applied_updates).sum::<usize>()
+        );
+        assert_eq!(s.queries, 6 + 6); // 6 connectivity + 6 weight
+        assert_eq!(
+            s.forest_weight,
+            s.per_shard.iter().map(|p| p.forest_weight).sum::<i128>()
+        );
+        assert!(s.shards_touched >= 1 && s.shards_touched <= 3);
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.ops, ops.len() as u64);
+        assert_eq!(stats.weight_sweeps, 6);
+    }
+}

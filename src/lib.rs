@@ -20,6 +20,8 @@
 //!   sparsification tree (Section 5),
 //! * [`engine`] ([`pdmsf_engine`]) — the batched update/query serving layer
 //!   on top of the parallel structure,
+//! * [`shard`] ([`pdmsf_shard`]) — the multi-tenant sharded serving layer
+//!   on top of the engine,
 //! * [`baselines`] ([`pdmsf_baselines`]) — comparison structures.
 //!
 //! ## Performance architecture
@@ -111,6 +113,33 @@
 //! bursty and tenant-clustered streams and records the trajectory in
 //! `BENCH_batch_throughput.json`.
 //!
+//! ## The sharded serving layer
+//!
+//! Above the single-engine batch layer sits the **multi-tenant sharded
+//! service** ([`ShardedService`], crate [`pdmsf_shard`]) — the first layer
+//! where the system holds *many* MSF structures and the pool runs *many*
+//! simultaneous jobs. It owns `S` shards, each wrapping its own [`Engine`]
+//! (own mirror, own structure), places **tenants** (private vertex and
+//! edge-id spaces) onto shards deterministically (stable hash +
+//! [`shard::TenantSpec::pin`]), routes each tenant-tagged batch into
+//! per-shard sub-batches preserving per-tenant op order, **plans every
+//! sub-batch on the caller thread** ([`Engine::plan_batch`], pure) and
+//! **applies all touched shards concurrently** — one
+//! [`Engine::execute_planned`] job per shard on the pool's multi-job
+//! injector, each internally reusing the full plan/cancel/dedup/snapshot
+//! pipeline — then reassembles outcomes into the caller's op order with
+//! tenant-local ids.
+//!
+//! Sharding wins twice: `O(sqrt(n) log n)` updates get cheaper because
+//! each shard holds `n_shard << n_total` vertices (and the `O(n)` query
+//! snapshot shrinks the same way) — a single-core win — and independent
+//! shard batches run concurrently on top. Semantics are pinned by a
+//! lockstep proptest (sharded == one flat engine per tenant == Kruskal per
+//! tenant, under unknown tenants, pinning, empty shards and hostile ids).
+//! Experiment E2 (`experiments -- e2`) measures the sharded service
+//! against one flat single-`Engine` over the merged stream across shard
+//! counts and tenant skews, recording `BENCH_shard_throughput.json`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -148,8 +177,10 @@ pub use pdmsf_dyntree as dyntree;
 pub use pdmsf_engine as engine;
 pub use pdmsf_graph as graph;
 pub use pdmsf_pram as pram;
+pub use pdmsf_shard as shard;
 
 pub use pdmsf_engine::Engine;
+pub use pdmsf_shard::ShardedService;
 
 /// Convenient single-import prelude for applications.
 pub mod prelude {
@@ -157,11 +188,15 @@ pub mod prelude {
     pub use pdmsf_core::par::ParDynamicMsf;
     pub use pdmsf_core::seq::SeqDynamicMsf;
     pub use pdmsf_core::sparsify::SparsifiedMsf;
-    pub use pdmsf_engine::{BatchResult, BatchSummary, Engine, Outcome, Reject};
+    pub use pdmsf_engine::{BatchResult, BatchSummary, Engine, Outcome, PlannedBatch, Reject};
     pub use pdmsf_graph::{
         assert_matches_kruskal, kruskal_msf, BatchKind, BatchOp, BatchStream, BatchStreamSpec,
         DegreeReduced, DynGraph, DynamicMsf, Edge, EdgeId, GraphSpec, MsfDelta, StreamKind,
-        UpdateOp, UpdateStream, UpdateStreamSpec, VertexId, WKey, Weight,
+        TenantId, TenantOp, TenantStream, TenantStreamSpec, UpdateOp, UpdateStream,
+        UpdateStreamSpec, VertexId, WKey, Weight,
     };
     pub use pdmsf_pram::{CostMeter, CostReport, ExecMode};
+    pub use pdmsf_shard::{
+        ServiceResult, ServiceStats, ServiceSummary, ShardSummary, ShardedService, TenantSpec,
+    };
 }
