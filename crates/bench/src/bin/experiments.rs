@@ -11,17 +11,19 @@
 //! The machine-readable experiments also write JSON artifacts: E0 emits
 //! `BENCH_update_time.json` (per-update throughput; `gate` adds the CI
 //! regression gate), E1 emits `BENCH_batch_throughput.json` (batched vs
-//! one-op-at-a-time engine paths over bursty/clustered batch streams) and
+//! one-op-at-a-time engine paths over bursty/clustered batch streams),
 //! E2 emits `BENCH_shard_throughput.json` (sharded multi-tenant service vs
-//! one flat merged engine, across shard counts and tenant skews).
+//! one flat merged engine, across shard counts and tenant skews) and E3
+//! emits `BENCH_sched_throughput.json` (the work-stealing scheduler under
+//! many-small-jobs workloads, steal/claim counters stamped per record).
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
     batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
     drive, drive_engine_batched, drive_engine_one_by_one, drive_service_flat,
     drive_service_sharded, drive_updates_only, failure_stream, grid_stream, insert_stream,
-    mixed_stream, pram_profile, seq_mean_update_time, shard_records_to_json, tenant_stream,
-    BatchRecord, BenchRecord, MergedTenantEngine, RunMeta, ShardRecord,
+    mixed_stream, pram_profile, sched_records_to_json, seq_mean_update_time, shard_records_to_json,
+    tenant_stream, BatchRecord, BenchRecord, MergedTenantEngine, RunMeta, SchedRecord, ShardRecord,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
@@ -38,6 +40,12 @@ fn micros(d: Duration, ops: usize) -> f64 {
     } else {
         d.as_secs_f64() * 1e6 / ops as f64
     }
+}
+
+/// Median of a non-empty rate sample (upper median; sorts in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    xs[xs.len() / 2]
 }
 
 struct Config {
@@ -76,7 +84,10 @@ fn main() {
     if want("e2") {
         e2_shard_throughput(quick);
     }
-    if want("e11") || want("e3") || want("e4") {
+    if want("e3") {
+        e3_sched_throughput(quick);
+    }
+    if want("e11") || want("e4") {
         e11_pram_scaling(&config);
     }
     if want("e5") {
@@ -206,10 +217,6 @@ fn e0_bench_json(quick: bool, gate: bool) {
                 assert_eq!(arena.forest_weight(), map.forest_weight());
                 assert_eq!(arena.forest_weight(), par.forest_weight());
             }
-            let median = |xs: &mut Vec<f64>| {
-                xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-                xs[xs.len() / 2]
-            };
             let m_arena = median(&mut rates[0]);
             let m_map = median(&mut rates[1]);
             let m_par = median(&mut rates[2]);
@@ -352,10 +359,6 @@ fn e1_batch_throughput(quick: bool) {
                     assert_eq!(batched.forest_weight(), serial.forest_weight());
                     assert_eq!(batched.forest_edges(), serial.forest_edges());
                 }
-                let median = |xs: &mut Vec<f64>| {
-                    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-                    xs[xs.len() / 2]
-                };
                 let m_batched = median(&mut rates[0]);
                 let m_serial = median(&mut rates[1]);
                 println!(
@@ -456,13 +459,11 @@ fn e2_shard_throughput(quick: bool) {
                     pool_jobs: delta.jobs_run,
                     pool_shards: delta.shards_executed,
                     pool_inline: delta.inline_runs,
+                    pool_chunks: delta.chunks_claimed,
+                    pool_steals: delta.steals,
                 });
                 flat_rates.push(records.last().unwrap().ops_per_sec());
             }
-            let median = |xs: &mut Vec<f64>| {
-                xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-                xs[xs.len() / 2]
-            };
             let m_flat = median(&mut flat_rates);
             println!(
                 "{:>8} {:>8} {:>8} {:>7} {:>16.0} {:>13.2}x",
@@ -489,6 +490,8 @@ fn e2_shard_throughput(quick: bool) {
                         pool_jobs: delta.jobs_run,
                         pool_shards: delta.shards_executed,
                         pool_inline: delta.inline_runs,
+                        pool_chunks: delta.chunks_claimed,
+                        pool_steals: delta.steals,
                     });
                     rates.push(records.last().unwrap().ops_per_sec());
                     // The two paths must agree — this benchmark doubles as a
@@ -515,6 +518,192 @@ fn e2_shard_throughput(quick: bool) {
     let meta = RunMeta::collect();
     let json = shard_records_to_json(&meta, &records);
     let path = "BENCH_shard_throughput.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "wrote {path} ({} records, git {}, {} pool thread(s))",
+        records.len(),
+        meta.git_sha,
+        meta.threads
+    );
+}
+
+/// E3: scheduler throughput — the work-stealing pool under the
+/// many-small-jobs regimes the sharded service creates, measured straight
+/// at the pool plus one end-to-end service scenario. Emits
+/// `BENCH_sched_throughput.json`, every record stamped with the pool-stats
+/// delta of its timed region (jobs, chunk claims, **steals**, inline runs)
+/// so scheduler behaviour is attributable in the JSON trajectory.
+///
+/// Scenarios:
+/// * `many-small` — several submitter threads × many tiny flat jobs
+///   (many shards × small batches in service terms);
+/// * `imbalanced` — shard work grows quadratically with the shard index
+///   (imbalanced shard sizes; stealing is what rebalances the tail);
+/// * `nested` — every outer shard submits a nested job (nested-job depth);
+/// * `service-small` — the sharded service on a many-tenants × small-batch
+///   tenant stream (the real dispatcher path end to end).
+///
+/// On a 1-core machine the global pool runs inline (steals = 0 by design —
+/// the counters make that visible); concurrency behaviour needs either
+/// cores or a `PDMSF_POOL_THREADS` override, and the acceptance bar is
+/// "medians no worse than the committed FIFO-injector baseline", with
+/// concurrency upside informational.
+fn e3_sched_throughput(quick: bool) {
+    println!("\n== E3: scheduler throughput (writes BENCH_sched_throughput.json) ==");
+    println!("work-stealing pool under many-small-jobs scenarios; per-record pool");
+    println!("deltas (chunks claimed, steals, inline runs) attribute the scheduling");
+    let reps = if quick { 3 } else { 5 };
+    let spin = |units: usize| {
+        let mut acc = 0u64;
+        for i in 0..units * 40 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            std::hint::black_box(acc);
+        }
+        acc
+    };
+    let mut records: Vec<SchedRecord> = Vec::new();
+    println!(
+        "{:>14} {:>6} {:>6} {:>7} {:>16} {:>8} {:>8}",
+        "scenario", "thr", "jobs", "shards", "ops/s (median)", "chunks", "steals"
+    );
+
+    // Pool-level scenarios: (name, submitters, jobs/submitter, shards/job,
+    // depth, per-shard work closure).
+    type ShardWork = Box<dyn Fn(usize) + Sync>;
+    let scenarios: Vec<(&str, usize, usize, usize, usize, ShardWork)> = vec![
+        (
+            "many-small",
+            4,
+            64,
+            8,
+            1,
+            Box::new(move |_shard| {
+                std::hint::black_box(spin(8));
+            }),
+        ),
+        (
+            "imbalanced",
+            2,
+            32,
+            8,
+            1,
+            Box::new(move |shard| {
+                std::hint::black_box(spin(8 * (shard + 1) * (shard + 1)));
+            }),
+        ),
+        (
+            "nested",
+            2,
+            16,
+            4,
+            2,
+            Box::new(move |_outer| {
+                pool::run_shards(4, |_inner| {
+                    std::hint::black_box(spin(10));
+                });
+            }),
+        ),
+    ];
+    for (name, submitters, jobs, shards, depth, work) in &scenarios {
+        let mut rates: Vec<f64> = Vec::new();
+        let mut last: Option<SchedRecord> = None;
+        for _ in 0..reps {
+            // Every executed shard counts as an op: in the nested scenario
+            // each outer shard additionally submits a 4-shard inner job,
+            // so a job executes `shards` outer + `shards * 4` leaf shards
+            // (matching the pool_shards delta stamped into the record).
+            let ops = submitters * jobs * shards * if *depth > 1 { 1 + 4 } else { 1 };
+            let snap = pool::snapshot();
+            let start = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..*submitters {
+                    scope.spawn(|| {
+                        for _ in 0..*jobs {
+                            pool::run_shards(*shards, &*work);
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed();
+            let delta = snap.delta();
+            let rec = SchedRecord {
+                scenario: name.to_string(),
+                submitters: *submitters,
+                jobs: *jobs,
+                shards_per_job: *shards,
+                depth: *depth,
+                ops,
+                elapsed_ns: elapsed.as_nanos(),
+                pool_jobs: delta.jobs_run,
+                pool_shards: delta.shards_executed,
+                pool_inline: delta.inline_runs,
+                pool_chunks: delta.chunks_claimed,
+                pool_steals: delta.steals,
+            };
+            rates.push(rec.ops_per_sec());
+            records.push(rec.clone());
+            last = Some(rec);
+        }
+        let last = last.expect("at least one rep ran");
+        println!(
+            "{:>14} {:>6} {:>6} {:>7} {:>16.0} {:>8} {:>8}",
+            name,
+            submitters,
+            jobs,
+            shards,
+            median(&mut rates),
+            last.pool_chunks,
+            last.pool_steals
+        );
+    }
+
+    // End-to-end: the sharded service on many shards × small batches.
+    let (tenants, tenant_n, shards) = (16usize, 128usize, 8usize);
+    let batches = if quick { 16 } else { 32 };
+    let stream = tenant_stream(tenants, tenant_n, batches, 64, 700, 99);
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|t| TenantSpec::new(TenantId(t as u32), tenant_n))
+        .collect();
+    let mut rates: Vec<f64> = Vec::new();
+    let mut last: Option<SchedRecord> = None;
+    for _ in 0..reps {
+        let mut service = ShardedService::new(shards, &specs);
+        let snap = pool::snapshot();
+        let (t, ops) = drive_service_sharded(&mut service, &stream);
+        let delta = snap.delta();
+        let rec = SchedRecord {
+            scenario: "service-small".into(),
+            submitters: 1,
+            jobs: batches,
+            shards_per_job: shards,
+            depth: 1,
+            ops,
+            elapsed_ns: t.as_nanos(),
+            pool_jobs: delta.jobs_run,
+            pool_shards: delta.shards_executed,
+            pool_inline: delta.inline_runs,
+            pool_chunks: delta.chunks_claimed,
+            pool_steals: delta.steals,
+        };
+        rates.push(rec.ops_per_sec());
+        records.push(rec.clone());
+        last = Some(rec);
+    }
+    let last = last.expect("at least one rep ran");
+    println!(
+        "{:>14} {:>6} {:>6} {:>7} {:>16.0} {:>8} {:>8}",
+        "service-small",
+        1,
+        batches,
+        shards,
+        median(&mut rates),
+        last.pool_chunks,
+        last.pool_steals
+    );
+
+    let meta = RunMeta::collect();
+    let json = sched_records_to_json(&meta, &records);
+    let path = "BENCH_sched_throughput.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!(
         "wrote {path} ({} records, git {}, {} pool thread(s))",

@@ -605,6 +605,12 @@ pub struct ShardRecord {
     pub pool_shards: u64,
     /// Inline (non-pooled) runs during the timed region.
     pub pool_inline: u64,
+    /// Injector chunks claimed during the timed region (each one shared-
+    /// queue interaction covering a run of shards).
+    pub pool_chunks: u64,
+    /// Successful work steals during the timed region (0 when the pool ran
+    /// inline or stayed balanced).
+    pub pool_steals: u64,
 }
 
 impl ShardRecord {
@@ -633,7 +639,7 @@ pub fn shard_records_to_json(meta: &RunMeta, records: &[ShardRecord]) -> String 
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"path\": \"{}\", \"shards\": {}, \"tenants\": {}, \"tenant_n\": {}, \"total_n\": {}, \"zipf_permille\": {}, \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}}}{}\n",
+            "    {{\"path\": \"{}\", \"shards\": {}, \"tenants\": {}, \"tenant_n\": {}, \"total_n\": {}, \"zipf_permille\": {}, \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}, \"pool_chunks\": {}, \"pool_steals\": {}}}{}\n",
             r.path,
             r.shards,
             r.tenants,
@@ -648,6 +654,95 @@ pub fn shard_records_to_json(meta: &RunMeta, records: &[ShardRecord]) -> String 
             r.pool_jobs,
             r.pool_shards,
             r.pool_inline,
+            r.pool_chunks,
+            r.pool_steals,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Scheduler-throughput records (BENCH_sched_throughput.json)
+// ---------------------------------------------------------------------
+
+/// One measured scenario cell of the E3 scheduler benchmark: a
+/// many-small-jobs workload driven straight through the worker pool (or
+/// through the sharded service for the end-to-end scenario), stamped with
+/// the pool-stats delta of its timed region so claims, steals and inline
+/// degradations are attributable per cell.
+#[derive(Clone, Debug)]
+pub struct SchedRecord {
+    /// Scenario label (`"many-small"`, `"imbalanced"`, `"nested"`,
+    /// `"service-small"`).
+    pub scenario: String,
+    /// Concurrent submitter threads.
+    pub submitters: usize,
+    /// Jobs submitted per submitter (service batches for
+    /// `"service-small"`).
+    pub jobs: usize,
+    /// Shards per job (service shard count for `"service-small"`).
+    pub shards_per_job: usize,
+    /// Nested submission depth (1 = flat jobs).
+    pub depth: usize,
+    /// Total timed operations (shard executions; tenant ops for
+    /// `"service-small"`).
+    pub ops: usize,
+    /// Wall-clock nanoseconds of the timed region.
+    pub elapsed_ns: u128,
+    /// Pool jobs completed during the timed region.
+    pub pool_jobs: u64,
+    /// Pool shards executed during the timed region.
+    pub pool_shards: u64,
+    /// Inline (non-pooled) runs during the timed region.
+    pub pool_inline: u64,
+    /// Injector chunks claimed during the timed region.
+    pub pool_chunks: u64,
+    /// Successful work steals during the timed region.
+    pub pool_steals: u64,
+}
+
+impl SchedRecord {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// Serialize scheduler-throughput records as JSON, stamped with the same
+/// run metadata as the other benchmark artifacts (hand-rolled for the same
+/// reason as [`bench_records_to_json`]).
+pub fn sched_records_to_json(meta: &RunMeta, records: &[SchedRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"sched_throughput\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"threads\": {}, \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.threads, meta.par_cutoff
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"submitters\": {}, \"jobs\": {}, \"shards_per_job\": {}, \"depth\": {}, \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}, \"pool_chunks\": {}, \"pool_steals\": {}}}{}\n",
+            r.scenario,
+            r.submitters,
+            r.jobs,
+            r.shards_per_job,
+            r.depth,
+            r.ops,
+            r.elapsed_ns,
+            r.ops_per_sec(),
+            r.pool_jobs,
+            r.pool_shards,
+            r.pool_inline,
+            r.pool_chunks,
+            r.pool_steals,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -776,6 +871,8 @@ mod tests {
                 pool_jobs: 12,
                 pool_shards: 40,
                 pool_inline: 3,
+                pool_chunks: 18,
+                pool_steals: 5,
             },
             ShardRecord {
                 path: "flat-merged".into(),
@@ -791,6 +888,8 @@ mod tests {
                 pool_jobs: 0,
                 pool_shards: 0,
                 pool_inline: 8,
+                pool_chunks: 0,
+                pool_steals: 0,
             },
         ];
         let meta = RunMeta {
@@ -806,6 +905,55 @@ mod tests {
         assert!(json.contains("\"zipf_permille\": 900"));
         assert!(json.contains("\"ops_per_sec\": 2000000.00"));
         assert!(json.contains("\"pool_jobs\": 12"));
+        assert!(json.contains("\"pool_chunks\": 18"));
+        assert!(json.contains("\"pool_steals\": 5"));
+        assert_eq!(json.matches("},\n").count(), 2);
+        assert_eq!(records[0].ops_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn sched_json_is_well_formed() {
+        let records = vec![
+            SchedRecord {
+                scenario: "many-small".into(),
+                submitters: 4,
+                jobs: 64,
+                shards_per_job: 8,
+                depth: 1,
+                ops: 2048,
+                elapsed_ns: 1_024_000,
+                pool_jobs: 256,
+                pool_shards: 2048,
+                pool_inline: 0,
+                pool_chunks: 512,
+                pool_steals: 31,
+            },
+            SchedRecord {
+                scenario: "nested".into(),
+                submitters: 2,
+                jobs: 16,
+                shards_per_job: 4,
+                depth: 2,
+                ops: 512,
+                elapsed_ns: 2_048_000,
+                pool_jobs: 160,
+                pool_shards: 640,
+                pool_inline: 0,
+                pool_chunks: 200,
+                pool_steals: 7,
+            },
+        ];
+        let meta = RunMeta {
+            git_sha: "deadbeef".into(),
+            threads: 4,
+            par_cutoff: 512,
+        };
+        let json = sched_records_to_json(&meta, &records);
+        assert!(json.contains("\"benchmark\": \"sched_throughput\""));
+        assert!(json.contains("\"scenario\": \"many-small\""));
+        assert!(json.contains("\"depth\": 2"));
+        assert!(json.contains("\"ops_per_sec\": 2000000.00"));
+        assert!(json.contains("\"pool_steals\": 31"));
         assert_eq!(json.matches("},\n").count(), 2);
         assert_eq!(records[0].ops_per_sec(), 2_000_000.0);
     }

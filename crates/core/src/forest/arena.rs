@@ -1,5 +1,6 @@
 //! Structure-of-arrays storage for the chunked forest: [`ChunkArena`] (the
-//! chunk banks) and [`RowBank`] (the contiguous `CAdj` row store).
+//! chunk banks **and** the occurrence banks) and [`RowBank`] (the
+//! contiguous `CAdj` row store).
 //!
 //! The previous layout kept every per-chunk field — splay pointers, list
 //! metadata *and* the `O(J)`-sized `base`/`agg`/`memb` vectors — inside one
@@ -26,8 +27,17 @@
 //! (`J`, the row length) grows, [`RowBank::grow_stride`] re-lays out the
 //! backing store in one pass — the same `O(slabs · J)` cost the old layout
 //! paid to resize every boxed row, but as a single compacting sweep.
+//!
+//! Since the scheduler PR the arena also owns the **occurrence banks**: the
+//! last array-of-structs holdout (`Occ { vertex, chunk, pos, vpos, arc,
+//! principal, alive }`, ~24 bytes of mixed-purpose record per Euler-tour
+//! occurrence) is split into flat `u32` banks (`occ_vertex` / `occ_chunk` /
+//! `occ_pos` / `occ_vpos` / `occ_arc`) plus a one-byte flag bank, so the
+//! occurrence reindex loops in surgery (in-chunk insert/delete shifts,
+//! split/merge re-chunking) and the principal-copy scans in the MWR search
+//! sweep one dense bank each instead of striding over fat records.
 
-use pdmsf_graph::WKey;
+use pdmsf_graph::{VertexId, WKey};
 
 /// Sentinel index shared with the rest of the forest module.
 use super::NONE;
@@ -35,8 +45,16 @@ use super::NONE;
 const ALIVE: u8 = 1;
 const QUEUED: u8 = 2;
 
-/// Structure-of-arrays chunk storage (see module docs). A chunk id indexes
-/// every bank; banks never shrink, freed ids are recycled via `free_ids`.
+// ---- occurrence flag bits ----
+const OCC_ALIVE: u8 = 1;
+const OCC_PRINCIPAL: u8 = 2;
+/// Direction bit of the occurrence's arc (`u -> v` when set); only
+/// meaningful while `occ_arc` is not `NONE`.
+const OCC_ARC_FWD: u8 = 4;
+
+/// Structure-of-arrays chunk **and occurrence** storage (see module docs).
+/// A chunk id indexes every chunk bank and an occurrence id every `occ_*`
+/// bank; banks never shrink, freed ids are recycled via the free lists.
 #[derive(Default)]
 pub(crate) struct ChunkArena {
     // ---- hot bank: splay-tree topology ----
@@ -60,6 +78,22 @@ pub(crate) struct ChunkArena {
     flags: Vec<u8>,
 
     free_ids: Vec<u32>,
+
+    // ---- occurrence banks (the SoA form of the former `Occ` record,
+    // indexed by occurrence id) ----
+    /// Vertex of the occurrence (raw [`VertexId`] index).
+    pub(crate) occ_vertex: Vec<u32>,
+    /// Chunk holding the occurrence.
+    pub(crate) occ_chunk: Vec<u32>,
+    /// Position within the chunk's `occs` list.
+    pub(crate) occ_pos: Vec<u32>,
+    /// Position within the forest's `vertex_occs[vertex]` list.
+    pub(crate) occ_vpos: Vec<u32>,
+    /// Edge-store handle of the forest arc whose *tail* this occurrence is
+    /// (`NONE` = no arc). The direction travels in the `OCC_ARC_FWD` flag.
+    occ_arc: Vec<u32>,
+    occ_flags: Vec<u8>,
+    occ_free: Vec<u32>,
 }
 
 impl ChunkArena {
@@ -132,6 +166,110 @@ impl ChunkArena {
         // skips it via the cleared flags.
         self.flags[ci] = 0;
         self.free_ids.push(c);
+    }
+
+    // ---- occurrence banks -----------------------------------------------
+
+    /// Number of occurrence ids ever allocated (live + free).
+    #[inline]
+    pub(crate) fn occ_len(&self) -> usize {
+        self.occ_vertex.len()
+    }
+
+    /// Allocate an occurrence of `v` as a chunkless, arcless, non-principal
+    /// record at `vpos` in its vertex list.
+    pub(crate) fn occ_alloc(&mut self, v: VertexId, vpos: u32) -> u32 {
+        if let Some(o) = self.occ_free.pop() {
+            let oi = o as usize;
+            self.occ_vertex[oi] = v.0;
+            self.occ_chunk[oi] = NONE;
+            self.occ_pos[oi] = 0;
+            self.occ_vpos[oi] = vpos;
+            self.occ_arc[oi] = NONE;
+            self.occ_flags[oi] = OCC_ALIVE;
+            o
+        } else {
+            self.occ_vertex.push(v.0);
+            self.occ_chunk.push(NONE);
+            self.occ_pos.push(0);
+            self.occ_vpos.push(vpos);
+            self.occ_arc.push(NONE);
+            self.occ_flags.push(OCC_ALIVE);
+            (self.occ_vertex.len() - 1) as u32
+        }
+    }
+
+    /// Retire an occurrence id (the forest removes it from `vertex_occs`
+    /// first).
+    pub(crate) fn occ_release(&mut self, o: u32) {
+        self.occ_flags[o as usize] = 0;
+        self.occ_free.push(o);
+    }
+
+    #[inline]
+    pub(crate) fn occ_alive(&self, o: u32) -> bool {
+        self.occ_flags[o as usize] & OCC_ALIVE != 0
+    }
+
+    /// Vertex of occurrence `o`.
+    #[inline]
+    pub(crate) fn occ_vert(&self, o: u32) -> VertexId {
+        VertexId(self.occ_vertex[o as usize])
+    }
+
+    /// Whether `o` is its vertex's principal copy (cached flag; the
+    /// forest's `principal` array is authoritative).
+    #[inline]
+    pub(crate) fn occ_principal(&self, o: u32) -> bool {
+        self.occ_flags[o as usize] & OCC_PRINCIPAL != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_occ_principal(&mut self, o: u32, p: bool) {
+        if p {
+            self.occ_flags[o as usize] |= OCC_PRINCIPAL;
+        } else {
+            self.occ_flags[o as usize] &= !OCC_PRINCIPAL;
+        }
+    }
+
+    /// The forest arc (edge-store handle, `true` = the `u -> v` direction)
+    /// whose tail occurrence `o` is, if any.
+    #[inline]
+    pub(crate) fn occ_arc(&self, o: u32) -> Option<(u32, bool)> {
+        let h = self.occ_arc[o as usize];
+        (h != NONE).then(|| (h, self.occ_flags[o as usize] & OCC_ARC_FWD != 0))
+    }
+
+    #[inline]
+    pub(crate) fn set_occ_arc(&mut self, o: u32, arc: Option<(u32, bool)>) {
+        let oi = o as usize;
+        match arc {
+            Some((h, fwd)) => {
+                debug_assert_ne!(h, NONE);
+                self.occ_arc[oi] = h;
+                if fwd {
+                    self.occ_flags[oi] |= OCC_ARC_FWD;
+                } else {
+                    self.occ_flags[oi] &= !OCC_ARC_FWD;
+                }
+            }
+            None => {
+                self.occ_arc[oi] = NONE;
+                self.occ_flags[oi] &= !OCC_ARC_FWD;
+            }
+        }
+    }
+
+    /// Re-stamp `occ_chunk` / `occ_pos` over chunk `c`'s occurrence list
+    /// from index `from` on — the reindex after an in-chunk insert/remove
+    /// or a split/merge re-chunking, as one sweep over the flat banks.
+    pub(crate) fn restamp_occs(&mut self, c: u32, from: usize) {
+        let ci = c as usize;
+        for (p, &o) in self.occs[ci].iter().enumerate().skip(from) {
+            self.occ_chunk[o as usize] = c;
+            self.occ_pos[o as usize] = p as u32;
+        }
     }
 }
 

@@ -80,11 +80,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     fn scan_row(&self, c: u32, row: &mut [WKey]) -> u64 {
         let mut scanned = 0u64;
         for &o in &self.chunks.occs[c as usize] {
-            let occ = &self.occs[o as usize];
-            if !occ.principal {
+            if !self.chunks.occ_principal(o) {
                 continue;
             }
-            let v = occ.vertex;
+            let v = self.chunks.occ_vert(o);
             let handles = &self.adj[v.index()];
             for (i, &h) in handles.iter().enumerate() {
                 if let Some(&ahead) = handles.get(i + 2) {
@@ -550,11 +549,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut best = WKey::PLUS_INF;
         let mut scanned = 0u64;
         for &o in &self.chunks.occs[c1 as usize] {
-            let occ = &self.occs[o as usize];
-            if !occ.principal {
+            if !self.chunks.occ_principal(o) {
                 continue;
             }
-            let v = occ.vertex;
+            let v = self.chunks.occ_vert(o);
             let handles = &self.adj[v.index()];
             for (i, &h) in handles.iter().enumerate() {
                 if let Some(&ahead) = handles.get(i + 2) {

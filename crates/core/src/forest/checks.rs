@@ -18,25 +18,32 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// description on the first violation.
     pub fn validate(&self, tree_edges: &[Edge]) {
         let num_chunks = self.chunks.len();
-        // ---- occurrence / chunk bookkeeping ----
+        // ---- occurrence / chunk bookkeeping (bank reads) ----
         for ci in 0..num_chunks {
             if !self.chunks.alive(ci as u32) {
                 continue;
             }
             assert!(!self.chunks.occs[ci].is_empty(), "chunk {ci} is empty");
             for (pos, &o) in self.chunks.occs[ci].iter().enumerate() {
-                let occ = &self.occs[o as usize];
-                assert!(occ.alive, "dead occurrence {o} referenced by chunk {ci}");
-                assert_eq!(occ.chunk as usize, ci, "occurrence {o} has wrong chunk");
-                assert_eq!(occ.pos as usize, pos, "occurrence {o} has wrong position");
+                assert!(
+                    self.chunks.occ_alive(o),
+                    "dead occurrence {o} referenced by chunk {ci}"
+                );
+                assert_eq!(
+                    self.chunks.occ_chunk[o as usize] as usize, ci,
+                    "occurrence {o} has wrong chunk"
+                );
+                assert_eq!(
+                    self.chunks.occ_pos[o as usize] as usize, pos,
+                    "occurrence {o} has wrong position"
+                );
             }
         }
         for (v, occ_list) in self.vertex_occs.iter().enumerate() {
             for (vpos, &o) in occ_list.iter().enumerate() {
-                let occ = &self.occs[o as usize];
-                assert!(occ.alive);
-                assert_eq!(occ.vertex.index(), v);
-                assert_eq!(occ.vpos as usize, vpos);
+                assert!(self.chunks.occ_alive(o));
+                assert_eq!(self.chunks.occ_vert(o).index(), v);
+                assert_eq!(self.chunks.occ_vpos[o as usize] as usize, vpos);
             }
             let p = self.principal[v];
             assert_ne!(p, NONE, "vertex {v} has no principal copy");
@@ -48,13 +55,13 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             // authoritative array.
             for &o in occ_list {
                 assert_eq!(
-                    self.occs[o as usize].principal,
+                    self.chunks.occ_principal(o),
                     o == p,
                     "stale principal flag on occurrence {o} of vertex {v}"
                 );
             }
             assert_eq!(
-                self.vertex_chunk[v], self.occs[p as usize].chunk,
+                self.vertex_chunk[v], self.chunks.occ_chunk[p as usize],
                 "stale vertex_chunk cache for vertex {v}"
             );
         }
@@ -84,7 +91,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         for v in 0..n {
             let comp = uf.find(v);
             for &o in &self.vertex_occs[v] {
-                let root = self.tree_root(self.occs[o as usize].chunk);
+                let root = self.tree_root(self.chunks.occ_chunk[o as usize]);
                 if component_root[comp] == NONE {
                     component_root[comp] = root;
                 } else {
@@ -117,36 +124,40 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             let rec = self.edges.get(h);
             let (fwd, bwd) = (rec.fwd, rec.bwd);
             assert_ne!(fwd, NONE, "{:?} has no arcs", e.id);
-            assert_eq!(self.occs[fwd as usize].vertex, e.u);
-            assert_eq!(self.occs[bwd as usize].vertex, e.v);
-            assert_eq!(self.occs[fwd as usize].arc, Some((h, true)));
-            assert_eq!(self.occs[bwd as usize].arc, Some((h, false)));
+            assert_eq!(self.chunks.occ_vert(fwd), e.u);
+            assert_eq!(self.chunks.occ_vert(bwd), e.v);
+            assert_eq!(self.chunks.occ_arc(fwd), Some((h, true)));
+            assert_eq!(self.chunks.occ_arc(bwd), Some((h, false)));
             let succ_fwd = self.cyclic_succ(fwd);
             let succ_bwd = self.cyclic_succ(bwd);
             assert_eq!(
-                self.occs[succ_fwd as usize].vertex, e.v,
+                self.chunks.occ_vert(succ_fwd),
+                e.v,
                 "forward arc of {:?} does not point at an occurrence of {:?}",
-                e.id, e.v
+                e.id,
+                e.v
             );
             assert_eq!(
-                self.occs[succ_bwd as usize].vertex, e.u,
+                self.chunks.occ_vert(succ_bwd),
+                e.u,
                 "backward arc of {:?} does not point at an occurrence of {:?}",
-                e.id, e.u
+                e.id,
+                e.u
             );
         }
         // Conversely, every occurrence's arc must be registered.
-        for (oi, occ) in self.occs.iter().enumerate() {
-            if !occ.alive {
+        for oi in 0..self.chunks.occ_len() as u32 {
+            if !self.chunks.occ_alive(oi) {
                 continue;
             }
-            if let Some((h, fwd)) = occ.arc {
+            if let Some((h, fwd)) = self.chunks.occ_arc(oi) {
                 let rec = self.edges.get(h);
                 assert_ne!(
                     rec.fwd, NONE,
                     "occurrence {oi} refers to a non-forest edge {:?}",
                     rec.edge.id
                 );
-                assert_eq!(if fwd { rec.fwd } else { rec.bwd }, oi as u32);
+                assert_eq!(if fwd { rec.fwd } else { rec.bwd }, oi);
             }
         }
 
@@ -169,7 +180,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             }
             let mut expected = 0usize;
             for &o in &self.chunks.occs[ci] {
-                let v = self.occs[o as usize].vertex;
+                let v = self.chunks.occ_vert(o);
                 if self.principal[v.index()] == o {
                     expected += self.adj[v.index()].len();
                 }
@@ -209,8 +220,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut brute = vec![vec![WKey::PLUS_INF; cap]; cap];
         self.edges.for_each(|eid, rec| {
             let e = rec.edge;
-            let cu = self.occs[self.principal[e.u.index()] as usize].chunk;
-            let cv = self.occs[self.principal[e.v.index()] as usize].chunk;
+            let cu = self.chunks.occ_chunk[self.principal[e.u.index()] as usize];
+            let cv = self.chunks.occ_chunk[self.principal[e.v.index()] as usize];
             let su = self.chunks.slot[cu as usize];
             let sv = self.chunks.slot[cv as usize];
             if su == NONE || sv == NONE {

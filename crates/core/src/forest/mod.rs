@@ -81,26 +81,6 @@ pub enum CostModel {
     Erew,
 }
 
-/// One occurrence of a vertex in the Euler tour of its tree.
-#[derive(Clone, Debug)]
-pub(crate) struct Occ {
-    pub vertex: VertexId,
-    /// Chunk holding this occurrence.
-    pub chunk: u32,
-    /// Position within the chunk's `occs` vector.
-    pub pos: u32,
-    /// Position within `vertex_occs[vertex]`.
-    pub vpos: u32,
-    /// The forest arc (edge-store handle, `true` = the `u -> v` direction of
-    /// that edge) whose *tail* this occurrence is, if any. The head of the
-    /// arc is always the cyclically next occurrence in the list.
-    pub arc: Option<(u32, bool)>,
-    /// Whether this occurrence is its vertex's principal copy (cached from
-    /// the `principal` array so scan loops decide without a second load).
-    pub principal: bool,
-    pub alive: bool,
-}
-
 /// Aggregate statistics used by tests and the benchmark harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ForestStats {
@@ -138,17 +118,18 @@ pub struct ChunkedEulerForest<S: EdgeStore<EdgeRec> = ArenaEdgeStore> {
     /// incident edge with a single indexed load.
     pub(crate) adj: Vec<Vec<u32>>,
 
-    // ---- occurrences ----
-    pub(crate) occs: Vec<Occ>,
-    pub(crate) occ_free: Vec<u32>,
+    // ---- occurrences (per-vertex indexes; the occurrence *records* live
+    // in the flat banks of [`ChunkArena`]) ----
     pub(crate) vertex_occs: Vec<Vec<u32>>,
     pub(crate) principal: Vec<u32>,
-    /// Chunk holding each vertex's principal copy (cache of
-    /// `occs[principal[v]].chunk`, so the scan loops resolve "which chunk is
-    /// the other endpoint in" with one load instead of a pointer chain).
+    /// Chunk holding each vertex's principal copy (cache of the principal
+    /// occurrence's `occ_chunk` bank entry, so the scan loops resolve
+    /// "which chunk is the other endpoint in" with one load instead of a
+    /// pointer chain).
     pub(crate) vertex_chunk: Vec<u32>,
 
-    // ---- chunks / LSDS (structure-of-arrays banks, see [`arena`]) ----
+    // ---- chunks + occurrence banks / LSDS (structure-of-arrays, see
+    // [`arena`]) ----
     pub(crate) chunks: ChunkArena,
     /// Contiguous `CAdj` row store; `chunks.row[c]` is the slab handle.
     pub(crate) rows: RowBank,
@@ -188,8 +169,6 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             meter: CostMeter::new(),
             edges: S::default(),
             adj: Vec::new(),
-            occs: Vec::new(),
-            occ_free: Vec::new(),
             vertex_occs: Vec::new(),
             principal: Vec::new(),
             vertex_chunk: Vec::new(),
@@ -242,9 +221,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let c = self.chunks.alloc();
         let o = self.alloc_occ(v);
         self.chunks.occs[c as usize].push(o);
-        self.occs[o as usize].chunk = c;
-        self.occs[o as usize].pos = 0;
-        self.occs[o as usize].principal = true;
+        self.chunks.occ_chunk[o as usize] = c;
+        self.chunks.occ_pos[o as usize] = 0;
+        self.chunks.set_occ_principal(o, true);
         self.principal[v.index()] = o;
         self.vertex_chunk[v.index()] = c;
         v
@@ -275,29 +254,15 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     // ---- arena helpers -------------------------------------------------
 
     pub(crate) fn alloc_occ(&mut self, v: VertexId) -> u32 {
-        let occ = Occ {
-            vertex: v,
-            chunk: NONE,
-            pos: 0,
-            vpos: self.vertex_occs[v.index()].len() as u32,
-            arc: None,
-            principal: false,
-            alive: true,
-        };
-        let id = if let Some(id) = self.occ_free.pop() {
-            self.occs[id as usize] = occ;
-            id
-        } else {
-            self.occs.push(occ);
-            (self.occs.len() - 1) as u32
-        };
+        let vpos = self.vertex_occs[v.index()].len() as u32;
+        let id = self.chunks.occ_alloc(v, vpos);
         self.vertex_occs[v.index()].push(id);
         id
     }
 
     pub(crate) fn free_occ(&mut self, o: u32) {
-        let v = self.occs[o as usize].vertex;
-        let vpos = self.occs[o as usize].vpos as usize;
+        let v = self.chunks.occ_vert(o);
+        let vpos = self.chunks.occ_vpos[o as usize] as usize;
         // Remove from vertex_occs with swap_remove, fixing the moved entry.
         let list = &mut self.vertex_occs[v.index()];
         let last = list.len() - 1;
@@ -305,10 +270,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         list.pop();
         if vpos < list.len() {
             let moved = list[vpos];
-            self.occs[moved as usize].vpos = vpos as u32;
+            self.chunks.occ_vpos[moved as usize] = vpos as u32;
         }
-        self.occs[o as usize].alive = false;
-        self.occ_free.push(o);
+        self.chunks.occ_release(o);
     }
 
     /// Queue chunk `c` for Invariant-1 fix-up (idempotent).

@@ -85,11 +85,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         cands.clear();
         let mut scanned = 0u64;
         for &o in &self.chunks.occs[short_root as usize] {
-            let occ = &self.occs[o as usize];
-            if !occ.principal {
+            if !self.chunks.occ_principal(o) {
                 continue;
             }
-            let v = occ.vertex;
+            let v = self.chunks.occ_vert(o);
             let handles = &self.adj[v.index()];
             for (i, &h) in handles.iter().enumerate() {
                 if let Some(&ahead) = handles.get(i + 2) {
@@ -155,11 +154,10 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut scanned = 0u64;
         let root_a_memb = self.rows.memb(self.chunks.row[root_a as usize]);
         for &o in &self.chunks.occs[chunk as usize] {
-            let occ = &self.occs[o as usize];
-            if !occ.principal {
+            if !self.chunks.occ_principal(o) {
                 continue;
             }
-            let v = occ.vertex;
+            let v = self.chunks.occ_vert(o);
             let handles = &self.adj[v.index()];
             for (i, &h) in handles.iter().enumerate() {
                 if let Some(&ahead) = handles.get(i + 2) {

@@ -22,22 +22,28 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
 
     /// The occurrence immediately preceding `o` in its (linear) list.
     pub(crate) fn pred_occ(&self, o: u32) -> Option<u32> {
-        let occ = &self.occs[o as usize];
-        if occ.pos > 0 {
-            return Some(self.chunks.occs[occ.chunk as usize][occ.pos as usize - 1]);
+        let (c, pos) = (
+            self.chunks.occ_chunk[o as usize],
+            self.chunks.occ_pos[o as usize],
+        );
+        if pos > 0 {
+            return Some(self.chunks.occs[c as usize][pos as usize - 1]);
         }
-        let prev = self.prev_chunk(occ.chunk)?;
+        let prev = self.prev_chunk(c)?;
         self.chunks.occs[prev as usize].last().copied()
     }
 
     /// The occurrence immediately following `o` in its (linear) list.
     pub(crate) fn succ_occ(&self, o: u32) -> Option<u32> {
-        let occ = &self.occs[o as usize];
-        let chunk_occs = &self.chunks.occs[occ.chunk as usize];
-        if (occ.pos as usize) + 1 < chunk_occs.len() {
-            return Some(chunk_occs[occ.pos as usize + 1]);
+        let (c, pos) = (
+            self.chunks.occ_chunk[o as usize],
+            self.chunks.occ_pos[o as usize],
+        );
+        let chunk_occs = &self.chunks.occs[c as usize];
+        if (pos as usize) + 1 < chunk_occs.len() {
+            return Some(chunk_occs[pos as usize + 1]);
         }
-        let next = self.next_chunk(occ.chunk)?;
+        let next = self.next_chunk(c)?;
         self.chunks.occs[next as usize].first().copied()
     }
 
@@ -62,7 +68,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         match self.succ_occ(o) {
             Some(s) => s,
             None => {
-                let root = self.tree_root(self.occs[o as usize].chunk);
+                let root = self.tree_root(self.chunks.occ_chunk[o as usize]);
                 self.first_occ_of_list(root)
             }
         }
@@ -71,55 +77,49 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Whether the list containing occurrence `o` consists of exactly one
     /// occurrence (its vertex is isolated in the forest).
     pub(crate) fn occ_list_is_singleton(&self, o: u32) -> bool {
-        let c = self.occs[o as usize].chunk;
+        let c = self.chunks.occ_chunk[o as usize];
         self.chunks.occs[c as usize].len() == 1 && self.list_is_single_chunk(c)
     }
 
     /// Linear position of `o` within its list, as (chunk rank, in-chunk pos).
     fn occ_rank(&self, o: u32) -> (usize, u32) {
-        let occ = &self.occs[o as usize];
-        (self.chunk_rank(occ.chunk), occ.pos)
+        let c = self.chunks.occ_chunk[o as usize];
+        (self.chunk_rank(c), self.chunks.occ_pos[o as usize])
     }
 
     /// Insert a fresh (non-principal) occurrence of `v` immediately after
-    /// occurrence `after` and return it. `O(K)` for the in-chunk reindexing.
+    /// occurrence `after` and return it. `O(K)` for the in-chunk reindexing
+    /// (one sweep over the `occ_chunk`/`occ_pos` banks).
     pub(crate) fn insert_occ_after(&mut self, after: u32, v: VertexId) -> u32 {
         let o = self.alloc_occ(v);
-        let c = self.occs[after as usize].chunk;
-        let pos = self.occs[after as usize].pos as usize + 1;
+        let c = self.chunks.occ_chunk[after as usize];
+        let pos = self.chunks.occ_pos[after as usize] as usize + 1;
         self.chunks.occs[c as usize].insert(pos, o);
-        self.occs[o as usize].chunk = c;
         let len = self.chunks.occs[c as usize].len();
-        for p in pos..len {
-            let oc = self.chunks.occs[c as usize][p];
-            self.occs[oc as usize].pos = p as u32;
-        }
+        self.chunks.restamp_occs(c, pos);
         self.touch(c);
         self.charge((len - pos) as u64 + 1, 1, (len - pos) as u64 + 1);
         o
     }
 
     /// Remove an occurrence that is neither a principal copy nor the tail of
-    /// any live arc. `O(K)` for the in-chunk reindexing.
+    /// any live arc. `O(K)` for the in-chunk reindexing (one bank sweep).
     pub(crate) fn delete_occ(&mut self, o: u32) {
         debug_assert!(
-            self.occs[o as usize].arc.is_none(),
+            self.chunks.occ_arc(o).is_none(),
             "occurrence still carries an arc"
         );
-        let v = self.occs[o as usize].vertex;
+        let v = self.chunks.occ_vert(o);
         debug_assert_ne!(
             self.principal[v.index()],
             o,
             "cannot delete a principal copy; re-designate first"
         );
-        let c = self.occs[o as usize].chunk;
-        let pos = self.occs[o as usize].pos as usize;
+        let c = self.chunks.occ_chunk[o as usize];
+        let pos = self.chunks.occ_pos[o as usize] as usize;
         self.chunks.occs[c as usize].remove(pos);
         let len = self.chunks.occs[c as usize].len();
-        for p in pos..len {
-            let oc = self.chunks.occs[c as usize][p];
-            self.occs[oc as usize].pos = p as u32;
-        }
+        self.chunks.restamp_occs(c, pos);
         self.free_occ(o);
         self.charge((len - pos) as u64 + 1, 1, (len - pos) as u64 + 1);
         if len == 0 {
@@ -145,12 +145,12 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         if old == new_occ {
             return;
         }
-        debug_assert_eq!(self.occs[new_occ as usize].vertex, v);
+        debug_assert_eq!(self.chunks.occ_vert(new_occ), v);
         self.principal[v.index()] = new_occ;
-        self.occs[old as usize].principal = false;
-        self.occs[new_occ as usize].principal = true;
-        let c_old = self.occs[old as usize].chunk;
-        let c_new = self.occs[new_occ as usize].chunk;
+        self.chunks.set_occ_principal(old, false);
+        self.chunks.set_occ_principal(new_occ, true);
+        let c_old = self.chunks.occ_chunk[old as usize];
+        let c_new = self.chunks.occ_chunk[new_occ as usize];
         self.vertex_chunk[v.index()] = c_new;
         if c_old == c_new {
             return;
@@ -164,14 +164,13 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         self.touch(c_new);
     }
 
-    /// Recompute a chunk's adjacency count from scratch.
+    /// Recompute a chunk's adjacency count from scratch: one sweep over the
+    /// occurrence list against the flag/vertex banks.
     pub(crate) fn recompute_adj_count(&mut self, c: u32) {
         let mut count = 0;
-        for i in 0..self.chunks.occs[c as usize].len() {
-            let o = self.chunks.occs[c as usize][i];
-            let occ = &self.occs[o as usize];
-            if occ.principal {
-                count += self.degree(occ.vertex);
+        for &o in &self.chunks.occs[c as usize] {
+            if self.chunks.occ_principal(o) {
+                count += self.degree(self.chunks.occ_vert(o));
             }
         }
         self.chunks.adj_count[c as usize] = count;
@@ -192,16 +191,16 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         );
         let tail: Vec<u32> = self.chunks.occs[c as usize].split_off(p + 1);
         let c2 = self.chunks.alloc();
-        for (i, &o) in tail.iter().enumerate() {
-            let occ = &mut self.occs[o as usize];
-            occ.chunk = c2;
-            occ.pos = i as u32;
-            if occ.principal {
-                let v = occ.vertex;
-                self.vertex_chunk[v.index()] = c2;
+        self.chunks.occs[c2 as usize] = tail;
+        // Re-chunk the moved occurrences: one sweep over the
+        // `occ_chunk`/`occ_pos` banks, then a flag-bank sweep to retarget
+        // the principal-chunk cache.
+        self.chunks.restamp_occs(c2, 0);
+        for &o in &self.chunks.occs[c2 as usize] {
+            if self.chunks.occ_principal(o) {
+                self.vertex_chunk[self.chunks.occ_vertex[o as usize] as usize] = c2;
             }
         }
-        self.chunks.occs[c2 as usize] = tail;
         self.recompute_adj_count(c);
         self.recompute_adj_count(c2);
         self.charge(len as u64, log2_ceil(len.max(2)) + 1, len as u64);
@@ -243,17 +242,17 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             .expect("merge_with_next requires a successor");
         let moved: Vec<u32> = std::mem::take(&mut self.chunks.occs[nxt as usize]);
         let offset = self.chunks.occs[c as usize].len();
-        for (i, &o) in moved.iter().enumerate() {
-            let occ = &mut self.occs[o as usize];
-            occ.chunk = c;
-            occ.pos = (offset + i) as u32;
-            if occ.principal {
-                let v = occ.vertex;
-                self.vertex_chunk[v.index()] = c;
-            }
-        }
         let moved_len = moved.len();
         self.chunks.occs[c as usize].extend(moved);
+        // Re-chunk the absorbed occurrences as one bank sweep, then
+        // retarget the principal-chunk cache of any principals that moved.
+        self.chunks.restamp_occs(c, offset);
+        for i in offset..offset + moved_len {
+            let o = self.chunks.occs[c as usize][i];
+            if self.chunks.occ_principal(o) {
+                self.vertex_chunk[self.chunks.occ_vertex[o as usize] as usize] = c;
+            }
+        }
         let nxt_adj = self.chunks.adj_count[nxt as usize];
         self.chunks.adj_count[c as usize] += nxt_adj;
         self.charge(
@@ -382,8 +381,8 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// Split the list containing `o` immediately after occurrence `o`.
     /// Returns the roots of the two resulting lists (`right` may be `NONE`).
     pub(crate) fn list_split_after_occ(&mut self, o: u32) -> (u32, u32) {
-        let c = self.occs[o as usize].chunk;
-        let pos = self.occs[o as usize].pos as usize;
+        let c = self.chunks.occ_chunk[o as usize];
+        let pos = self.chunks.occ_pos[o as usize] as usize;
         let split_chunk = if pos + 1 < self.chunks.occs[c as usize].len() {
             // The split point is inside the chunk: split the chunk first.
             self.split_chunk_after(c, pos);
@@ -434,13 +433,13 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let a_single = self.occ_list_is_singleton(a);
         let b_single = self.occ_list_is_singleton(b);
         debug_assert_ne!(
-            self.tree_root(self.occs[a as usize].chunk),
-            self.tree_root(self.occs[b as usize].chunk),
+            self.tree_root(self.chunks.occ_chunk[a as usize]),
+            self.tree_root(self.chunks.occ_chunk[b as usize]),
             "link endpoints must be in different trees"
         );
 
         // Rotate v's tour so that it starts at the principal copy of v.
-        let root_b = self.tree_root(self.occs[b as usize].chunk);
+        let root_b = self.tree_root(self.chunks.occ_chunk[b as usize]);
         let rotated_b = match self.pred_occ(b) {
             None => root_b,
             Some(pred) => {
@@ -467,7 +466,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
 
         // Splice the rotated tour of v's tree into u's tour right after `a`.
         let (a1, a2) = self.list_split_after_occ(a);
-        let mid_root = self.tree_root(self.occs[b as usize].chunk);
+        let mid_root = self.tree_root(self.chunks.occ_chunk[b as usize]);
         let joined = self.list_join(a1, mid_root);
         self.list_join(joined, a2);
 
@@ -477,11 +476,12 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
             .handle_of(e.id)
             .expect("edge must be registered before linking");
         if let Some(un) = u_new {
-            let old_arc = self.occs[a as usize]
-                .arc
-                .take()
+            let old_arc = self
+                .chunks
+                .occ_arc(a)
                 .expect("non-singleton tours have an arc at every occurrence tail");
-            self.occs[un as usize].arc = Some(old_arc);
+            self.chunks.set_occ_arc(a, None);
+            self.chunks.set_occ_arc(un, Some(old_arc));
             let entry = self.edges.get_mut(old_arc.0);
             debug_assert_ne!(entry.fwd, NONE, "transferred arc must be registered");
             if old_arc.1 {
@@ -490,9 +490,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
                 entry.bwd = un;
             }
         }
-        self.occs[a as usize].arc = Some((h, true));
+        self.chunks.set_occ_arc(a, Some((h, true)));
         let bwd_tail = v_new.unwrap_or(b);
-        self.occs[bwd_tail as usize].arc = Some((h, false));
+        self.chunks.set_occ_arc(bwd_tail, Some((h, false)));
         let rec = self.edges.get_mut(h);
         rec.fwd = a;
         rec.bwd = bwd_tail;
@@ -528,12 +528,12 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
     /// tails `x` (of `e.u -> e.v`) and `y` (of `e.v -> e.u`), returning the
     /// roots of the two resulting lists.
     fn cut_tour(&mut self, e: Edge, x: u32, y: u32) -> (u32, u32) {
-        debug_assert_eq!(self.occs[x as usize].vertex, e.u);
-        debug_assert_eq!(self.occs[y as usize].vertex, e.v);
-        debug_assert_eq!(self.occs[x as usize].arc.map(|(_, d)| d), Some(true));
-        debug_assert_eq!(self.occs[y as usize].arc.map(|(_, d)| d), Some(false));
-        self.occs[x as usize].arc = None;
-        self.occs[y as usize].arc = None;
+        debug_assert_eq!(self.chunks.occ_vert(x), e.u);
+        debug_assert_eq!(self.chunks.occ_vert(y), e.v);
+        debug_assert_eq!(self.chunks.occ_arc(x).map(|(_, d)| d), Some(true));
+        debug_assert_eq!(self.chunks.occ_arc(y).map(|(_, d)| d), Some(false));
+        self.chunks.set_occ_arc(x, None);
+        self.chunks.set_occ_arc(y, None);
 
         // Split the cyclic tour at the two arcs. The side of `v` is the
         // cyclic interval (x, y]; the side of `u` is (y, x].
@@ -571,7 +571,7 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         if self.vertex_occs[v.index()].len() < 2 {
             return;
         }
-        if self.occs[o as usize].principal {
+        if self.chunks.occ_principal(o) {
             let replacement = self.vertex_occs[v.index()]
                 .iter()
                 .copied()
@@ -659,10 +659,9 @@ impl<S: EdgeStore<EdgeRec>> ChunkedEulerForest<S> {
         let mut acc = 0usize;
         let mut best: Option<usize> = None;
         for (i, &o) in occs.iter().enumerate() {
-            let occ = &self.occs[o as usize];
             acc += 1;
-            if occ.principal {
-                acc += self.degree(occ.vertex);
+            if self.chunks.occ_principal(o) {
+                acc += self.degree(self.chunks.occ_vert(o));
             }
             if i + 1 < occs.len() {
                 best = Some(i);

@@ -350,6 +350,18 @@ mod soa_vs_aos {
         base: Vec<WKey>,
     }
 
+    /// The old fat-`Occ` shape: one record per occurrence, reconstructed
+    /// from the flat `occ_*` banks.
+    #[derive(PartialEq, Eq, Debug)]
+    struct AosOcc {
+        vertex: u32,
+        chunk: u32,
+        pos: u32,
+        vpos: u32,
+        arc: Option<(u32, bool)>,
+        principal: bool,
+    }
+
     /// Recursive reference: (subtree chunk count, entry-wise min of `base`).
     fn walk(aos: &[Option<AosChunk>], c: u32, agg: &mut Vec<WKey>) -> u32 {
         let node = aos[c as usize].as_ref().expect("walked into a dead chunk");
@@ -411,6 +423,101 @@ mod soa_vs_aos {
         }
     }
 
+    /// Pin the occurrence banks to an AoS reference: snapshot every live
+    /// occurrence into an [`AosOcc`] record, then require the denormalized
+    /// bank state (`occ_chunk`, `occ_pos`, `occ_vpos`, principal flags, arc
+    /// tails) to equal what a straightforward walk over the *list
+    /// structures* — chunk occurrence lists, per-vertex occurrence lists,
+    /// edge records — computes, independently of the bank maintenance code
+    /// paths (restamp sweeps, flag updates, arc transfers).
+    fn check_occs_against_aos(forest: &crate::forest::ChunkedEulerForest) {
+        use pdmsf_graph::arena::EdgeStore;
+        let arena = &forest.chunks;
+        let aos: Vec<Option<AosOcc>> = (0..arena.occ_len() as u32)
+            .map(|o| {
+                arena.occ_alive(o).then(|| AosOcc {
+                    vertex: arena.occ_vert(o).0,
+                    chunk: arena.occ_chunk[o as usize],
+                    pos: arena.occ_pos[o as usize],
+                    vpos: arena.occ_vpos[o as usize],
+                    arc: arena.occ_arc(o),
+                    principal: arena.occ_principal(o),
+                })
+            })
+            .collect();
+        let live = aos.iter().flatten().count();
+
+        // Reference walk 1: the chunk lists are the authority for
+        // `chunk`/`pos`, and every live occurrence appears in exactly one.
+        let mut seen = 0usize;
+        for c in 0..arena.len() as u32 {
+            if !arena.alive(c) {
+                continue;
+            }
+            for (pos, &o) in arena.occs[c as usize].iter().enumerate() {
+                let occ = aos[o as usize].as_ref().expect("dead occ in a chunk list");
+                assert_eq!(occ.chunk, c, "occ bank chunk of {o} diverged");
+                assert_eq!(occ.pos as usize, pos, "occ bank pos of {o} diverged");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, live, "live occurrences outside any chunk list");
+
+        // Reference walk 2: the per-vertex lists are the authority for
+        // `vertex`/`vpos`, and the principal flag mirrors `principal[v]`
+        // (with the `vertex_chunk` cache following the principal's chunk).
+        let mut seen = 0usize;
+        for (v, list) in forest.vertex_occs.iter().enumerate() {
+            for (vpos, &o) in list.iter().enumerate() {
+                let occ = aos[o as usize].as_ref().expect("dead occ in a vertex list");
+                assert_eq!(occ.vertex as usize, v, "occ bank vertex of {o} diverged");
+                assert_eq!(occ.vpos as usize, vpos, "occ bank vpos of {o} diverged");
+                assert_eq!(
+                    occ.principal,
+                    forest.principal[v] == o,
+                    "occ bank principal flag of {o} diverged"
+                );
+                seen += 1;
+            }
+            let p = forest.principal[v];
+            assert_eq!(
+                forest.vertex_chunk[v],
+                aos[p as usize].as_ref().expect("dead principal").chunk,
+                "vertex_chunk cache of {v} diverged"
+            );
+        }
+        assert_eq!(seen, live, "live occurrences outside any vertex list");
+
+        // Reference walk 3: the edge records are the authority for arcs —
+        // each tree edge's two tails carry exactly its handle + direction,
+        // and no other occurrence carries an arc.
+        let mut expected_arcs = 0usize;
+        forest.edges.for_each(|_, rec| {
+            if rec.fwd == NONE {
+                return;
+            }
+            expected_arcs += 2;
+            let h = forest
+                .edges
+                .handle_of(rec.edge.id)
+                .expect("registered edge has a handle");
+            assert_eq!(
+                aos[rec.fwd as usize].as_ref().and_then(|occ| occ.arc),
+                Some((h, true)),
+                "forward arc tail of {:?} diverged",
+                rec.edge.id
+            );
+            assert_eq!(
+                aos[rec.bwd as usize].as_ref().and_then(|occ| occ.arc),
+                Some((h, false)),
+                "backward arc tail of {:?} diverged",
+                rec.edge.id
+            );
+        });
+        let carried = aos.iter().flatten().filter(|occ| occ.arc.is_some()).count();
+        assert_eq!(carried, expected_arcs, "stray arc flags in the occ banks");
+    }
+
     #[derive(Clone, Debug)]
     enum Op {
         Insert { u: u8, v: u8, w: u8 },
@@ -455,6 +562,7 @@ mod soa_vs_aos {
                     }
                 }
                 check_against_aos(s.forest());
+                check_occs_against_aos(s.forest());
             }
         }
 
@@ -486,6 +594,8 @@ mod soa_vs_aos {
                     }
                 }
                 p.validate();
+                check_against_aos(p.forest());
+                check_occs_against_aos(p.forest());
             }
         }
     }

@@ -30,9 +30,13 @@
 //! * `ChunkArena` keeps the splay-tree topology (`parent` / `left` /
 //!   `right` / `size`) in four flat `Vec<u32>`s — rotations, root walks and
 //!   rank queries touch 4-byte lanes instead of dragging ~100-byte records
-//!   through the cache — and the list metadata (`occs`, `adj_count`,
+//!   through the cache — the list metadata (`occs`, `adj_count`,
 //!   `slot`, flags) in separate banks consulted only by surgery and
-//!   rebalancing.
+//!   rebalancing, and the Euler-tour **occurrence records** in flat `occ_*`
+//!   banks (`vertex` / `chunk` / `pos` / `vpos` / arc handle / flags): the
+//!   surgery reindex loops (in-chunk shifts, split/merge re-chunking) and
+//!   the principal-copy scans of the MWR/row-rebuild paths are sweeps over
+//!   dense banks, with no per-occurrence struct left anywhere.
 //! * `RowBank` stores every `CAdj` `base`/`agg` row contiguously in one
 //!   backing `Vec<WKey>` (and every `Memb` row in one `Vec<bool>`),
 //!   addressed by compact slab handles (`offset = slab · stride`,
@@ -41,15 +45,17 @@
 //!   through a free list and a stride growth is one compacting re-layout.
 //!
 //! When a structure runs with [`pdmsf_pram::ExecMode::Threads`], the bulk
-//! kernels borrow those slab slices directly and dispatch shards over the
-//! **persistent worker pool** of `pdmsf_pram::pool` (parked threads, one
-//! published job, caller participates) instead of spawning per call —
-//! inputs below `pdmsf_pram::kernels::PAR_CUTOFF`, single-chunk lists and
-//! `K < 2` graphs degrade to inline execution and never spawn the pool.
-//! Every reduction stays leftmost-on-tie, so `ExecMode::Threads` remains
-//! bit-for-bit identical to `ExecMode::Simulated` (enforced by the four-way
-//! lockstep proptest, and by an SoA-vs-AoS reference-walk proptest over the
-//! banks themselves).
+//! kernels borrow those slab slices directly and dispatch shard **ranges**
+//! over the work-stealing scheduler of `pdmsf_pram::pool` (parked workers,
+//! per-executor deques, chunked claiming, deterministic stealing; the
+//! caller participates) instead of spawning per call — inputs below
+//! `pdmsf_pram::kernels::PAR_CUTOFF`, single-chunk lists and `K < 2`
+//! graphs degrade to inline execution and never spawn the pool. Every
+//! reduction stays leftmost-on-tie, so `ExecMode::Threads` remains
+//! bit-for-bit identical to `ExecMode::Simulated` under any steal
+//! interleaving (enforced by the four-way lockstep proptest, and by
+//! SoA-vs-AoS reference-walk proptests over the chunk, row **and
+//! occurrence** banks themselves).
 
 pub mod forest;
 pub mod par;

@@ -93,6 +93,12 @@ impl ParDynamicMsf {
     pub fn validate(&self) {
         self.inner.validate()
     }
+
+    /// Read access to the underlying chunked forest (diagnostics and the
+    /// SoA-vs-AoS reference-walk tests).
+    pub fn forest(&self) -> &crate::forest::ChunkedEulerForest {
+        self.inner.forest()
+    }
 }
 
 impl DynamicMsf for ParDynamicMsf {

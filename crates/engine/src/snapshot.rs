@@ -8,7 +8,9 @@
 //! and touches no shared mutable state, which is what makes fanning the
 //! answer loop out across the worker pool sound: shards write disjoint
 //! ranges of the answer vector while other submitters may be running their
-//! own pool jobs (the multi-job pool queue of `pdmsf_pram::pool`).
+//! own pool jobs (the work-stealing multi-job scheduler of
+//! `pdmsf_pram::pool`; this fan-out claims contiguous shard runs through
+//! its range API).
 //!
 //! Contrast with answering through the structure: [`DynamicMsf::connected`]
 //! takes `&mut self` (link-cut tree reads splay), so per-query answering is
@@ -90,10 +92,14 @@ pub(crate) fn answer_queries(snapshot: &QuerySnapshot, queries: &[PlannedQuery])
     let shard_len = queries.len().div_ceil(shards);
     let mut answers: Vec<Outcome> = vec![Outcome::ForestWeight { weight: 0 }; queries.len()];
     let base = SendPtr(answers.as_mut_ptr());
-    pool::run_shards(shards, |shard| {
-        let start = shard * shard_len;
-        let end = queries.len().min(start + shard_len);
-        // Shards cover disjoint ranges of `answers`.
+    // Consecutive shards answer consecutive query ranges, so one claimed
+    // run of shards collapses into a single contiguous answer sweep (the
+    // scheduler hands out runs — chunked claims, halved pops, stolen
+    // halves — in one closure dispatch each).
+    pool::run_shard_ranges(shards, |range| {
+        let start = range.start * shard_len;
+        let end = queries.len().min(range.end * shard_len);
+        // Shard ranges cover disjoint ranges of `answers`.
         let out = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
         for (slot, q) in out.iter_mut().zip(&queries[start..end]) {
             *slot = answer(q);

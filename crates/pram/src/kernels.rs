@@ -248,7 +248,7 @@ pub fn sweep_up_costs(num_leaves: usize, meter: &mut CostMeter) {
 // and never spawn the pool.
 // ---------------------------------------------------------------------
 
-use crate::pool::run_shards;
+use crate::pool::run_shard_ranges;
 
 /// Minimum slice length before the `threaded_*` kernels fan out to the
 /// worker pool. Pooled dispatch costs a mutex round-trip and two condvar
@@ -315,11 +315,15 @@ pub fn threaded_min_index<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<usize
     let shard_len = xs.len().div_ceil(shards);
     let mut locals: Vec<Option<(T, usize)>> = vec![None; shards];
     let locals_ptr = SendPtr(locals.as_mut_ptr());
-    run_shards(shards, |shard| {
-        let chunk = &xs[shard * shard_len..xs.len().min((shard + 1) * shard_len)];
-        let local = serial_min_index(chunk).map(|i| (chunk[i], shard * shard_len + i));
-        // Each shard owns exactly one `locals` cell.
-        unsafe { *locals_ptr.get().add(shard) = local };
+    // The scheduler hands out contiguous shard runs; one closure dispatch
+    // covers the whole run.
+    run_shard_ranges(shards, |range| {
+        for shard in range {
+            let chunk = &xs[shard * shard_len..xs.len().min((shard + 1) * shard_len)];
+            let local = serial_min_index(chunk).map(|i| (chunk[i], shard * shard_len + i));
+            // Each shard owns exactly one `locals` cell.
+            unsafe { *locals_ptr.get().add(shard) = local };
+        }
     });
     locals
         .into_iter()
@@ -355,12 +359,14 @@ pub fn threaded_masked_min_index<T: Ord + Copy + Send + Sync>(
     let shard_len = xs.len().div_ceil(shards);
     let mut locals: Vec<Option<(T, usize)>> = vec![None; shards];
     let locals_ptr = SendPtr(locals.as_mut_ptr());
-    run_shards(shards, |shard| {
-        let start = shard * shard_len;
-        let end = xs.len().min(start + shard_len);
-        let local = serial(&xs[start..end], &mask[start..end]).map(|(x, i)| (x, start + i));
-        // Each shard owns exactly one `locals` cell.
-        unsafe { *locals_ptr.get().add(shard) = local };
+    run_shard_ranges(shards, |range| {
+        for shard in range {
+            let start = shard * shard_len;
+            let end = xs.len().min(start + shard_len);
+            let local = serial(&xs[start..end], &mask[start..end]).map(|(x, i)| (x, start + i));
+            // Each shard owns exactly one `locals` cell.
+            unsafe { *locals_ptr.get().add(shard) = local };
+        }
     });
     locals
         .into_iter()
@@ -390,10 +396,12 @@ pub fn threaded_entrywise_min<T: Ord + Copy + Send + Sync>(dst: &mut [T], src: &
     let shard_len = dst.len().div_ceil(shards);
     let n = dst.len();
     let dst_ptr = SendPtr(dst.as_mut_ptr());
-    run_shards(shards, |shard| {
-        let start = shard * shard_len;
-        let end = n.min(start + shard_len);
-        // Shards cover disjoint ranges of `dst`.
+    // Consecutive shards cover consecutive element ranges, so a claimed run
+    // of shards collapses into one contiguous slice operation.
+    run_shard_ranges(shards, |range| {
+        let start = range.start * shard_len;
+        let end = n.min(range.end * shard_len);
+        // Shard ranges cover disjoint ranges of `dst`.
         let dc = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(start), end - start) };
         serial(dc, &src[start..end]);
     });
@@ -419,10 +427,10 @@ pub fn threaded_entrywise_or(dst: &mut [bool], src: &[bool]) {
     let shard_len = dst.len().div_ceil(shards);
     let n = dst.len();
     let dst_ptr = SendPtr(dst.as_mut_ptr());
-    run_shards(shards, |shard| {
-        let start = shard * shard_len;
-        let end = n.min(start + shard_len);
-        // Shards cover disjoint ranges of `dst`.
+    run_shard_ranges(shards, |range| {
+        let start = range.start * shard_len;
+        let end = n.min(range.end * shard_len);
+        // Shard ranges cover disjoint ranges of `dst`.
         let dc = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(start), end - start) };
         serial(dc, &src[start..end]);
     });

@@ -28,22 +28,30 @@
 //!   used by the wall-clock execution path when [`ExecMode::Threads`] is
 //!   selected.
 //! * [`pool`] — a lazily spawned, process-wide pool of parked worker
-//!   threads. Kernel invocations publish a borrowed sharded closure, the
-//!   calling thread participates, and the call blocks until every shard is
-//!   done — scoped-spawn semantics without per-call thread creation, which
-//!   moves the threaded path's break-even input size down by an order of
-//!   magnitude ([`kernels::PAR_CUTOFF`]). Inputs below the cutoff (tiny
-//!   graphs, single-chunk lists) never spawn the pool at all. The pool is
-//!   **multi-job**: jobs queue in a shared FIFO injector with per-job shard
-//!   counters, so several threads can be inside [`pool::run_shards`] at
-//!   once (the batch engine fans connectivity queries out this way while
-//!   other submitters run kernels) and a shard may itself submit a nested
-//!   job. [`pool::stats`] exposes process-wide counters (jobs run, shards
-//!   executed, inline runs, parked workers), and the `PDMSF_POOL_THREADS`
-//!   environment variable (read once at first use, clamped to `1..=128`)
-//!   overrides the hardware-probed pool width — `PDMSF_POOL_THREADS=1`
-//!   forces fully inline execution, larger values size the pool for the
-//!   machine you are actually serving from.
+//!   threads with a **work-stealing scheduler**. Kernel invocations publish
+//!   a borrowed sharded closure, the calling thread participates, and the
+//!   call blocks until every shard is done — scoped-spawn semantics without
+//!   per-call thread creation, which moves the threaded path's break-even
+//!   input size down by an order of magnitude ([`kernels::PAR_CUTOFF`]).
+//!   Inputs below the cutoff (tiny graphs, single-chunk lists) never spawn
+//!   the pool at all. Scheduling is Cilk-style: every executor (worker or
+//!   submitter) owns a deque of shard *ranges*, popped LIFO for cache
+//!   locality; jobs are claimed from the shared injector queue in chunks
+//!   of `ceil(remaining / executors)` shards instead of one-at-a-time
+//!   through the lock; idle workers steal half of a victim's oldest
+//!   remaining range, scanning victims in deterministic order (no RNG —
+//!   results stay bit-for-bit identical to [`ExecMode::Simulated`]); and a
+//!   shard submitting a nested job pushes it onto its own executor's deque,
+//!   which keeps nested submission deadlock-free. Kernels consume work
+//!   through the range API ([`pool::run_shard_ranges`]; [`pool::run_shards`]
+//!   is the per-shard wrapper). [`pool::stats`] exposes process-wide
+//!   counters (jobs run, shards executed, inline runs, injector chunks
+//!   claimed, steals, parked workers) and [`pool::snapshot`] differences
+//!   them per phase; the `PDMSF_POOL_THREADS` environment variable (read
+//!   once at first use, clamped to `1..=128`) overrides the hardware-probed
+//!   pool width — `PDMSF_POOL_THREADS=1` forces fully inline execution,
+//!   larger values size the pool for the machine you are actually serving
+//!   from.
 
 pub mod cost;
 pub mod erew;

@@ -27,12 +27,16 @@
 //!   routes the tenant-tagged operations into per-shard sub-batches
 //!   (preserving per-tenant arrival order), **plans** every sub-batch on
 //!   the caller thread ([`Engine::plan_batch`] — pure, `&self`), then
-//!   **applies** all non-empty shard batches concurrently, one job per
-//!   shard on the multi-job injector of `pdmsf_pram::pool`
-//!   ([`Engine::execute_planned`] on a worker; each shard batch reuses the
-//!   full plan/cancel/dedup/snapshot pipeline internally, including nested
-//!   pool submission for its own kernels and query fan-outs). Outcomes are
-//!   reassembled into the caller's original op order.
+//!   **applies** all non-empty shard batches concurrently through the
+//!   work-stealing scheduler of `pdmsf_pram::pool` — shard slots are
+//!   claimed in runs, idle workers steal from loaded executors, and each
+//!   shard batch ([`Engine::execute_planned`]) reuses the full
+//!   plan/cancel/dedup/snapshot pipeline internally, including nested
+//!   pool submissions (which land on the submitting executor's own deque)
+//!   for its kernels and query fan-outs. Outcomes are reassembled into
+//!   the caller's original op order, and the apply phase's pool delta
+//!   (jobs, chunk claims, **steals**, inline runs) is stamped into the
+//!   returned [`ServiceSummary`].
 //!
 //! ## Identifier translation
 //!
@@ -190,6 +194,24 @@ pub struct ServiceSummary {
     pub unique_queries: usize,
     /// Total forest weight across **all** shards after the batch.
     pub forest_weight: i128,
+    /// Pool jobs completed during the apply phase (the per-shard jobs plus
+    /// any nested kernel / fan-out submissions they made). The pool's
+    /// counters are **process-wide**, so when other threads use the pool
+    /// concurrently their activity lands in this window too — exact for a
+    /// single-service process, an upper bound otherwise.
+    pub pool_jobs: u64,
+    /// Injector chunks claimed during the apply-phase window (each chunk
+    /// is one shared-queue interaction covering a run of shards;
+    /// process-wide, see [`ServiceSummary::pool_jobs`]).
+    pub pool_chunks_claimed: u64,
+    /// Successful work steals during the apply-phase window — how often an
+    /// idle worker took half of another executor's remaining shard range.
+    /// Zero when the pool ran inline (1-core degradation) or stayed
+    /// balanced (process-wide, see [`ServiceSummary::pool_jobs`]).
+    pub pool_steals: u64,
+    /// `run_shards` calls in the apply-phase window that degraded to
+    /// inline execution (process-wide, see [`ServiceSummary::pool_jobs`]).
+    pub pool_inline_runs: u64,
     /// Per-shard breakdowns, in dispatch order.
     pub per_shard: Vec<ShardSummary>,
 }
@@ -335,9 +357,9 @@ impl ShardedService {
 
     /// Execute one service batch **concurrently**: route to per-shard
     /// sub-batches (per-tenant order preserved), plan every sub-batch on
-    /// the caller thread, apply all touched shards as independent jobs on
-    /// the worker-pool injector, and reassemble outcomes into the caller's
-    /// op order. See the crate docs for the full pipeline.
+    /// the caller thread, apply all touched shards as one job on the
+    /// work-stealing pool scheduler, and reassemble outcomes into the
+    /// caller's op order. See the crate docs for the full pipeline.
     pub fn execute(&mut self, ops: &[TenantOp]) -> ServiceResult {
         self.run(ops, true)
     }
@@ -365,6 +387,9 @@ impl ShardedService {
             .collect();
 
         let mut outputs: Vec<Option<ShardOutput>> = (0..slots).map(|_| None).collect();
+        // Attribute the scheduler's behaviour (jobs, chunk claims, steals,
+        // inline degradations) to this batch's apply phase.
+        let pool_snap = pool::snapshot();
         {
             let shards_base = SendPtr(self.shards.as_mut_ptr());
             let plans_base = SendPtr(plans.as_mut_ptr());
@@ -402,13 +427,17 @@ impl ShardedService {
                 unsafe { *outputs_base.get().add(slot) = Some(output) };
             };
             if concurrent {
-                pool::run_shards(slots, job);
+                // Per-shard jobs go through the scheduler's range API: a
+                // claimed run of slots executes with one dispatch (each
+                // slot is still one engine apply; runs just amortize the
+                // queue interaction).
+                pool::run_shard_ranges(slots, |range| range.for_each(&job));
             } else {
                 (0..slots).for_each(job);
             }
         }
 
-        self.reassemble(ops.len(), routed, outputs)
+        self.reassemble(ops.len(), routed, outputs, pool_snap.delta())
     }
 
     fn reassemble(
@@ -416,6 +445,7 @@ impl ShardedService {
         ops: usize,
         routed: Routed,
         outputs: Vec<Option<ShardOutput>>,
+        pool_delta: pdmsf_pram::PoolStats,
     ) -> ServiceResult {
         let outputs: Vec<ShardOutput> = outputs
             .into_iter()
@@ -486,6 +516,10 @@ impl ShardedService {
             unique_queries: unique_weights
                 + per_shard.iter().map(|s| s.unique_queries).sum::<usize>(),
             forest_weight: self.total_forest_weight(),
+            pool_jobs: pool_delta.jobs_run,
+            pool_chunks_claimed: pool_delta.chunks_claimed,
+            pool_steals: pool_delta.steals,
+            pool_inline_runs: pool_delta.inline_runs,
             per_shard,
         };
 

@@ -45,11 +45,14 @@
 //!   (principal flag, principal chunk) collapse the scan loops' pointer
 //!   chains into single array loads.
 //! * The LSDS itself is **structure-of-arrays**: splay topology
-//!   (`parent`/`left`/`right`/`size`) lives in flat `u32` banks and every
+//!   (`parent`/`left`/`right`/`size`) lives in flat `u32` banks, every
 //!   `CAdj`/`Memb` row lives contiguously in one backing row bank addressed
-//!   by slab handles, so `pull_up`, entry-wise merges and argmin scans are
-//!   linear sweeps over dense memory (see the `pdmsf-core` crate docs for
-//!   the bank layout).
+//!   by slab handles, and the Euler-tour **occurrence records** live in
+//!   flat `occ_*` banks of the same arena (vertex / chunk / pos / arc /
+//!   flags) — so `pull_up`, entry-wise merges, argmin scans, the surgery
+//!   reindex loops and the principal-copy scans are all linear sweeps over
+//!   dense memory; no per-chunk or per-occurrence struct exists anywhere
+//!   (see the `pdmsf-core` crate docs for the bank layout).
 //! * Aggregate upkeep is *targeted*: chunk merges use the paper's
 //!   entry-wise row minimum instead of an `O(K)` rescan (Lemma 2.2/3.1),
 //!   single-entry `CAdj` changes refresh one leaf-to-root path per affected
@@ -99,11 +102,16 @@
 //!   per query — fanned out across the worker pool when the batch is query-
 //!   heavy enough to amortize dispatch.
 //!
-//! The pool itself serves **multiple jobs concurrently** (a shared FIFO
-//! injector with per-job shard counters replaced the single-submitter
-//! mutex), so query fan-out can proceed while another submitter runs
-//! kernels; `PDMSF_POOL_THREADS` overrides its width and
-//! [`pram::pool::stats`] exposes its counters. Batch semantics are pinned
+//! The pool itself serves **multiple jobs concurrently** through a
+//! **work-stealing scheduler**: every executor (worker or submitter) owns
+//! a deque of shard ranges, jobs are claimed from the shared injector in
+//! chunks rather than shard-by-shard, idle workers steal half of a
+//! victim's remaining range in deterministic order (no RNG — results stay
+//! bit-for-bit identical to simulated execution), and nested submissions
+//! land on the submitting executor's own deque. Query fan-out therefore
+//! proceeds while other submitters run kernels; `PDMSF_POOL_THREADS`
+//! overrides the pool width and [`pram::pool::stats`] exposes its counters
+//! (jobs, shards, inline runs, chunk claims, steals). Batch semantics are pinned
 //! by a lockstep proptest: batched execution is observationally identical
 //! (outcomes, forest, weights) to applying the same ops one at a time
 //! against [`core::SeqDynamicMsf`] and to a Kruskal recompute, under
@@ -125,10 +133,11 @@
 //! per-shard sub-batches preserving per-tenant op order, **plans every
 //! sub-batch on the caller thread** ([`Engine::plan_batch`], pure) and
 //! **applies all touched shards concurrently** — one
-//! [`Engine::execute_planned`] job per shard on the pool's multi-job
-//! injector, each internally reusing the full plan/cancel/dedup/snapshot
+//! [`Engine::execute_planned`] job per shard on the work-stealing pool
+//! scheduler, each internally reusing the full plan/cancel/dedup/snapshot
 //! pipeline — then reassembles outcomes into the caller's op order with
-//! tenant-local ids.
+//! tenant-local ids (the apply phase's pool delta, steals included, is
+//! stamped into every [`shard::ServiceSummary`]).
 //!
 //! Sharding wins twice: `O(sqrt(n) log n)` updates get cheaper because
 //! each shard holds `n_shard << n_total` vertices (and the `O(n)` query
