@@ -1,4 +1,4 @@
-//! Experiment driver: prints the evaluation tables (E0–E11) and writes the
+//! Experiment driver: prints the evaluation tables (E0–E12) and writes the
 //! machine-readable benchmark JSON artifacts.
 //!
 //! Usage:
@@ -13,26 +13,30 @@
 //! regression gate), E1 emits `BENCH_batch_throughput.json` (batched vs
 //! one-op-at-a-time engine paths over bursty/clustered batch streams),
 //! E2 emits `BENCH_shard_throughput.json` (sharded multi-tenant service vs
-//! one flat merged engine, across shard counts and tenant skews) and E3
+//! one flat merged engine, across shard counts and tenant skews), E3
 //! emits `BENCH_sched_throughput.json` (the work-stealing scheduler under
-//! many-small-jobs workloads, steal/claim counters stamped per record).
+//! many-small-jobs workloads, steal/claim counters stamped per record) and
+//! E5 emits `BENCH_persist.json` (checkpoint size, checkpoint/restore wall
+//! time vs cold rebuild — the persistence warm-start story).
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
     batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
     drive, drive_engine_batched, drive_engine_one_by_one, drive_service_flat,
     drive_service_sharded, drive_updates_only, failure_stream, grid_stream, insert_stream,
-    mixed_stream, pram_profile, sched_records_to_json, seq_mean_update_time, shard_records_to_json,
-    tenant_stream, BatchRecord, BenchRecord, MergedTenantEngine, RunMeta, SchedRecord, ShardRecord,
+    mixed_stream, persist_records_to_json, pram_profile, sched_records_to_json,
+    seq_mean_update_time, shard_records_to_json, tenant_stream, BatchRecord, BenchRecord,
+    MergedTenantEngine, PersistRecord, RunMeta, SchedRecord, ShardRecord,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
 };
-use pdmsf_engine::Engine;
+use pdmsf_engine::{Engine, Op};
 use pdmsf_graph::{DynamicMsf, TenantId, UpdateStream};
+use pdmsf_persist::{EngineCheckpointExt, ServiceCheckpointExt};
 use pdmsf_pram::{erew_tournament_min, par_min_index, pool, AccessLog, CostMeter};
 use pdmsf_shard::{ShardedService, TenantSpec};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn micros(d: Duration, ops: usize) -> f64 {
     if ops == 0 {
@@ -91,7 +95,7 @@ fn main() {
         e11_pram_scaling(&config);
     }
     if want("e5") {
-        e5_workloads(&config);
+        e5_persist(&config);
     }
     if want("e6") {
         e6_sparsification(&config);
@@ -107,6 +111,9 @@ fn main() {
     }
     if want("e10") {
         e10_seq_update_time(&config);
+    }
+    if want("e12") {
+        e12_workloads(&config);
     }
 }
 
@@ -771,9 +778,164 @@ fn e11_pram_scaling(cfg: &Config) {
     }
 }
 
-/// E5: realistic workloads (grid failures/repairs, sliding windows).
-fn e5_workloads(cfg: &Config) {
-    println!("\n== E5: workload throughput (updates/s) ==");
+/// E5: persistence warm start — checkpoint size and wall time, restore
+/// (warm-start) wall time against rebuilding the same state cold by
+/// replaying the full op stream through the normal execution path: one
+/// engine cell per benchmark size plus a sharded-service cell. Emits
+/// `BENCH_persist.json` with the same run-metadata stamping as the other
+/// artifacts, and differentially checks every restored state against the
+/// original (forest weight) before recording it.
+fn e5_persist(cfg: &Config) {
+    println!("\n== E5: persistence warm start (writes BENCH_persist.json) ==");
+    println!(
+        "{:>8} {:>8} {:>7} {:>7} {:>11} {:>10} {:>11} {:>10} {:>8}",
+        "scenario",
+        "n",
+        "ops",
+        "edges",
+        "ckpt bytes",
+        "ckpt us",
+        "restore us",
+        "cold us",
+        "speedup"
+    );
+    let us = |ns: u128| ns as f64 / 1e3;
+    let batch_size = 16usize;
+    let batches = (cfg.ops / batch_size).max(4);
+    let mut records: Vec<PersistRecord> = Vec::new();
+
+    for &n in &cfg.sizes {
+        let stream = bursty_batch_stream(n, 2 * n, batches, batch_size, 7);
+        let build = || {
+            let mut engine = Engine::new(stream.num_vertices);
+            let base: Vec<Op> = stream
+                .base_edges
+                .iter()
+                .map(|&(u, v, weight)| Op::Link { u, v, weight })
+                .collect();
+            engine.execute(&base);
+            let mut ops = base.len();
+            for batch in &stream.batches {
+                engine.execute(batch);
+                ops += batch.len();
+            }
+            (engine, ops)
+        };
+        let start = Instant::now();
+        let (engine, ops) = build();
+        let cold = start.elapsed();
+        let mut blob = Vec::new();
+        let start = Instant::now();
+        engine.checkpoint(&mut blob).unwrap();
+        let ckpt = start.elapsed();
+        let start = Instant::now();
+        let restored = Engine::restore(&blob[..]).unwrap();
+        let restore = start.elapsed();
+        assert_eq!(
+            restored.forest_weight(),
+            engine.forest_weight(),
+            "restored engine diverged at n={n}"
+        );
+        records.push(PersistRecord {
+            scenario: "engine".into(),
+            n: stream.num_vertices,
+            k: default_sequential_k(stream.num_vertices),
+            ops,
+            live_edges: engine.graph().num_edges(),
+            checkpoint_bytes: blob.len(),
+            checkpoint_ns: ckpt.as_nanos(),
+            restore_ns: restore.as_nanos(),
+            cold_rebuild_ns: cold.as_nanos(),
+        });
+        let r = records.last().unwrap();
+        println!(
+            "{:>8} {:>8} {:>7} {:>7} {:>11} {:>10.1} {:>11.1} {:>10.1} {:>7.1}x",
+            r.scenario,
+            r.n,
+            r.ops,
+            r.live_edges,
+            r.checkpoint_bytes,
+            us(r.checkpoint_ns),
+            us(r.restore_ns),
+            us(r.cold_rebuild_ns),
+            r.speedup()
+        );
+    }
+
+    // The sharded-service cell: checkpoint_all / restore_all over every
+    // shard plus the tenant table, at the middle benchmark size.
+    {
+        let tenants = 8usize;
+        let tenant_n = (cfg.sizes[cfg.sizes.len() / 2] / tenants).max(16);
+        let stream = tenant_stream(tenants, tenant_n, batches, batch_size, 400, 11);
+        let specs: Vec<TenantSpec> = (0..tenants)
+            .map(|t| TenantSpec::new(TenantId(t as u32), tenant_n))
+            .collect();
+        let build = || {
+            let mut service = ShardedService::new(4, &specs);
+            let base = stream.base_ops();
+            service.execute(&base);
+            let mut ops = base.len();
+            for batch in &stream.batches {
+                service.execute(batch);
+                ops += batch.len();
+            }
+            (service, ops)
+        };
+        let start = Instant::now();
+        let (service, ops) = build();
+        let cold = start.elapsed();
+        let mut blob = Vec::new();
+        let start = Instant::now();
+        service.checkpoint_all(&mut blob).unwrap();
+        let ckpt = start.elapsed();
+        let start = Instant::now();
+        let restored = ShardedService::restore_all(&blob[..]).unwrap();
+        let restore = start.elapsed();
+        assert_eq!(
+            restored.total_forest_weight(),
+            service.total_forest_weight(),
+            "restored service diverged"
+        );
+        let live: usize = (0..service.num_shards())
+            .map(|s| service.shard_engine(s).graph().num_edges())
+            .sum();
+        records.push(PersistRecord {
+            scenario: "service".into(),
+            n: tenants * tenant_n,
+            k: default_sequential_k(tenant_n),
+            ops,
+            live_edges: live,
+            checkpoint_bytes: blob.len(),
+            checkpoint_ns: ckpt.as_nanos(),
+            restore_ns: restore.as_nanos(),
+            cold_rebuild_ns: cold.as_nanos(),
+        });
+        let r = records.last().unwrap();
+        println!(
+            "{:>8} {:>8} {:>7} {:>7} {:>11} {:>10.1} {:>11.1} {:>10.1} {:>7.1}x",
+            r.scenario,
+            r.n,
+            r.ops,
+            r.live_edges,
+            r.checkpoint_bytes,
+            us(r.checkpoint_ns),
+            us(r.restore_ns),
+            us(r.cold_rebuild_ns),
+            r.speedup()
+        );
+    }
+
+    let json = persist_records_to_json(&RunMeta::collect(), &records);
+    let path = "BENCH_persist.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} ({} records)", records.len());
+}
+
+/// E12: realistic workloads (grid failures/repairs, sliding windows) —
+/// numbered E5 before the persistence benchmark took that slot.
+fn e12_workloads(cfg: &Config) {
+    println!("\n== E12: workload throughput (updates/s) ==");
     println!(
         "{:>24} {:>10} {:>14} {:>14}",
         "workload", "n", "kpr-seq", "naive"

@@ -750,6 +750,81 @@ pub fn sched_records_to_json(meta: &RunMeta, records: &[SchedRecord]) -> String 
     out
 }
 
+// ---------------------------------------------------------------------
+// Persistence warm-start records (BENCH_persist.json)
+// ---------------------------------------------------------------------
+
+/// One measured (n, batch size) cell of the E5 persistence benchmark:
+/// checkpoint size and wall time, restore (warm-start) wall time, and the
+/// cold-rebuild wall time it competes with — replaying the full op stream
+/// through the engine from scratch.
+#[derive(Clone, Debug)]
+pub struct PersistRecord {
+    /// Scenario label (`"engine"` / `"service"`).
+    pub scenario: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Chunk parameter `K` the backing structure ran with.
+    pub k: usize,
+    /// Total update operations executed before the checkpoint.
+    pub ops: usize,
+    /// Live edges at checkpoint time.
+    pub live_edges: usize,
+    /// Checkpoint size in bytes.
+    pub checkpoint_bytes: usize,
+    /// Wall-clock nanoseconds to write the checkpoint.
+    pub checkpoint_ns: u128,
+    /// Wall-clock nanoseconds to restore from the checkpoint.
+    pub restore_ns: u128,
+    /// Wall-clock nanoseconds to rebuild the same state cold (full op
+    /// replay through the normal execution path).
+    pub cold_rebuild_ns: u128,
+}
+
+impl PersistRecord {
+    /// Cold-rebuild time over restore time (higher = warm start wins more).
+    pub fn speedup(&self) -> f64 {
+        if self.restore_ns == 0 {
+            0.0
+        } else {
+            self.cold_rebuild_ns as f64 / self.restore_ns as f64
+        }
+    }
+}
+
+/// Serialize persistence warm-start records as JSON, stamped with the same
+/// run metadata as the other benchmark artifacts (hand-rolled for the same
+/// reason as [`bench_records_to_json`]).
+pub fn persist_records_to_json(meta: &RunMeta, records: &[PersistRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"persist_warm_start\",\n");
+    out.push_str("  \"unit\": \"ns\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"threads\": {}, \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.threads, meta.par_cutoff
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"n\": {}, \"k\": {}, \"ops\": {}, \"live_edges\": {}, \"checkpoint_bytes\": {}, \"checkpoint_ns\": {}, \"restore_ns\": {}, \"cold_rebuild_ns\": {}, \"restore_speedup\": {:.2}}}{}\n",
+            r.scenario,
+            r.n,
+            r.k,
+            r.ops,
+            r.live_edges,
+            r.checkpoint_bytes,
+            r.checkpoint_ns,
+            r.restore_ns,
+            r.cold_rebuild_ns,
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,7 @@ use pdmsf_graph::{Edge, EdgeId, VertexId, WKey};
 use pdmsf_pram::{CostMeter, ExecMode};
 
 pub(crate) use arena::{ChunkArena, RowBank};
+pub use arena::{ChunkArenaImage, RowBankImage};
 
 /// Sentinel index ("null pointer") used by every arena in this module.
 pub(crate) const NONE: u32 = u32::MAX;

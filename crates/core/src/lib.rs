@@ -60,9 +60,14 @@
 pub mod forest;
 pub mod par;
 pub mod seq;
+pub mod snapshot;
 pub mod sparsify;
 
-pub use forest::{ArenaEdgeStore, ChunkedEulerForest, CostModel, EdgeRec, ForestStats};
+pub use forest::{
+    ArenaEdgeStore, ChunkArenaImage, ChunkedEulerForest, CostModel, EdgeRec, ForestStats,
+    RowBankImage,
+};
 pub use par::ParDynamicMsf;
 pub use seq::{GenericSeqDynamicMsf, MapSeqDynamicMsf, SeqDynamicMsf};
+pub use snapshot::MsfImage;
 pub use sparsify::SparsifiedMsf;

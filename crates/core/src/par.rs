@@ -24,6 +24,7 @@
 
 use crate::forest::{CostModel, ForestStats};
 use crate::seq::{GenericSeqDynamicMsf, SeqDynamicMsf};
+use crate::snapshot::MsfImage;
 use pdmsf_graph::{DynamicMsf, Edge, EdgeId, MsfDelta, VertexId};
 use pdmsf_pram::{CostMeter, CostReport, ExecMode};
 
@@ -98,6 +99,21 @@ impl ParDynamicMsf {
     /// SoA-vs-AoS reference-walk tests).
     pub fn forest(&self) -> &crate::forest::ChunkedEulerForest {
         self.inner.forest()
+    }
+
+    /// Flatten the structure into its serializable [`MsfImage`]
+    /// (checkpointing; see [`crate::snapshot`]).
+    pub fn to_image(&self) -> MsfImage {
+        self.inner.to_image()
+    }
+
+    /// Rebuild a structure from [`ParDynamicMsf::to_image`]. The image is
+    /// validated and the link-cut tree reconstructed; future behaviour is
+    /// identical to the exported original.
+    pub fn from_image(image: &MsfImage) -> Result<Self, String> {
+        Ok(ParDynamicMsf {
+            inner: SeqDynamicMsf::from_image(image)?,
+        })
     }
 }
 

@@ -15,6 +15,7 @@
 //! it is a field of the per-edge record.
 
 use crate::forest::{ArenaEdgeStore, ChunkedEulerForest, CostModel, EdgeRec, ForestStats};
+use crate::snapshot::MsfImage;
 use pdmsf_dyntree::LinkCutForest;
 use pdmsf_graph::arena::EdgeStore;
 use pdmsf_graph::{DynamicMsf, Edge, EdgeId, HashEdgeStore, MsfDelta, VertexId, WKey};
@@ -137,6 +138,40 @@ impl<S: EdgeStore<EdgeRec>> GenericSeqDynamicMsf<S> {
         self.charge_lct();
         self.num_tree_edges -= 1;
         self.forest_weight -= e.weight.as_summable();
+    }
+
+    /// Assemble a structure from restored parts (the checkpoint/restore
+    /// path in [`crate::snapshot`]).
+    pub(crate) fn from_restored_parts(
+        forest: ChunkedEulerForest<S>,
+        lct: LinkCutForest,
+        num_tree_edges: usize,
+        forest_weight: i128,
+        last_op: CostReport,
+    ) -> Self {
+        GenericSeqDynamicMsf {
+            forest,
+            lct,
+            num_tree_edges,
+            forest_weight,
+            last_op,
+        }
+    }
+}
+
+impl SeqDynamicMsf {
+    /// Flatten the structure into its serializable [`MsfImage`] (bank dumps
+    /// plus bookkeeping scalars; see [`crate::snapshot`] for what is
+    /// rebuilt instead of stored).
+    pub fn to_image(&self) -> MsfImage {
+        crate::snapshot::forest_to_image(&self.forest, self.num_tree_edges, self.forest_weight)
+    }
+
+    /// Rebuild a structure from [`SeqDynamicMsf::to_image`], validating the
+    /// image and reconstructing the link-cut tree; future behaviour is
+    /// identical to the exported original.
+    pub fn from_image(image: &MsfImage) -> Result<Self, String> {
+        crate::snapshot::seq_from_image(image)
     }
 }
 

@@ -64,8 +64,9 @@
 //! ```
 
 use pdmsf_core::ParDynamicMsf;
-use pdmsf_graph::{DynGraph, DynamicMsf, EdgeId, VertexId};
+use pdmsf_graph::{DynGraph, DynamicMsf, EdgeId, VertexId, Weight};
 use pdmsf_pram::ExecMode;
+use std::io;
 
 mod plan;
 pub mod snapshot;
@@ -74,6 +75,63 @@ pub use pdmsf_graph::BatchOp as Op;
 pub use snapshot::QuerySnapshot;
 
 use plan::{PlannedQuery, PlannedUpdate};
+
+/// One update of a logged batch — the post-planning form of a mutation, with
+/// its pre-assigned edge id and cancellation flag. Replaying the logged
+/// updates through [`Engine::replay_logged`] reproduces exactly the state
+/// transitions of the original [`Engine::execute_planned`] call: cancelled
+/// links still consume their id in the [`DynGraph`] mirror, cancelled cuts
+/// still free theirs, and only the surviving updates touch the structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoggedUpdate {
+    /// Insert `id = (u, v, weight)`.
+    Link {
+        /// The pre-assigned edge id.
+        id: EdgeId,
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Weight.
+        weight: Weight,
+        /// Elided from the structure by an in-batch opposing cut.
+        cancelled: bool,
+    },
+    /// Delete edge `id`.
+    Cut {
+        /// The edge to delete.
+        id: EdgeId,
+        /// The opposing link arrived earlier in the same batch.
+        cancelled: bool,
+    },
+}
+
+/// The durable form of one state-mutating batch: its sequence number, the
+/// id-allocation frontier it was planned against, and its planned updates
+/// (queries are not logged — they mutate nothing and need no replay).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoggedBatch {
+    /// 1-based sequence number; the `i`-th mutating batch applied by the
+    /// engine since construction (query-only batches do not advance it).
+    pub seq: u64,
+    /// [`DynGraph::edge_id_bound`] at plan time. Replay validates it so a
+    /// log can never be applied against the wrong base state.
+    pub id_base: u64,
+    /// The planned updates, in application order.
+    pub updates: Vec<LoggedUpdate>,
+}
+
+/// A write-ahead sink for the engine's op log. When a sink is attached
+/// ([`Engine::set_sink`]), every state-mutating batch is recorded **before**
+/// any of its updates apply; the engine treats a failed record as fatal
+/// (crash-only discipline — an unlogged mutation must never execute, because
+/// recovery could not reproduce it).
+pub trait OpSink: Send {
+    /// Durably record `batch` (whose sequence number is `seq`). Returning
+    /// `Ok(())` acknowledges the record will survive a crash to the sink's
+    /// configured durability level.
+    fn record(&mut self, seq: u64, batch: &LoggedBatch) -> io::Result<()>;
+}
 
 /// Why an operation was rejected by batch validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -246,6 +304,10 @@ pub struct Engine {
     graph: DynGraph,
     msf: ParDynamicMsf,
     stats: EngineStats,
+    /// Sequence number of the last state-mutating batch applied.
+    applied_seq: u64,
+    /// Optional write-ahead op log; see [`OpSink`].
+    sink: Option<Box<dyn OpSink>>,
 }
 
 // The sharded serving layer drives one engine per shard from pool workers
@@ -278,7 +340,78 @@ impl Engine {
             graph: DynGraph::new(n),
             msf,
             stats: EngineStats::default(),
+            applied_seq: 0,
+            sink: None,
         }
+    }
+
+    /// Assemble an engine from restored parts (the checkpoint/restore path
+    /// of `pdmsf-persist`). The mirror and the structure are cross-validated
+    /// edge by edge — same liveness, endpoints and weight for every id below
+    /// the allocation frontier — so a checkpoint whose sections passed their
+    /// CRCs individually but disagree with each other is still refused.
+    pub fn from_restored_parts(
+        graph: DynGraph,
+        msf: ParDynamicMsf,
+        stats: EngineStats,
+        applied_seq: u64,
+    ) -> Result<Engine, String> {
+        if graph.num_vertices() != msf.num_vertices() {
+            return Err(format!(
+                "restored mirror has {} vertices but the structure has {}",
+                graph.num_vertices(),
+                msf.num_vertices()
+            ));
+        }
+        for raw in 0..graph.edge_id_bound() as u32 {
+            let id = EdgeId(raw);
+            match (graph.is_live(id), msf.contains_edge(id)) {
+                (true, false) => {
+                    return Err(format!(
+                        "edge {raw} is live in the mirror, absent in the msf"
+                    ));
+                }
+                (false, true) => {
+                    return Err(format!(
+                        "edge {raw} is live in the msf, absent in the mirror"
+                    ));
+                }
+                (true, true) => {
+                    let g = graph.edge_unchecked(id);
+                    let m = msf
+                        .forest()
+                        .edge(id)
+                        .ok_or_else(|| format!("edge {raw} lost its record in the msf store"))?;
+                    if (g.u, g.v, g.weight) != (m.u, m.v, m.weight) {
+                        return Err(format!("edge {raw} differs between mirror and msf"));
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+        Ok(Engine {
+            graph,
+            msf,
+            stats,
+            applied_seq,
+            sink: None,
+        })
+    }
+
+    /// Attach a write-ahead op log. Every subsequent state-mutating batch is
+    /// recorded through `sink` before its first update applies.
+    pub fn set_sink(&mut self, sink: Box<dyn OpSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the op-log sink, if one is attached.
+    pub fn take_sink(&mut self) -> Option<Box<dyn OpSink>> {
+        self.sink.take()
+    }
+
+    /// Sequence number of the last state-mutating batch applied (0 if none).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
     }
 
     /// Number of vertices managed.
@@ -414,7 +547,51 @@ impl Engine {
             self.graph.edge_id_bound(),
             "plan applied to an engine whose state moved since plan_batch"
         );
-        let PlannedBatch { mut plan, ops, .. } = planned;
+        let PlannedBatch {
+            mut plan,
+            ops,
+            id_base,
+        } = planned;
+        // Write-ahead discipline: a state-mutating batch is recorded in the
+        // op log *before* its first update applies, so a crash at any point
+        // afterwards can be recovered by replaying the record. Query-only
+        // batches mutate nothing and are not logged. A failed record is
+        // fatal by design (crash-only): applying an unlogged mutation would
+        // leave a state no recovery could reproduce.
+        if !plan.updates.is_empty() {
+            let seq = self.applied_seq + 1;
+            if let Some(sink) = self.sink.as_mut() {
+                let logged = LoggedBatch {
+                    seq,
+                    id_base: id_base as u64,
+                    updates: plan
+                        .updates
+                        .iter()
+                        .map(|u| match *u {
+                            PlannedUpdate::Link {
+                                id,
+                                u,
+                                v,
+                                weight,
+                                cancelled,
+                            } => LoggedUpdate::Link {
+                                id,
+                                u,
+                                v,
+                                weight,
+                                cancelled,
+                            },
+                            PlannedUpdate::Cut { id, cancelled } => {
+                                LoggedUpdate::Cut { id, cancelled }
+                            }
+                        })
+                        .collect(),
+                };
+                sink.record(seq, &logged)
+                    .expect("op-log write failed; refusing to apply an unlogged batch");
+            }
+            self.applied_seq = seq;
+        }
         let mut applied = 0usize;
         for update in &plan.updates {
             match *update {
@@ -479,6 +656,82 @@ impl Engine {
         }
     }
 
+    /// Re-apply one logged batch during recovery. Validates that the record
+    /// is the *next* batch for this engine (`seq == applied_seq + 1`) and
+    /// that it was planned against exactly this id-allocation frontier, then
+    /// routes the updates through the normal [`Engine::execute_planned`]
+    /// path — replay exercises the same application code as live traffic.
+    ///
+    /// Replay never re-records: the batch is already in the log. Call this
+    /// only before attaching a sink for new traffic (the recovery driver in
+    /// `pdmsf-persist` does), or the temporarily-detached sink discipline is
+    /// enforced here by taking the sink around the call.
+    pub fn replay_logged(&mut self, batch: &LoggedBatch) -> Result<BatchResult, String> {
+        if batch.seq != self.applied_seq + 1 {
+            return Err(format!(
+                "log replay out of order: record seq {} but engine applied_seq is {}",
+                batch.seq, self.applied_seq
+            ));
+        }
+        if batch.id_base != self.graph.edge_id_bound() as u64 {
+            return Err(format!(
+                "log record planned at id base {} but the engine's frontier is {}",
+                batch.id_base,
+                self.graph.edge_id_bound()
+            ));
+        }
+        if batch.updates.is_empty() {
+            return Err("logged batch has no updates (never written by the engine)".to_string());
+        }
+        let mut updates = Vec::with_capacity(batch.updates.len());
+        let mut outcomes = Vec::with_capacity(batch.updates.len());
+        let mut cancelled_cuts = 0usize;
+        for u in &batch.updates {
+            match *u {
+                LoggedUpdate::Link {
+                    id,
+                    u,
+                    v,
+                    weight,
+                    cancelled,
+                } => {
+                    updates.push(PlannedUpdate::Link {
+                        id,
+                        u,
+                        v,
+                        weight,
+                        cancelled,
+                    });
+                    outcomes.push(Outcome::Linked { id });
+                }
+                LoggedUpdate::Cut { id, cancelled } => {
+                    if cancelled {
+                        cancelled_cuts += 1;
+                    }
+                    updates.push(PlannedUpdate::Cut { id, cancelled });
+                    outcomes.push(Outcome::Cut { id });
+                }
+            }
+        }
+        let ops = updates.len();
+        let planned = PlannedBatch {
+            plan: plan::BatchPlan {
+                updates,
+                unique_queries: Vec::new(),
+                query_refs: Vec::new(),
+                outcomes,
+                cancelled_pairs: cancelled_cuts,
+                rejected: 0,
+            },
+            ops,
+            id_base: batch.id_base as usize,
+        };
+        let saved = self.sink.take();
+        let result = self.execute_planned(planned);
+        self.sink = saved;
+        Ok(result)
+    }
+
     /// Execute one batch with **no** batch leverage: every valid update is
     /// applied to the structure in arrival order (cancelled pairs
     /// included), and every query is answered individually through the
@@ -486,6 +739,14 @@ impl Engine {
     /// [`Engine::execute`]; this is the baseline the `E1` batch-throughput
     /// experiment measures against.
     pub fn execute_one_by_one(&mut self, ops: &[Op]) -> BatchResult {
+        // The serial baseline bypasses planning, so it has no `LoggedBatch`
+        // to record — running it with a write-ahead sink attached would
+        // silently punch unlogged mutations into a supposedly durable
+        // engine. Refuse loudly instead.
+        assert!(
+            self.sink.is_none(),
+            "execute_one_by_one bypasses the op log; detach the sink or use execute"
+        );
         let n = self.graph.num_vertices();
         let mut outcomes = Vec::with_capacity(ops.len());
         let mut deferred_queries: Vec<(usize, PlannedQuery)> = Vec::new();
@@ -532,6 +793,9 @@ impl Engine {
                 }
             };
             outcomes.push(outcome);
+        }
+        if applied > 0 {
+            self.applied_seq += 1;
         }
         let queries = deferred_queries.len();
         for (i, q) in deferred_queries {
@@ -747,6 +1011,112 @@ mod tests {
             ]),
             vec![7, 0, 18]
         );
+    }
+
+    /// Test sink: collects every record in memory.
+    struct VecSink(std::sync::Arc<std::sync::Mutex<Vec<LoggedBatch>>>);
+
+    impl OpSink for VecSink {
+        fn record(&mut self, seq: u64, batch: &LoggedBatch) -> std::io::Result<()> {
+            assert_eq!(seq, batch.seq);
+            self.0.lock().unwrap().push(batch.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn logged_batches_replay_to_the_same_state() {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut live = Engine::new(8);
+        live.set_sink(Box::new(VecSink(log.clone())));
+        live.execute(&[link(0, 1, 3), link(1, 2, 5), qconn(0, 2)]);
+        live.execute(&[
+            link(2, 3, 9),             // flap
+            Op::Cut { id: EdgeId(2) }, // cancels it
+            link(3, 4, 1),
+            Op::Cut { id: EdgeId(0) },
+            Op::Cut { id: EdgeId(77) }, // rejected — not logged
+        ]);
+        live.execute(&[qconn(0, 4), Op::QueryForestWeight]); // query-only — not logged
+        live.execute(&[link(4, 5, 2)]);
+        assert_eq!(live.applied_seq(), 3);
+
+        let records = log.lock().unwrap().clone();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+
+        let mut recovered = Engine::new(8);
+        for r in &records {
+            recovered.replay_logged(r).unwrap();
+        }
+        assert_eq!(recovered.applied_seq(), live.applied_seq());
+        assert_eq!(recovered.forest_edges(), live.forest_edges());
+        assert_eq!(recovered.forest_weight(), live.forest_weight());
+        // The id frontier moved identically (cancelled links consumed ids on
+        // replay too), so both engines assign the same id next.
+        let a = recovered.execute(&[link(6, 7, 4)]);
+        let b = live.execute(&[link(6, 7, 4)]);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn replay_rejects_out_of_order_and_misbased_records() {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut live = Engine::new(4);
+        live.set_sink(Box::new(VecSink(log.clone())));
+        live.execute(&[link(0, 1, 1)]);
+        live.execute(&[link(1, 2, 2)]);
+        let records = log.lock().unwrap().clone();
+
+        let mut recovered = Engine::new(4);
+        // Skipping record 1 is detected.
+        assert!(recovered.replay_logged(&records[1]).is_err());
+        recovered.replay_logged(&records[0]).unwrap();
+        // Replaying the same record twice is detected.
+        assert!(recovered.replay_logged(&records[0]).is_err());
+        // A tampered id base is detected.
+        let mut bad = records[1].clone();
+        bad.id_base = 7;
+        assert!(recovered.replay_logged(&bad).is_err());
+        recovered.replay_logged(&records[1]).unwrap();
+        assert_eq!(recovered.forest_weight(), live.forest_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "bypasses the op log")]
+    fn one_by_one_refuses_to_run_with_a_sink_attached() {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut engine = Engine::new(4);
+        engine.set_sink(Box::new(VecSink(log)));
+        engine.execute_one_by_one(&[link(0, 1, 1)]);
+    }
+
+    #[test]
+    fn restored_parts_are_cross_validated() {
+        let mut engine = Engine::new(6);
+        engine.execute(&[link(0, 1, 2), link(1, 2, 5), Op::Cut { id: EdgeId(0) }]);
+        let image = engine.structure().to_image();
+        let mirror = engine.graph().to_image();
+
+        let graph = pdmsf_graph::DynGraph::from_image(&mirror).unwrap();
+        let msf = ParDynamicMsf::from_image(&image).unwrap();
+        let restored =
+            Engine::from_restored_parts(graph, msf, engine.stats(), engine.applied_seq()).unwrap();
+        assert_eq!(restored.forest_edges(), engine.forest_edges());
+        assert_eq!(restored.applied_seq(), engine.applied_seq());
+        assert_eq!(restored.stats(), engine.stats());
+
+        // A mirror that disagrees with the structure is refused: re-import
+        // the mirror with the cut edge 0 resurrected (structurally valid on
+        // its own — only the cross-check can catch it).
+        let mut tampered = mirror.clone();
+        tampered.edge_alive[0] = 1;
+        let graph2 = pdmsf_graph::DynGraph::from_image(&tampered).unwrap();
+        let msf2 = ParDynamicMsf::from_image(&image).unwrap();
+        assert!(Engine::from_restored_parts(graph2, msf2, engine.stats(), 1).is_err());
     }
 
     #[test]

@@ -217,6 +217,115 @@ impl DynGraph {
             .copied()
             .find(|&id| self.edge_unchecked(id).touches(v))
     }
+
+    /// Flatten the graph into its serializable image.
+    ///
+    /// Every observable detail round-trips: dead edge slots are kept (ids
+    /// are never reused, so the slot vector *is* the id allocator) and the
+    /// adjacency lists are dumped in their exact in-memory order —
+    /// [`DynGraph::find_edge`] and [`DynGraph::incident_edges`] expose that
+    /// order, so rebuilding adjacency from the edge slots would not be
+    /// faithful after interleaved deletes.
+    pub fn to_image(&self) -> DynGraphImage {
+        let mut edge_u = Vec::with_capacity(self.edges.len());
+        let mut edge_v = Vec::with_capacity(self.edges.len());
+        let mut edge_weight = Vec::with_capacity(self.edges.len());
+        let mut edge_alive = Vec::with_capacity(self.edges.len());
+        for slot in &self.edges {
+            edge_u.push(slot.u.0);
+            edge_v.push(slot.v.0);
+            edge_weight.push(slot.weight.raw());
+            edge_alive.push(u8::from(slot.alive));
+        }
+        let mut adj_offsets = Vec::with_capacity(self.adjacency.len() + 1);
+        let mut adj_data = Vec::new();
+        adj_offsets.push(0u64);
+        for list in &self.adjacency {
+            adj_data.extend(list.iter().map(|id| id.0));
+            adj_offsets.push(adj_data.len() as u64);
+        }
+        DynGraphImage {
+            edge_u,
+            edge_v,
+            edge_weight,
+            edge_alive,
+            adj_offsets,
+            adj_data,
+        }
+    }
+
+    /// Rebuild a graph from [`DynGraph::to_image`], validating structural
+    /// consistency (lane lengths, offset monotonicity, adjacency ids in
+    /// range) so a corrupted image is rejected rather than deserialized into
+    /// a graph that panics later.
+    pub fn from_image(image: &DynGraphImage) -> Result<Self, String> {
+        let m = image.edge_u.len();
+        if image.edge_v.len() != m || image.edge_weight.len() != m || image.edge_alive.len() != m {
+            return Err("graph image edge lanes disagree in length".to_string());
+        }
+        if image.adj_offsets.first() != Some(&0) {
+            return Err("graph image adjacency offsets must start at 0".to_string());
+        }
+        if image.adj_offsets.last().copied() != Some(image.adj_data.len() as u64) {
+            return Err("graph image adjacency offsets do not cover the data".to_string());
+        }
+        let mut edges = Vec::with_capacity(m);
+        let mut live_edges = 0usize;
+        for i in 0..m {
+            if image.edge_alive[i] > 1 {
+                return Err(format!("graph image edge {i} has a non-boolean alive flag"));
+            }
+            let alive = image.edge_alive[i] == 1;
+            live_edges += usize::from(alive);
+            edges.push(EdgeSlot {
+                u: VertexId(image.edge_u[i]),
+                v: VertexId(image.edge_v[i]),
+                weight: Weight::from_raw(image.edge_weight[i]),
+                alive,
+            });
+        }
+        let n = image.adj_offsets.len() - 1;
+        let mut adjacency = Vec::with_capacity(n);
+        for v in 0..n {
+            let lo = image.adj_offsets[v] as usize;
+            let hi = image.adj_offsets[v + 1] as usize;
+            if hi < lo || hi > image.adj_data.len() {
+                return Err(format!("graph image adjacency offsets of v{v} are invalid"));
+            }
+            let list: Vec<EdgeId> = image.adj_data[lo..hi].iter().map(|&e| EdgeId(e)).collect();
+            for id in &list {
+                if id.index() >= m || !edges[id.index()].alive {
+                    return Err(format!("graph image adjacency of v{v} names dead {id:?}"));
+                }
+            }
+            adjacency.push(list);
+        }
+        Ok(DynGraph {
+            edges,
+            adjacency,
+            live_edges,
+        })
+    }
+}
+
+/// The flat, serializable image of a [`DynGraph`]: edge slots as parallel
+/// lanes (`u32` endpoints, raw `i64` weights, `u8` alive flags — dead slots
+/// included, they are the id allocator) and adjacency lists flattened into
+/// an offsets + data pair in exact in-memory order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynGraphImage {
+    /// First endpoint per edge slot.
+    pub edge_u: Vec<u32>,
+    /// Second endpoint per edge slot.
+    pub edge_v: Vec<u32>,
+    /// Raw weight per edge slot ([`Weight::raw`] encoding).
+    pub edge_weight: Vec<i64>,
+    /// 1 if the slot's edge is live, 0 if deleted.
+    pub edge_alive: Vec<u8>,
+    /// Per-vertex ranges into `adj_data` (`n + 1` entries, starts at 0).
+    pub adj_offsets: Vec<u64>,
+    /// Concatenated adjacency lists (live edge ids).
+    pub adj_data: Vec<u32>,
 }
 
 #[cfg(test)]

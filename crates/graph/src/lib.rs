@@ -46,7 +46,7 @@ pub use generators::{
     BatchKind, BatchOp, BatchStream, BatchStreamSpec, GraphSpec, StreamKind, TenantOp,
     TenantStream, TenantStreamSpec, UpdateOp, UpdateStream, UpdateStreamSpec,
 };
-pub use graph::{DynGraph, Edge};
+pub use graph::{DynGraph, DynGraphImage, Edge};
 pub use ids::{EdgeId, TenantId, VertexId};
 pub use kruskal::{kruskal_msf, MsfSummary};
 pub use msf::{assert_matches_kruskal, verify_against_kruskal, DynamicMsf, MsfDelta};

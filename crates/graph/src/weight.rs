@@ -50,6 +50,17 @@ impl Weight {
         self.0
     }
 
+    /// Rebuild a weight from its [`Weight::raw`] encoding.
+    ///
+    /// Unlike [`Weight::new`], `i64::MIN` is accepted and decodes to
+    /// [`Weight::NEG_INF`] — stored weights legitimately include `-inf`
+    /// (the degree-reduction's auxiliary path edges), so deserialization
+    /// must round-trip every value `raw()` can produce.
+    #[inline]
+    pub fn from_raw(value: i64) -> Self {
+        Weight(value)
+    }
+
     /// Whether this weight is `-inf`.
     #[inline]
     pub fn is_neg_inf(self) -> bool {

@@ -1,0 +1,200 @@
+//! Fault injection for crash-recovery testing: media that model what a real
+//! disk does to you — a process dying mid-write (a torn tail), bytes that
+//! rot at rest (bit flips), files that come back shorter than they were
+//! written (truncation).
+//!
+//! The harness centers on [`SharedDisk`]: a cloneable in-memory byte store
+//! standing in for the durable medium. A writer (checkpoint stream or
+//! [`crate::OpLogWriter`]) writes into one clone while the test keeps
+//! another; "crashing" is simply *stopping* — the disk retains whatever had
+//! been written, and the injectors below then damage it the way a real
+//! crash or rot would before recovery reads it back.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::oplog::LogMedium;
+
+/// A cloneable in-memory durable medium. All clones share one byte store;
+/// the bytes survive dropping any writer built over a clone — exactly the
+/// property of a disk across a process crash.
+#[derive(Clone, Default)]
+pub struct SharedDisk {
+    store: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedDisk {
+    /// An empty disk.
+    pub fn new() -> SharedDisk {
+        SharedDisk::default()
+    }
+
+    /// A copy of the current contents.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.store.lock().unwrap().clone()
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.store.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncate to `len` bytes (recovery truncates a torn log tail before
+    /// resuming appends).
+    pub fn truncate(&self, len: usize) {
+        self.store.lock().unwrap().truncate(len);
+    }
+
+    /// Flip one bit at `(byte, bit)` — at-rest corruption.
+    pub fn flip_bit(&self, byte: usize, bit: u8) {
+        self.store.lock().unwrap()[byte] ^= 1 << (bit & 7);
+    }
+}
+
+impl Write for SharedDisk {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.store.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl LogMedium for SharedDisk {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A medium that persists only the first `survive` bytes ever written
+/// through it; everything after silently vanishes. Models a crash at an
+/// arbitrary byte offset: the process believed the write succeeded (no
+/// error is surfaced — exactly like a page-cache write the machine lost),
+/// but the disk only holds the prefix. Recovery must treat the result as a
+/// torn tail, never as a valid shorter history.
+pub struct TornDisk {
+    disk: SharedDisk,
+    survive: u64,
+    written: u64,
+}
+
+impl TornDisk {
+    /// A torn medium over `disk` that persists the first `survive` bytes.
+    pub fn new(disk: SharedDisk, survive: u64) -> TornDisk {
+        TornDisk {
+            disk,
+            survive,
+            written: 0,
+        }
+    }
+}
+
+impl Write for TornDisk {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let landed = (self.survive.saturating_sub(self.written)).min(buf.len() as u64) as usize;
+        self.disk.write_all(&buf[..landed])?;
+        self.written += buf.len() as u64;
+        // Claim full success: the process never learns the tail was lost.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl LogMedium for TornDisk {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A medium whose writes start **failing** (with an I/O error) after
+/// `budget` bytes. Models a full or dying disk — unlike [`TornDisk`], the
+/// process *sees* the failure, and the engine's write-ahead discipline must
+/// turn it into a refusal to apply the batch rather than a divergence.
+pub struct FailingDisk {
+    disk: SharedDisk,
+    budget: u64,
+    written: u64,
+}
+
+impl FailingDisk {
+    /// A medium over `disk` that accepts `budget` bytes then errors.
+    pub fn new(disk: SharedDisk, budget: u64) -> FailingDisk {
+        FailingDisk {
+            disk,
+            budget,
+            written: 0,
+        }
+    }
+}
+
+impl Write for FailingDisk {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.written + buf.len() as u64 > self.budget {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected disk failure",
+            ));
+        }
+        self.written += buf.len() as u64;
+        self.disk.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl LogMedium for FailingDisk {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_disk_keeps_exactly_the_surviving_prefix() {
+        let disk = SharedDisk::new();
+        let mut torn = TornDisk::new(disk.clone(), 5);
+        torn.write_all(b"abc").unwrap();
+        torn.write_all(b"defgh").unwrap();
+        torn.write_all(b"ijk").unwrap();
+        assert_eq!(disk.snapshot(), b"abcde");
+    }
+
+    #[test]
+    fn failing_disk_surfaces_the_error() {
+        let disk = SharedDisk::new();
+        let mut failing = FailingDisk::new(disk.clone(), 4);
+        failing.write_all(b"abcd").unwrap();
+        assert!(failing.write_all(b"e").is_err());
+        assert_eq!(disk.snapshot(), b"abcd");
+    }
+
+    #[test]
+    fn shared_disk_survives_its_writers() {
+        let disk = SharedDisk::new();
+        {
+            let mut w = disk.clone();
+            w.write_all(b"persisted").unwrap();
+        }
+        assert_eq!(disk.snapshot(), b"persisted");
+        disk.flip_bit(0, 1);
+        assert_eq!(disk.snapshot()[0], b'p' ^ 2);
+        disk.truncate(3);
+        assert_eq!(disk.len(), 3);
+    }
+}

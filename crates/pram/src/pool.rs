@@ -1038,6 +1038,50 @@ mod tests {
     }
 
     #[test]
+    fn panics_inside_stolen_ranges_reach_the_submitter_and_spare_the_pool() {
+        // Same deterministic steal recipe as above — the submitter claims
+        // [0, 4), executes [0, 2) and parks [2, 4); shard 0 blocks until
+        // shards 2 and 3 have run, so the worker must steal the parked
+        // half. Shard 3 then panics **inside the stolen range**, on the
+        // worker thread. The payload must still surface on the submitter
+        // (not kill the worker or hang the job), and the pool must stay
+        // fully reusable.
+        let pool = Pool::new(1);
+        let before = stats();
+        let two = AtomicBool::new(false);
+        let three = AtomicBool::new(false);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_per_shard(pool, 8, &|shard| match shard {
+                0 => {
+                    await_flag(&two);
+                    await_flag(&three);
+                }
+                2 => two.store(true, Ordering::SeqCst),
+                3 => {
+                    three.store(true, Ordering::SeqCst);
+                    panic!("stolen bang");
+                }
+                _ => {}
+            });
+        }));
+        let payload = caught.expect_err("the stolen-range panic must reach the submitter");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("stolen bang"));
+        let delta_steals = stats().steals - before.steals;
+        assert!(
+            delta_steals >= 1,
+            "the panic did not come from a stolen range"
+        );
+        // The worker survived the unwind and the pool keeps serving jobs.
+        for _ in 0..10 {
+            let sum = AtomicUsize::new(0);
+            run_per_shard(pool, 8, &|i| {
+                sum.fetch_add(i + 1, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 36);
+        }
+    }
+
+    #[test]
     fn submitter_reclaims_own_shards_parked_behind_a_blocked_executor() {
         // Cross-shard wait: shard 4 blocks until shard 5 has run. The
         // deterministic chunk math ([0,4) to the submitter, then [4,6) /

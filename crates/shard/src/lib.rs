@@ -145,6 +145,25 @@ pub(crate) struct TenantState {
     pub(crate) edge_ids: Vec<pdmsf_graph::EdgeId>,
 }
 
+/// The serializable form of one tenant's registration: placement, vertex
+/// block and the tenant-local → shard-global edge-id map. Produced by
+/// [`ShardedService::export_tenants`], consumed (and validated) by
+/// [`ShardedService::from_restored_parts`] — the persistence layer's
+/// tenant-table section is exactly a list of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantRecord {
+    /// The tenant's id.
+    pub id: TenantId,
+    /// The shard hosting the tenant.
+    pub shard: u32,
+    /// First vertex of the tenant's block in its shard engine.
+    pub base: u32,
+    /// Size of the tenant's vertex space.
+    pub vertices: u32,
+    /// Tenant-local edge id (index) → shard-global edge id.
+    pub edge_ids: Vec<pdmsf_graph::EdgeId>,
+}
+
 /// Per-shard facts about one executed service batch (only shards the batch
 /// touched appear).
 #[derive(Clone, Debug)]
@@ -336,6 +355,109 @@ impl ShardedService {
         &self.shards[shard]
     }
 
+    /// A shard's engine, mutably. For the persistence layer only: attaching
+    /// an op-log sink and replaying logged batches during recovery. Routing
+    /// invariants (vertex blocks, edge-id maps) live in the service, so
+    /// mutating the engine's *graph state* through this handle desyncs the
+    /// router — recovery replays exactly the batches the router produced,
+    /// which preserves them.
+    pub fn shard_engine_mut(&mut self, shard: usize) -> &mut Engine {
+        &mut self.shards[shard]
+    }
+
+    /// Export the tenant table in dense registration order (the persistence
+    /// layer serializes this alongside the per-shard engine sections).
+    pub fn export_tenants(&self) -> Vec<TenantRecord> {
+        let mut ids = vec![TenantId(0); self.tenants.len()];
+        for (&id, &ix) in &self.lookup {
+            ids[ix as usize] = id;
+        }
+        self.tenants
+            .iter()
+            .zip(ids)
+            .map(|(t, id)| TenantRecord {
+                id,
+                shard: t.shard,
+                base: t.base,
+                vertices: t.vertices,
+                edge_ids: t.edge_ids.clone(),
+            })
+            .collect()
+    }
+
+    /// Assemble a service from restored parts (the checkpoint/restore path
+    /// of `pdmsf-persist`). Validates the tenant table against the shard
+    /// engines — shard indices in range, vertex blocks inside their engine
+    /// and mutually disjoint, every mapped edge id below its shard's
+    /// allocation frontier, no duplicate tenant ids — so a checkpoint whose
+    /// sections are individually intact but mutually inconsistent is
+    /// refused.
+    pub fn from_restored_parts(
+        shards: Vec<Engine>,
+        tenants: Vec<TenantRecord>,
+        stats: ServiceStats,
+    ) -> Result<ShardedService, String> {
+        if shards.is_empty() {
+            return Err("a restored service needs at least one shard".to_string());
+        }
+        let mut lookup = HashMap::with_capacity(tenants.len());
+        let mut states = Vec::with_capacity(tenants.len());
+        let mut blocks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); shards.len()];
+        for rec in tenants {
+            let shard = rec.shard as usize;
+            if shard >= shards.len() {
+                return Err(format!(
+                    "tenant {:?} names shard {shard} of {}",
+                    rec.id,
+                    shards.len()
+                ));
+            }
+            let end = rec
+                .base
+                .checked_add(rec.vertices)
+                .ok_or_else(|| format!("tenant {:?} vertex block overflows", rec.id))?;
+            if end as usize > shards[shard].num_vertices() {
+                return Err(format!(
+                    "tenant {:?} block {}..{end} exceeds shard {shard}'s {} vertices",
+                    rec.id,
+                    rec.base,
+                    shards[shard].num_vertices()
+                ));
+            }
+            let bound = shards[shard].graph().edge_id_bound() as u32;
+            if let Some(bad) = rec.edge_ids.iter().find(|id| id.0 >= bound) {
+                return Err(format!(
+                    "tenant {:?} maps a local edge to unallocated shard id {bad:?}",
+                    rec.id
+                ));
+            }
+            blocks[shard].push((rec.base, end));
+            if lookup.insert(rec.id, states.len() as u32).is_some() {
+                return Err(format!("duplicate tenant id {:?}", rec.id));
+            }
+            states.push(TenantState {
+                shard: rec.shard,
+                base: rec.base,
+                vertices: rec.vertices,
+                edge_ids: rec.edge_ids,
+            });
+        }
+        for (shard, list) in blocks.iter_mut().enumerate() {
+            list.sort_unstable();
+            for pair in list.windows(2) {
+                if pair[1].0 < pair[0].1 {
+                    return Err(format!("tenant vertex blocks overlap on shard {shard}"));
+                }
+            }
+        }
+        Ok(ShardedService {
+            shards,
+            tenants: states,
+            lookup,
+            stats,
+        })
+    }
+
     /// Cumulative service counters.
     pub fn stats(&self) -> ServiceStats {
         self.stats
@@ -353,6 +475,55 @@ impl ShardedService {
             self.shards[t.shard as usize]
                 .forest_weight_in_range(VertexId(t.base), VertexId(t.base + t.vertices)),
         )
+    }
+
+    /// Rebuild every tenant's local → global edge-id map from the shard
+    /// engine mirrors. The recovery path of `pdmsf-persist` needs this: log
+    /// replay advances the shard engines past the checkpointed tenant
+    /// table, so the maps must be re-derived from the recovered state.
+    ///
+    /// The derivation is exact, not heuristic: shard engines allocate global
+    /// edge ids sequentially, every allocated slot (dead ones included —
+    /// they are the id allocator) belongs to exactly one tenant's vertex
+    /// block, and a tenant's local ids are assigned in its allocation
+    /// order — so walking each mirror's slots in id order and appending
+    /// each to its owning tenant reproduces precisely the map the router
+    /// built live. Errors if some slot belongs to no registered tenant.
+    pub fn rebuild_tenant_edge_maps(&mut self) -> Result<(), String> {
+        let ShardedService {
+            shards, tenants, ..
+        } = self;
+        for t in tenants.iter_mut() {
+            t.edge_ids.clear();
+        }
+        for (shard_ix, engine) in shards.iter().enumerate() {
+            let mut spans: Vec<(u32, u32, usize)> = tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.shard as usize == shard_ix && t.vertices > 0)
+                .map(|(ix, t)| (t.base, t.base + t.vertices, ix))
+                .collect();
+            spans.sort_unstable();
+            let image = engine.graph().to_image();
+            for (id, &u) in image.edge_u.iter().enumerate() {
+                let pos = spans.partition_point(|&(base, _, _)| base <= u);
+                let owner = pos
+                    .checked_sub(1)
+                    .map(|p| spans[p])
+                    .filter(|&(_, end, _)| u < end);
+                match owner {
+                    Some((_, _, ix)) => {
+                        tenants[ix].edge_ids.push(pdmsf_graph::EdgeId(id as u32));
+                    }
+                    None => {
+                        return Err(format!(
+                            "edge slot {id} on shard {shard_ix} belongs to no tenant block"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Execute one service batch **concurrently**: route to per-shard

@@ -22,6 +22,8 @@
 //!   on top of the parallel structure,
 //! * [`shard`] ([`pdmsf_shard`]) — the multi-tenant sharded serving layer
 //!   on top of the engine,
+//! * [`persist`] ([`pdmsf_persist`]) — durable checkpoint/restore, the
+//!   write-ahead op log and crash recovery,
 //! * [`baselines`] ([`pdmsf_baselines`]) — comparison structures.
 //!
 //! ## Performance architecture
@@ -149,6 +151,38 @@
 //! against one flat single-`Engine` over the merged stream across shard
 //! counts and tenant skews, recording `BENCH_shard_throughput.json`.
 //!
+//! ## The persistence layer
+//!
+//! Crate [`pdmsf_persist`] (re-exported as [`persist`]) makes the serving
+//! stack durable, and the flat-arena performance architecture is what makes
+//! it cheap: every structure already lives in SoA banks, so a checkpoint is
+//! raw lane dumps behind a small header rather than a pointer-graph walk.
+//!
+//! * **Checkpoints** ([`persist::EngineCheckpointExt`],
+//!   [`persist::ServiceCheckpointExt`]): a versioned format
+//!   ([`persist::FORMAT_VERSION`]) of length-prefixed sections, each
+//!   guarded by a CRC-32 over tag and payload. A service checkpoint holds
+//!   the tenant table plus one section per shard engine; restore re-wires
+//!   the shards to the router and cross-validates mirror against structure
+//!   against tenant table. Truncations and bit flips are *detected*
+//!   ([`persist::PersistError`]) — a damaged checkpoint refuses to load,
+//!   never restores to a plausible-but-wrong forest.
+//! * **Write-ahead op log** ([`persist::OpLogWriter`], hooked in through
+//!   [`engine::OpSink`]): every state-mutating planned batch is serialized
+//!   with a sequence number and record CRC **before** it applies, fsync-
+//!   gated by a [`persist::FlushPolicy`]. Batches are acknowledged after
+//!   the log write, so a crash mid-append leaves a torn tail holding only
+//!   batches no caller was ever told succeeded.
+//! * **Recovery** ([`persist::recover_engine`],
+//!   [`persist::recover_service`]): newest valid checkpoint + replay of the
+//!   log tail through the engine's normal batch-execution path. The
+//!   invariant `restore(checkpoint(S)) + replay == S` is pinned by a
+//!   fault-injection proptest (crashes at arbitrary byte offsets, bit rot
+//!   in checkpoint and log) against an uninterrupted twin. Experiment E5
+//!   (`experiments -- e5`) measures checkpoint size and restore time
+//!   against a cold rebuild, recording `BENCH_persist.json`; the end-to-end
+//!   flow is `examples/checkpoint_restore.rs`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -185,6 +219,7 @@ pub use pdmsf_core as core;
 pub use pdmsf_dyntree as dyntree;
 pub use pdmsf_engine as engine;
 pub use pdmsf_graph as graph;
+pub use pdmsf_persist as persist;
 pub use pdmsf_pram as pram;
 pub use pdmsf_shard as shard;
 
@@ -203,6 +238,10 @@ pub mod prelude {
         DegreeReduced, DynGraph, DynamicMsf, Edge, EdgeId, GraphSpec, MsfDelta, StreamKind,
         TenantId, TenantOp, TenantStream, TenantStreamSpec, UpdateOp, UpdateStream,
         UpdateStreamSpec, VertexId, WKey, Weight,
+    };
+    pub use pdmsf_persist::{
+        recover_engine, recover_service, EngineCheckpointExt, FlushPolicy, OpLogWriter,
+        PersistError, RecoveryReport, ServiceCheckpointExt, SharedDisk,
     };
     pub use pdmsf_pram::{CostMeter, CostReport, ExecMode};
     pub use pdmsf_shard::{
