@@ -1,4 +1,4 @@
-//! Experiment driver: prints the evaluation tables (E0–E12) and writes the
+//! Experiment driver: prints the evaluation tables (E0–E13) and writes the
 //! machine-readable benchmark JSON artifacts.
 //!
 //! Usage:
@@ -15,18 +15,29 @@
 //! E2 emits `BENCH_shard_throughput.json` (sharded multi-tenant service vs
 //! one flat merged engine, across shard counts and tenant skews), E3
 //! emits `BENCH_sched_throughput.json` (the work-stealing scheduler under
-//! many-small-jobs workloads, steal/claim counters stamped per record) and
+//! many-small-jobs workloads, steal/claim counters stamped per record),
 //! E5 emits `BENCH_persist.json` (checkpoint size, checkpoint/restore wall
-//! time vs cold rebuild — the persistence warm-start story).
+//! time vs cold rebuild — the persistence warm-start story) and E6 emits
+//! `BENCH_intra_batch.json` (grouped concurrent apply on a
+//! component-partitioned engine vs forced serial apply; run once per
+//! `PDMSF_POOL_THREADS` width and merge — the pool width is read once per
+//! process, so one run cannot sweep it).
+//!
+//! The name `e4` is **reserved** for the planned per-op latency harness
+//! (tail-latency percentiles of the serving layer); it used to alias the
+//! legacy PRAM-scaling tables, which live at `e11`. The legacy density
+//! sweep that held `e6` before the intra-batch benchmark took that slot
+//! is now `e13` (renumbered like E10–E12 before it).
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
 use pdmsf_bench::{
     batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
-    drive, drive_engine_batched, drive_engine_one_by_one, drive_service_flat,
-    drive_service_sharded, drive_updates_only, failure_stream, grid_stream, insert_stream,
-    mixed_stream, persist_records_to_json, pram_profile, sched_records_to_json,
-    seq_mean_update_time, shard_records_to_json, tenant_stream, BatchRecord, BenchRecord,
-    MergedTenantEngine, PersistRecord, RunMeta, SchedRecord, ShardRecord,
+    clustered_mix_batch_stream, drive, drive_engine_batched, drive_engine_one_by_one,
+    drive_service_flat, drive_service_sharded, drive_updates_only, failure_stream, grid_stream,
+    insert_stream, intra_batch_records_to_json, mixed_stream, persist_records_to_json,
+    pram_profile, sched_records_to_json, seq_mean_update_time, shard_records_to_json,
+    tenant_stream, BatchRecord, BenchRecord, IntraBatchRecord, MergedTenantEngine, PersistRecord,
+    RunMeta, SchedRecord, ShardRecord,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
@@ -91,14 +102,16 @@ fn main() {
     if want("e3") {
         e3_sched_throughput(quick);
     }
-    if want("e11") || want("e4") {
+    // `e4` is reserved for the planned per-op latency harness (see the
+    // module docs) — it no longer aliases the legacy e11 tables.
+    if want("e11") {
         e11_pram_scaling(&config);
     }
     if want("e5") {
         e5_persist(&config);
     }
     if want("e6") {
-        e6_sparsification(&config);
+        e6_intra_batch(quick);
     }
     if want("e7") {
         e7_kernels();
@@ -114,6 +127,9 @@ fn main() {
     }
     if want("e12") {
         e12_workloads(&config);
+    }
+    if want("e13") {
+        e13_sparsification(&config);
     }
 }
 
@@ -971,9 +987,117 @@ fn e12_workloads(cfg: &Config) {
     }
 }
 
-/// E6: update time vs density with and without sparsification.
-fn e6_sparsification(cfg: &Config) {
-    println!("\n== E6: density sweep (fixed n, growing m) ==");
+/// E6: intra-batch update parallelism — a component-partitioned engine
+/// applying its conflict-free update groups as concurrent pool jobs
+/// (`grouped`) vs the same engine forced to arrival-order serial apply
+/// (`serial`), over block-mixed streams whose blocks align with the
+/// partition homes. Identical outcomes and forests (asserted every rep —
+/// the benchmark doubles as a large-n differential test of the grouped
+/// apply), so the ratio is pure intra-batch parallelism leverage. Emits
+/// `BENCH_intra_batch.json`, each record stamped with **its own** pool
+/// width: `PDMSF_POOL_THREADS` is read once per process, so the committed
+/// artifact merges one run at width 4 with one at width 1 (where grouped
+/// falls back to inline apply and must not regress).
+///
+/// The ROADMAP acceptance bar: grouped ≥ 1.2× serial (median ops/sec) at
+/// pool width 4 on the largest cell, and no regression at width 1.
+fn e6_intra_batch(quick: bool) {
+    println!("\n== E6: intra-batch grouped apply (writes BENCH_intra_batch.json) ==");
+    println!("paths: grouped (conflict coloring + concurrent group jobs on the pool)");
+    println!("vs serial (same partitioned engine, arrival-order apply); identical");
+    println!("outcomes, so the ratio is pure intra-batch parallelism leverage");
+    let partitions = 8usize;
+    let (sizes, batch_sizes, total_ops, reps): (&[usize], &[usize], usize, usize) = if quick {
+        (&[1 << 12], &[256], 2_048, 1)
+    } else {
+        (&[1 << 12, 1 << 14, 1 << 16], &[256, 1_024], 8_192, 3)
+    };
+    let threads = pool::parallelism();
+    let mut records: Vec<IntraBatchRecord> = Vec::new();
+    println!(
+        "{:>8} {:>7} {:>8} {:>9} {:>16} {:>16} {:>12}",
+        "n", "batch", "threads", "groups", "grouped (op/s)", "serial (op/s)", "grouped/ser"
+    );
+    for &n in sizes {
+        for &batch_size in batch_sizes {
+            let batches = (total_ops / batch_size).max(1);
+            // Blocks = partitions, so each block is its own update group
+            // (modulo the ceil/floor boundary between the generator's
+            // blocks and the structure's homes — those show as conflicts).
+            // The base graph must be empty: a random-sparse base is one
+            // giant cross-block component whose load would migrate nearly
+            // every vertex into a single partition before the timed region
+            // starts — the stream's own block-local links build the state.
+            let stream = clustered_mix_batch_stream(n, 0, batches, batch_size, partitions, 83);
+            let mut rates: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+            let mut groups_dispatched = 0u64;
+            for _ in 0..reps {
+                let mut run = |path: &str, engine: &Engine, t: Duration, ops: usize| -> f64 {
+                    let stats = engine.stats();
+                    records.push(IntraBatchRecord {
+                        path: path.to_string(),
+                        n,
+                        partitions,
+                        threads,
+                        batch_size,
+                        batches,
+                        ops,
+                        update_groups: stats.update_groups,
+                        group_conflicts: stats.group_conflicts,
+                        elapsed_ns: t.as_nanos(),
+                    });
+                    records.last().unwrap().ops_per_sec()
+                };
+                let mut grouped = Engine::new_partitioned(n, partitions);
+                let (t_g, ops_g) = drive_engine_batched(&mut grouped, &stream);
+                rates[0].push(run("grouped", &grouped, t_g, ops_g));
+                groups_dispatched = grouped.stats().update_groups;
+
+                let mut serial = Engine::new_partitioned(n, partitions);
+                serial.set_serial_apply(true);
+                let (t_s, ops_s) = drive_engine_batched(&mut serial, &stream);
+                rates[1].push(run("serial", &serial, t_s, ops_s));
+
+                // The two paths must agree — this benchmark doubles as a
+                // large-n differential test of the grouped apply.
+                assert_eq!(grouped.forest_weight(), serial.forest_weight());
+                assert_eq!(grouped.forest_edges(), serial.forest_edges());
+                grouped.validate_structure();
+            }
+            let m_grouped = median(&mut rates[0]);
+            let m_serial = median(&mut rates[1]);
+            println!(
+                "{:>8} {:>7} {:>8} {:>9} {:>16.0} {:>16.0} {:>11.2}x",
+                n,
+                batch_size,
+                threads,
+                groups_dispatched,
+                m_grouped,
+                m_serial,
+                if m_serial > 0.0 {
+                    m_grouped / m_serial
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+    let meta = RunMeta::collect();
+    let json = intra_batch_records_to_json(&meta, &records);
+    let path = "BENCH_intra_batch.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "wrote {path} ({} records, git {}, {} pool thread(s))",
+        records.len(),
+        meta.git_sha,
+        threads
+    );
+}
+
+/// E13: update time vs density with and without sparsification — numbered
+/// E6 before the intra-batch parallelism benchmark took that slot.
+fn e13_sparsification(cfg: &Config) {
+    println!("\n== E13: density sweep (fixed n, growing m) ==");
     let n = cfg.sizes[0].max(256);
     println!(
         "{:>8} {:>8} {:>18} {:>18} {:>14}",

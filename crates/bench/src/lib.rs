@@ -113,6 +113,32 @@ pub fn clustered_batch_stream(
     })
 }
 
+/// Block-mixed batched stream: every operation stays inside one of
+/// `clusters` vertex blocks but each op picks its block independently, so a
+/// single batch spreads across many blocks — the E6 grouped-apply workload
+/// (blocks aligned with the partitioned structure's homes become
+/// independent update groups). Update-heavy (15% queries) so the apply
+/// phase dominates the timed region.
+pub fn clustered_mix_batch_stream(
+    n: usize,
+    m: usize,
+    batches: usize,
+    batch_size: usize,
+    clusters: usize,
+    seed: u64,
+) -> BatchStream {
+    BatchStream::generate(&BatchStreamSpec {
+        base: GraphSpec::RandomSparse { n, m, seed },
+        batches,
+        batch_size,
+        kind: BatchKind::ClusteredMix {
+            clusters,
+            query_permille: 150,
+        },
+        seed: seed ^ 0xC316,
+    })
+}
+
 /// Multi-tenant tenant-tagged stream with Zipf-skewed tenant popularity and
 /// bursty per-tenant traffic (flap pairs, duplicate queries) — the E2
 /// serving workload. `zipf_permille = 0` gives uniform popularity.
@@ -825,6 +851,86 @@ pub fn persist_records_to_json(meta: &RunMeta, records: &[PersistRecord]) -> Str
     out
 }
 
+// ---------------------------------------------------------------------
+// Intra-batch grouped-apply records (BENCH_intra_batch.json)
+// ---------------------------------------------------------------------
+
+/// One measured (path, n, batch size) cell of the E6 intra-batch
+/// parallelism benchmark: a component-partitioned engine applying its
+/// conflict-free update groups concurrently (`"grouped"`) vs the same
+/// engine forced to arrival-order serial apply (`"serial"`). Each record
+/// carries its **own** pool width — `PDMSF_POOL_THREADS` is read once per
+/// process, so the committed artifact merges records from one run per
+/// width and `threads` is per-record, not run-level.
+#[derive(Clone, Debug)]
+pub struct IntraBatchRecord {
+    /// Apply path (`"grouped"` / `"serial"`).
+    pub path: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Partition count of the component-partitioned structure.
+    pub partitions: usize,
+    /// Pool width this record ran under (workers + caller).
+    pub threads: usize,
+    /// Operations per batch.
+    pub batch_size: usize,
+    /// Number of timed batches.
+    pub batches: usize,
+    /// Total timed operations (updates + queries).
+    pub ops: usize,
+    /// Update groups the grouped path dispatched (0 on the serial path).
+    pub update_groups: u64,
+    /// Surviving updates that shared a group (0 on the serial path).
+    pub group_conflicts: u64,
+    /// Wall-clock nanoseconds spent inside the timed batches.
+    pub elapsed_ns: u128,
+}
+
+impl IntraBatchRecord {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+}
+
+/// Serialize intra-batch grouped-apply records as JSON (hand-rolled for
+/// the same reason as [`bench_records_to_json`]; `threads` is stamped per
+/// record, see [`IntraBatchRecord::threads`]).
+pub fn intra_batch_records_to_json(meta: &RunMeta, records: &[IntraBatchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"intra_batch\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.par_cutoff
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"n\": {}, \"partitions\": {}, \"threads\": {}, \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"update_groups\": {}, \"group_conflicts\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
+            r.path,
+            r.n,
+            r.partitions,
+            r.threads,
+            r.batch_size,
+            r.batches,
+            r.ops,
+            r.update_groups,
+            r.group_conflicts,
+            r.elapsed_ns,
+            r.ops_per_sec(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1046,6 +1152,49 @@ mod tests {
         assert_eq!(ops_a, stream.total_ops());
         assert_eq!(ops_a, ops_b);
         assert_eq!(sharded.total_forest_weight(), flat.engine().forest_weight());
+    }
+
+    #[test]
+    fn intra_batch_json_is_well_formed() {
+        let records = vec![
+            IntraBatchRecord {
+                path: "grouped".into(),
+                n: 4096,
+                partitions: 8,
+                threads: 4,
+                batch_size: 256,
+                batches: 16,
+                ops: 4096,
+                update_groups: 96,
+                group_conflicts: 12,
+                elapsed_ns: 1_000_000,
+            },
+            IntraBatchRecord {
+                path: "serial".into(),
+                n: 4096,
+                partitions: 8,
+                threads: 1,
+                batch_size: 256,
+                batches: 16,
+                ops: 4096,
+                update_groups: 0,
+                group_conflicts: 0,
+                elapsed_ns: 2_000_000,
+            },
+        ];
+        let meta = RunMeta {
+            git_sha: "deadbeef".into(),
+            threads: 4,
+            par_cutoff: 512,
+        };
+        let json = intra_batch_records_to_json(&meta, &records);
+        assert!(json.contains("\"benchmark\": \"intra_batch\""));
+        assert!(json.contains("\"path\": \"grouped\""));
+        assert!(json.contains("\"update_groups\": 96"));
+        // Threads is per-record (merged multi-width artifact), not run-level.
+        assert!(json.contains("\"threads\": 1") && json.contains("\"threads\": 4"));
+        assert_eq!(records[0].ops_per_sec(), 4_096_000_000.0 / 1_000.0);
+        assert_eq!(json.matches("},\n").count(), 2);
     }
 
     #[test]

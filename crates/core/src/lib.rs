@@ -59,6 +59,7 @@
 
 pub mod forest;
 pub mod par;
+pub mod partition;
 pub mod seq;
 pub mod snapshot;
 pub mod sparsify;
@@ -68,6 +69,7 @@ pub use forest::{
     RowBankImage,
 };
 pub use par::ParDynamicMsf;
+pub use partition::{ComponentPartitionedMsf, GroupUpdate, PartitionStats, UpdateGroup};
 pub use seq::{GenericSeqDynamicMsf, MapSeqDynamicMsf, SeqDynamicMsf};
 pub use snapshot::MsfImage;
 pub use sparsify::SparsifiedMsf;

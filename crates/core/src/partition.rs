@@ -1,0 +1,712 @@
+//! Component-partitioned dynamic MSF: the interior-mutability seam that
+//! lets **disjoint groups of batch updates apply concurrently**.
+//!
+//! [`ComponentPartitionedMsf`] splits the vertex space across `P`
+//! independent [`ParDynamicMsf`] partitions plus a `home: Vec<u32>` map
+//! (vertex → partition). The structural invariant is *component
+//! containment*: every live edge has both endpoints in the same home
+//! partition, so a connected component — tree edges, non-tree edges, MWR
+//! candidate sets, Euler tours, LSDS rows — lives entirely inside one
+//! partition and never sees another partition's state.
+//!
+//! That containment is what makes intra-batch update parallelism safe: two
+//! updates whose endpoint partitions are disjoint touch disjoint
+//! `ParDynamicMsf` instances and disjoint `home` entries, so they can run
+//! on different pool workers with no synchronization at all. The batch
+//! engine colors a planned batch's surviving updates into groups whose
+//! partition sets are disjoint ([`UpdateGroup`]) and calls
+//! [`ComponentPartitionedMsf::apply_groups`]; each group is applied
+//! serially in arrival order by one pool job, through a raw-pointer
+//! [`PartView`] whose every partition access is checked against the
+//! group's owned set in debug builds.
+//!
+//! ## Cross-partition links: migration
+//!
+//! A link whose endpoints live in different partitions first **migrates**
+//! the smaller of the two components into the other endpoint's partition
+//! (the component is re-homed, its edges deleted from the source partition
+//! — non-tree first, so tree-edge deletions never search for replacements
+//! — and re-inserted into the destination in ascending `WKey` order, which
+//! rebuilds exactly the same unique MSF with zero swap churn). "Smaller"
+//! is decided by a **lockstep bidirectional BFS** from the two endpoints —
+//! the first side to exhaust its component is moved (ties move the `u`
+//! side) — so the migration costs `O(min(|C_u|, |C_v|))` discovery plus
+//! that component's worth of structural updates, and the choice is a pure
+//! function of the structure state (deterministic).
+//!
+//! Because a group's migrations only ever move components between
+//! partitions *inside the group's own partition class* (the destination is
+//! the other endpoint's home, which the conflict coloring already placed
+//! in the same class), the per-partition operation sequences — and hence
+//! the partitions' internal bytes — are identical whether groups run
+//! concurrently, serially in group order, or fully serially in arrival
+//! order. That closure argument is what the engine's lockstep and
+//! WAL-byte-identity tests pin down.
+
+use crate::par::{default_parallel_k, ParDynamicMsf};
+use pdmsf_graph::{DynamicMsf, Edge, EdgeId, EdgeStore, MsfDelta, VertexId, WKey};
+use pdmsf_pram::kernels::SendPtr;
+use pdmsf_pram::{pool, ExecMode};
+use std::collections::HashSet;
+
+/// One structure-surviving update of a planned batch, in the resolved form
+/// the partitioned structure consumes: cuts carry one endpoint of the
+/// doomed edge so its partition is `home[endpoint]` — no global edge →
+/// partition map is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupUpdate {
+    /// Insert this edge.
+    Link(Edge),
+    /// Delete edge `id`; `endpoint` is one of its current endpoints.
+    Cut {
+        /// The edge to delete.
+        id: EdgeId,
+        /// One endpoint of that edge (locates its partition via `home`).
+        endpoint: VertexId,
+    },
+}
+
+/// A conflict-free group of updates: applied serially in arrival order by
+/// one pool job. Groups of one batch must have **disjoint** `parts` sets
+/// that are closed under the union of every member update's endpoint
+/// partitions (the engine's conflict coloring guarantees this; debug
+/// builds re-check every access).
+#[derive(Clone, Debug)]
+pub struct UpdateGroup {
+    /// The group's updates, in batch arrival order.
+    pub updates: Vec<GroupUpdate>,
+    /// The partitions this group may touch (its color class).
+    pub parts: Vec<u32>,
+}
+
+/// Cumulative migration counters of a [`ComponentPartitionedMsf`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Cross-partition links that triggered a component migration.
+    pub migrations: u64,
+    /// Vertices re-homed by those migrations.
+    pub migrated_vertices: u64,
+    /// Edges deleted + re-inserted by those migrations.
+    pub migrated_edges: u64,
+}
+
+impl PartitionStats {
+    fn add(&mut self, other: &PartitionStats) {
+        self.migrations += other.migrations;
+        self.migrated_vertices += other.migrated_vertices;
+        self.migrated_edges += other.migrated_edges;
+    }
+}
+
+/// Dynamic MSF over `P` component-containing partitions; see the module
+/// docs. Observable behaviour ([`DynamicMsf`]) is identical to a single
+/// [`ParDynamicMsf`] over the same update sequence.
+pub struct ComponentPartitionedMsf {
+    parts: Vec<ParDynamicMsf>,
+    /// `home[v]` = the partition whose component structure owns vertex `v`.
+    /// A vertex exists in *every* partition but is isolated (degree 0) in
+    /// all but its home.
+    home: Vec<u32>,
+    stats: PartitionStats,
+}
+
+impl ComponentPartitionedMsf {
+    /// A structure over `n` isolated vertices split into `num_parts`
+    /// partitions, with thread-backed kernels inside each partition.
+    /// Initial homes are contiguous vertex blocks (`v * P / n`), which
+    /// aligns with the block-clustered workload generators.
+    pub fn new_threaded(n: usize, num_parts: usize) -> Self {
+        Self::with_execution(n, num_parts, default_parallel_k(n), ExecMode::Threads)
+    }
+
+    /// Full control over partition count, chunk parameter and kernel
+    /// execution mode (tests and ablations).
+    pub fn with_execution(n: usize, num_parts: usize, k: usize, exec: ExecMode) -> Self {
+        let p = num_parts.clamp(1, n.max(1));
+        let parts = (0..p)
+            .map(|_| ParDynamicMsf::with_execution(n, k, exec))
+            .collect();
+        let home = (0..n)
+            .map(|v| ((v * p / n.max(1)) as u32).min(p as u32 - 1))
+            .collect();
+        ComponentPartitionedMsf {
+            parts,
+            home,
+            stats: PartitionStats::default(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition currently owning vertex `v`'s component.
+    pub fn home_of(&self, v: VertexId) -> u32 {
+        self.home[v.index()]
+    }
+
+    /// Cumulative migration counters.
+    pub fn partition_stats(&self) -> PartitionStats {
+        self.stats
+    }
+
+    /// Delete edge `id` given one of its endpoints (locates the partition
+    /// with one `home` load instead of scanning all partitions).
+    pub fn delete_hinted(&mut self, id: EdgeId, endpoint: VertexId) -> MsfDelta {
+        let p = self.home[endpoint.index()];
+        debug_assert!(
+            self.parts[p as usize].contains_edge(id),
+            "delete_hinted: edge {} absent from partition {} (endpoint {})",
+            id.0,
+            p,
+            endpoint.index()
+        );
+        self.parts[p as usize].delete(id)
+    }
+
+    /// Apply the surviving updates of one batch, partitioned into
+    /// conflict-free groups by the engine. Groups run as concurrent pool
+    /// jobs when there is more than one group and the pool is wider than
+    /// one; otherwise the same code runs inline, in group order. Either
+    /// way the result is bit-for-bit identical to applying the updates
+    /// serially in arrival order (see the module docs).
+    pub fn apply_groups(&mut self, groups: &[UpdateGroup]) {
+        if groups.is_empty() {
+            return;
+        }
+        if groups.len() <= 1 || pool::parallelism() <= 1 {
+            let view = self.full_view();
+            let mut st = PartitionStats::default();
+            for g in groups {
+                apply_group(&view, &mut st, &g.updates);
+            }
+            self.stats.add(&st);
+            return;
+        }
+        let num_parts = self.parts.len();
+        let num_vertices = self.home.len();
+        let owned: Vec<Vec<bool>> = groups
+            .iter()
+            .map(|g| {
+                let mut m = vec![false; num_parts];
+                for &p in &g.parts {
+                    m[p as usize] = true;
+                }
+                m
+            })
+            .collect();
+        let mut group_stats = vec![PartitionStats::default(); groups.len()];
+        let parts_ptr = SendPtr(self.parts.as_mut_ptr());
+        let home_ptr = SendPtr(self.home.as_mut_ptr());
+        let stats_ptr = SendPtr(group_stats.as_mut_ptr());
+        let owned_ref = &owned;
+        // Each group job touches only the partitions (and `home` entries of
+        // vertices homed in partitions) of its own disjoint color class, and
+        // writes its migration counters to its own output slot — disjoint
+        // access all the way down, checked per access in debug builds.
+        pool::run_shard_ranges(groups.len(), |range| {
+            for gi in range {
+                let view = PartView {
+                    parts: parts_ptr.get(),
+                    num_parts,
+                    home: home_ptr.get(),
+                    num_vertices,
+                    owned: Some(&owned_ref[gi]),
+                };
+                let st = unsafe { &mut *stats_ptr.get().add(gi) };
+                apply_group(&view, st, &groups[gi].updates);
+            }
+        });
+        for st in &group_stats {
+            self.stats.add(st);
+        }
+    }
+
+    /// Apply updates serially in arrival order, with no grouping at all —
+    /// the baseline arm of the E6 experiment and the WAL-identity tests.
+    pub fn apply_serial(&mut self, updates: &[GroupUpdate]) {
+        let view = self.full_view();
+        let mut st = PartitionStats::default();
+        apply_group(&view, &mut st, updates);
+        self.stats.add(&st);
+    }
+
+    /// Validate every partition's internal invariants plus the component
+    /// containment invariant: every live edge joins two vertices homed in
+    /// the partition holding it, and a vertex is isolated in every
+    /// partition except its home. Test-only helper, `O(P·n + m)`.
+    pub fn validate(&self) {
+        for part in &self.parts {
+            part.validate();
+        }
+        for v in 0..self.home.len() {
+            let h = self.home[v];
+            assert!((h as usize) < self.parts.len(), "home out of range");
+            for (pi, part) in self.parts.iter().enumerate() {
+                let adj = &part.forest().adj[v];
+                if pi as u32 == h {
+                    for &handle in adj {
+                        let e = part.forest().edges.get(handle).edge;
+                        let o = e.other(VertexId(v as u32));
+                        assert_eq!(
+                            self.home[o.index()],
+                            h,
+                            "edge {} crosses partitions ({} vs {})",
+                            e.id.0,
+                            h,
+                            self.home[o.index()]
+                        );
+                    }
+                } else {
+                    assert!(
+                        adj.is_empty(),
+                        "vertex {v} has edges in partition {pi} but is homed in {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn full_view(&mut self) -> PartView<'static> {
+        PartView {
+            parts: self.parts.as_mut_ptr(),
+            num_parts: self.parts.len(),
+            home: self.home.as_mut_ptr(),
+            num_vertices: self.home.len(),
+            owned: None,
+        }
+    }
+}
+
+impl DynamicMsf for ComponentPartitionedMsf {
+    fn num_vertices(&self) -> usize {
+        self.home.len()
+    }
+
+    fn add_vertex(&mut self) -> VertexId {
+        // The vertex must exist in every partition (any of them may host
+        // its component later); it starts isolated, homed in the last
+        // partition.
+        let mut id = VertexId(0);
+        for part in &mut self.parts {
+            id = part.add_vertex();
+        }
+        self.home.push(self.parts.len() as u32 - 1);
+        id
+    }
+
+    fn insert(&mut self, e: Edge) -> MsfDelta {
+        let view = self.full_view();
+        let mut st = PartitionStats::default();
+        let delta = view_link(&view, &mut st, e);
+        self.stats.add(&st);
+        delta
+    }
+
+    fn delete(&mut self, id: EdgeId) -> MsfDelta {
+        // Unhinted path (trait callers only — the engine always hints):
+        // scan for the owning partition.
+        for p in 0..self.parts.len() {
+            if self.parts[p].contains_edge(id) {
+                return self.parts[p].delete(id);
+            }
+        }
+        panic!("delete of unknown edge {}", id.0);
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        self.parts.iter().any(|p| p.contains_edge(id))
+    }
+
+    fn is_forest_edge(&self, id: EdgeId) -> bool {
+        self.parts.iter().any(|p| p.is_forest_edge(id))
+    }
+
+    fn forest_edges(&self) -> Vec<EdgeId> {
+        let mut all: Vec<EdgeId> = self.parts.iter().flat_map(|p| p.forest_edges()).collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn forest_weight(&self) -> i128 {
+        self.parts.iter().map(|p| p.forest_weight()).sum()
+    }
+
+    fn num_forest_edges(&self) -> usize {
+        self.parts.iter().map(|p| p.num_forest_edges()).sum()
+    }
+
+    fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        // Components never span partitions, so different homes means
+        // disconnected without touching any structure.
+        let (pu, pv) = (self.home[u.index()], self.home[v.index()]);
+        pu == pv && self.parts[pu as usize].connected(u, v)
+    }
+
+    fn name(&self) -> &'static str {
+        "kpr-component-partitioned"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartView: the disjoint-access seam
+// ---------------------------------------------------------------------------
+
+/// Raw-pointer view over the partition array and the `home` map, scoped to
+/// one group's owned partition set (`owned: None` = the serial path, which
+/// owns everything). Every partition access and every `home` write goes
+/// through an accessor that debug-asserts ownership, so a conflict-coloring
+/// bug surfaces as an assertion in debug builds instead of a data race.
+struct PartView<'a> {
+    parts: *mut ParDynamicMsf,
+    num_parts: usize,
+    home: *mut u32,
+    num_vertices: usize,
+    owned: Option<&'a [bool]>,
+}
+
+impl PartView<'_> {
+    #[inline]
+    fn check_owned(&self, p: u32) {
+        debug_assert!((p as usize) < self.num_parts, "partition out of range");
+        if let Some(owned) = self.owned {
+            debug_assert!(
+                owned[p as usize],
+                "group touched partition {p} outside its color class"
+            );
+        }
+    }
+
+    /// Mutable access to partition `p`.
+    ///
+    /// Safety: callers of the same batch hold disjoint `owned` sets, so no
+    /// two live `&mut` references alias (the engine's conflict coloring is
+    /// the proof obligation; `check_owned` is the debug-build witness).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    fn part(&self, p: u32) -> &mut ParDynamicMsf {
+        self.check_owned(p);
+        unsafe { &mut *self.parts.add(p as usize) }
+    }
+
+    #[inline]
+    fn part_ref(&self, p: u32) -> &ParDynamicMsf {
+        self.check_owned(p);
+        unsafe { &*self.parts.add(p as usize) }
+    }
+
+    #[inline]
+    fn home(&self, v: VertexId) -> u32 {
+        debug_assert!(v.index() < self.num_vertices);
+        unsafe { *self.home.add(v.index()) }
+    }
+
+    #[inline]
+    fn set_home(&self, v: VertexId, p: u32) {
+        self.check_owned(self.home(v));
+        self.check_owned(p);
+        unsafe { *self.home.add(v.index()) = p }
+    }
+}
+
+fn apply_group(view: &PartView, st: &mut PartitionStats, updates: &[GroupUpdate]) {
+    for update in updates {
+        match *update {
+            GroupUpdate::Link(e) => {
+                view_link(view, st, e);
+            }
+            GroupUpdate::Cut { id, endpoint } => {
+                view.part(view.home(endpoint)).delete(id);
+            }
+        }
+    }
+}
+
+fn view_link(view: &PartView, st: &mut PartitionStats, e: Edge) -> MsfDelta {
+    let (pu, pv) = (view.home(e.u), view.home(e.v));
+    let p = if pu == pv {
+        pu
+    } else {
+        unify(view, st, e.u, e.v)
+    };
+    view.part(p).insert(e)
+}
+
+/// Bring the components of `u` and `v` into one partition by migrating the
+/// smaller of the two, and return that common partition. Pre: their homes
+/// differ.
+fn unify(view: &PartView, st: &mut PartitionStats, u: VertexId, v: VertexId) -> u32 {
+    let (pu, pv) = (view.home(u), view.home(v));
+    debug_assert_ne!(pu, pv);
+    let mut a = Bfs::new(u);
+    let mut b = Bfs::new(v);
+    // Lockstep expansion, one vertex per side per round, `u` side first:
+    // the first side to exhaust its component is the smaller (ties move
+    // the `u` side) — found in O(min(|C_u|, |C_v|)) adjacency work.
+    loop {
+        if a.step(view.part_ref(pu)) {
+            migrate(view, st, &a, pu, pv);
+            return pv;
+        }
+        if b.step(view.part_ref(pv)) {
+            migrate(view, st, &b, pv, pu);
+            return pu;
+        }
+    }
+}
+
+/// Incremental BFS over one partition's live-edge adjacency (a component's
+/// tree *and* non-tree edges — non-tree edges never leave a component, so
+/// reachability over all live edges equals forest reachability).
+struct Bfs {
+    /// Discovered vertices, in discovery order; `head` indexes the next
+    /// one to expand.
+    verts: Vec<VertexId>,
+    head: usize,
+    seen_verts: HashSet<u32>,
+    /// Discovered edge records, deduplicated.
+    edges: Vec<Edge>,
+    seen_edges: HashSet<u32>,
+}
+
+impl Bfs {
+    fn new(start: VertexId) -> Bfs {
+        let mut seen_verts = HashSet::new();
+        seen_verts.insert(start.0);
+        Bfs {
+            verts: vec![start],
+            head: 0,
+            seen_verts,
+            edges: Vec::new(),
+            seen_edges: HashSet::new(),
+        }
+    }
+
+    /// Expand one vertex; returns `true` when the component is fully
+    /// enumerated (no vertex left to expand).
+    fn step(&mut self, part: &ParDynamicMsf) -> bool {
+        if self.head == self.verts.len() {
+            return true;
+        }
+        let w = self.verts[self.head];
+        self.head += 1;
+        let forest = part.forest();
+        for &handle in &forest.adj[w.index()] {
+            let e = forest.edges.get(handle).edge;
+            if self.seen_edges.insert(e.id.0) {
+                self.edges.push(e);
+            }
+            let o = e.other(w);
+            if self.seen_verts.insert(o.0) {
+                self.verts.push(o);
+            }
+        }
+        false
+    }
+}
+
+/// Move the fully-enumerated component `bfs` from partition `src` to
+/// partition `dst`: delete its edges from `src` (non-tree first, so no
+/// tree-edge deletion ever runs a replacement search), re-home its
+/// vertices, and re-insert the edges into `dst` in ascending `WKey` order
+/// (Kruskal order — rebuilds the identical unique MSF with no swaps).
+fn migrate(view: &PartView, st: &mut PartitionStats, bfs: &Bfs, src: u32, dst: u32) {
+    debug_assert_ne!(src, dst);
+    let src_part = view.part(src);
+    let mut non_tree: Vec<Edge> = Vec::new();
+    let mut tree: Vec<Edge> = Vec::new();
+    for &e in &bfs.edges {
+        if src_part.forest().is_tree_edge(e.id) {
+            tree.push(e);
+        } else {
+            non_tree.push(e);
+        }
+    }
+    non_tree.sort_unstable_by_key(|e| e.id);
+    tree.sort_unstable_by_key(|e| e.id);
+    for e in &non_tree {
+        src_part.delete(e.id);
+    }
+    for e in &tree {
+        src_part.delete(e.id);
+    }
+    for &w in &bfs.verts {
+        view.set_home(w, dst);
+    }
+    let mut all = non_tree;
+    all.append(&mut tree);
+    all.sort_unstable_by_key(|e| WKey::new(e.weight, e.id));
+    let dst_part = view.part(dst);
+    for &e in &all {
+        dst_part.insert(e);
+    }
+    st.migrations += 1;
+    st.migrated_vertices += bfs.verts.len() as u64;
+    st.migrated_edges += all.len() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmsf_graph::Weight;
+
+    fn edge(id: u32, u: u32, v: u32, w: i64) -> Edge {
+        Edge {
+            id: EdgeId(id),
+            u: VertexId(u),
+            v: VertexId(v),
+            weight: Weight::new(w),
+        }
+    }
+
+    /// Deterministic xorshift for the differential tests.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    fn cross_partition_links_migrate_and_match_reference() {
+        let n = 24;
+        let mut part = ComponentPartitionedMsf::with_execution(n, 4, 5, ExecMode::Simulated);
+        let mut reference = ParDynamicMsf::with_chunk_parameter(n, 5);
+        let mut rng = Rng(0x1234_5678);
+        let mut live: Vec<Edge> = Vec::new();
+        let mut next_id = 0u32;
+        for _ in 0..300 {
+            if live.is_empty() || rng.below(3) < 2 {
+                let u = rng.below(n as u64) as u32;
+                let mut v = rng.below(n as u64) as u32;
+                if v == u {
+                    v = (v + 1) % n as u32;
+                }
+                let e = edge(next_id, u, v, rng.below(100) as i64);
+                next_id += 1;
+                live.push(e);
+                assert_eq!(part.insert(e), reference.insert(e));
+            } else {
+                let k = rng.below(live.len() as u64) as usize;
+                let e = live.swap_remove(k);
+                assert_eq!(part.delete_hinted(e.id, e.u), reference.delete(e.id));
+            }
+        }
+        assert!(part.partition_stats().migrations > 0);
+        assert_eq!(part.forest_edges(), reference.forest_edges());
+        assert_eq!(part.forest_weight(), reference.forest_weight());
+        assert_eq!(part.num_forest_edges(), reference.num_forest_edges());
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                assert_eq!(
+                    part.connected(VertexId(u), VertexId(v)),
+                    reference.connected(VertexId(u), VertexId(v)),
+                    "connectivity of ({u}, {v})"
+                );
+            }
+        }
+        part.validate();
+    }
+
+    #[test]
+    fn grouped_apply_matches_serial_apply() {
+        // Two independent vertex blocks (partitions 0 and 1 of a 2-way
+        // split over 16 vertices) plus one block that merges partitions 2
+        // and 3 via a cross-partition link.
+        let n = 16;
+        let build = || ComponentPartitionedMsf::with_execution(n, 4, 4, ExecMode::Simulated);
+        let g0 = vec![
+            GroupUpdate::Link(edge(0, 0, 1, 5)),
+            GroupUpdate::Link(edge(1, 1, 2, 3)),
+            GroupUpdate::Cut {
+                id: EdgeId(0),
+                endpoint: VertexId(0),
+            },
+        ];
+        let g1 = vec![
+            GroupUpdate::Link(edge(2, 4, 5, 9)),
+            GroupUpdate::Link(edge(3, 5, 6, 1)),
+        ];
+        let g2 = vec![
+            GroupUpdate::Link(edge(4, 8, 9, 2)),
+            // Crosses partitions 2 (vertices 8..12) and 3 (12..16).
+            GroupUpdate::Link(edge(5, 9, 13, 4)),
+            GroupUpdate::Link(edge(6, 13, 14, 6)),
+        ];
+        let groups = vec![
+            UpdateGroup {
+                updates: g0.clone(),
+                parts: vec![0],
+            },
+            UpdateGroup {
+                updates: g1.clone(),
+                parts: vec![1],
+            },
+            UpdateGroup {
+                updates: g2.clone(),
+                parts: vec![2, 3],
+            },
+        ];
+        let mut grouped = build();
+        grouped.apply_groups(&groups);
+        let mut serial = build();
+        // Interleave the groups the way an arrival-order batch would.
+        let arrival: Vec<GroupUpdate> =
+            vec![g0[0], g1[0], g2[0], g0[1], g1[1], g2[1], g0[2], g2[2]];
+        serial.apply_serial(&arrival);
+        assert_eq!(grouped.forest_edges(), serial.forest_edges());
+        assert_eq!(grouped.forest_weight(), serial.forest_weight());
+        for v in 0..n {
+            assert_eq!(
+                grouped.home_of(VertexId(v as u32)),
+                serial.home_of(VertexId(v as u32)),
+                "home of {v}"
+            );
+        }
+        assert_eq!(grouped.partition_stats(), serial.partition_stats());
+        grouped.validate();
+        serial.validate();
+    }
+
+    #[test]
+    fn add_vertex_lands_in_every_partition() {
+        let mut part = ComponentPartitionedMsf::with_execution(4, 2, 2, ExecMode::Simulated);
+        let v = part.add_vertex();
+        assert_eq!(v, VertexId(4));
+        assert_eq!(part.num_vertices(), 5);
+        // The new vertex can immediately participate in links that force a
+        // migration into its home partition.
+        part.insert(edge(0, 0, 4, 7));
+        part.validate();
+        assert!(part.connected(VertexId(0), VertexId(4)));
+    }
+
+    #[test]
+    fn migration_moves_the_smaller_component() {
+        let n = 12;
+        let mut part = ComponentPartitionedMsf::with_execution(n, 2, 4, ExecMode::Simulated);
+        // Big component in partition 0 (vertices 0..6), small one in
+        // partition 1 (vertices 6..12).
+        for (i, (u, v)) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)].iter().enumerate() {
+            part.insert(edge(i as u32, *u, *v, 1));
+        }
+        part.insert(edge(5, 6, 7, 1));
+        // Linking the two components must move the 2-vertex side into
+        // partition 0, not the 6-vertex side into partition 1.
+        part.insert(edge(6, 0, 6, 1));
+        assert_eq!(part.home_of(VertexId(6)), 0);
+        assert_eq!(part.home_of(VertexId(7)), 0);
+        let st = part.partition_stats();
+        assert_eq!(st.migrations, 1);
+        assert_eq!(st.migrated_vertices, 2);
+        assert_eq!(st.migrated_edges, 1);
+        part.validate();
+    }
+}

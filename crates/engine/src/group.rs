@@ -1,0 +1,160 @@
+//! Conflict coloring of a planned batch's surviving updates.
+//!
+//! The partitioned apply path (see [`crate::Engine::new_partitioned`])
+//! splits a batch's structure-surviving updates into [`UpdateGroup`]s whose
+//! **partition classes are disjoint**, so the groups can mutate the
+//! component-partitioned structure concurrently with no synchronization.
+//!
+//! The coloring is a union-find over *partition ids* at batch start: a
+//! link unions its two endpoints' home partitions, a cut touches its
+//! edge's partition. Updates whose partitions land in the same class form
+//! one group, in batch arrival order (the first update of a class fixes
+//! the group's position, so group order is deterministic too). This is
+//! coarser than component-level coloring — two updates on different
+//! components of the same partition share a group — but it is exactly the
+//! granularity at which the structure can be mutated independently, and it
+//! is *closed under migration*: a group's cross-partition links only ever
+//! move components between partitions of that group's own class, so the
+//! classes stay disjoint for the whole batch (the safety argument of
+//! `pdmsf_core::partition`).
+
+use pdmsf_core::{ComponentPartitionedMsf, GroupUpdate, UpdateGroup};
+use pdmsf_graph::{DynGraph, Edge, UnionFind};
+
+use crate::plan::PlannedUpdate;
+
+/// Resolve the structure-surviving updates of a plan into the form the
+/// partitioned structure consumes: cancelled pairs drop out, links carry
+/// their full edge record, cuts carry one current endpoint of the doomed
+/// edge (read from the mirror **before** the mirror pass deletes it — a
+/// surviving cut always targets a pre-batch edge, because the planner
+/// cancels every cut of an in-batch link).
+pub(crate) fn resolve_surviving(graph: &DynGraph, updates: &[PlannedUpdate]) -> Vec<GroupUpdate> {
+    let mut resolved = Vec::new();
+    for update in updates {
+        match *update {
+            PlannedUpdate::Link {
+                id,
+                u,
+                v,
+                weight,
+                cancelled,
+            } => {
+                if !cancelled {
+                    resolved.push(GroupUpdate::Link(Edge { id, u, v, weight }));
+                }
+            }
+            PlannedUpdate::Cut { id, cancelled } => {
+                if !cancelled {
+                    let endpoint = graph.edge_unchecked(id).u;
+                    resolved.push(GroupUpdate::Cut { id, endpoint });
+                }
+            }
+        }
+    }
+    resolved
+}
+
+/// Color the resolved updates into conflict-free groups (see module docs).
+/// Groups appear in order of their first update's arrival; updates keep
+/// arrival order inside each group.
+pub(crate) fn color_groups(
+    structure: &ComponentPartitionedMsf,
+    resolved: &[GroupUpdate],
+) -> Vec<UpdateGroup> {
+    let num_parts = structure.num_partitions();
+    let mut uf = UnionFind::new(num_parts);
+    for update in resolved {
+        if let GroupUpdate::Link(e) = update {
+            uf.union(
+                structure.home_of(e.u) as usize,
+                structure.home_of(e.v) as usize,
+            );
+        }
+    }
+    let mut class_group: Vec<u32> = vec![u32::MAX; num_parts];
+    let mut groups: Vec<UpdateGroup> = Vec::new();
+    for update in resolved {
+        let part = match *update {
+            GroupUpdate::Link(e) => structure.home_of(e.u),
+            GroupUpdate::Cut { endpoint, .. } => structure.home_of(endpoint),
+        };
+        let class = uf.find(part as usize);
+        let gi = if class_group[class] == u32::MAX {
+            class_group[class] = groups.len() as u32;
+            groups.push(UpdateGroup {
+                updates: Vec::new(),
+                parts: Vec::new(),
+            });
+            groups.len() - 1
+        } else {
+            class_group[class] as usize
+        };
+        groups[gi].updates.push(*update);
+    }
+    // Attach each partition to the group owning its class, so the apply
+    // path's debug overlap checks know the full closure (partitions with
+    // no update of their own still belong to a class that has one when a
+    // link unioned them in).
+    for p in 0..num_parts {
+        let class = uf.find(p);
+        if class_group[class] != u32::MAX {
+            groups[class_group[class] as usize].parts.push(p as u32);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdmsf_core::ComponentPartitionedMsf;
+    use pdmsf_graph::{EdgeId, VertexId, Weight};
+    use pdmsf_pram::ExecMode;
+
+    fn link(id: u32, u: u32, v: u32) -> GroupUpdate {
+        GroupUpdate::Link(Edge {
+            id: EdgeId(id),
+            u: VertexId(u),
+            v: VertexId(v),
+            weight: Weight::new(1),
+        })
+    }
+
+    #[test]
+    fn disjoint_partitions_get_disjoint_groups() {
+        // 16 vertices, 4 block partitions of 4 vertices each.
+        let structure = ComponentPartitionedMsf::with_execution(16, 4, 4, ExecMode::Simulated);
+        let resolved = vec![
+            link(0, 0, 1),   // partition 0
+            link(1, 4, 5),   // partition 1
+            link(2, 8, 13),  // crosses partitions 2 and 3
+            link(3, 1, 2),   // partition 0 again — joins group 0
+            link(4, 14, 15), // partition 3 — joins the {2,3} group
+        ];
+        let groups = color_groups(&structure, &resolved);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].updates, vec![resolved[0], resolved[3]]);
+        assert_eq!(groups[1].updates, vec![resolved[1]]);
+        assert_eq!(groups[2].updates, vec![resolved[2], resolved[4]]);
+        assert_eq!(groups[0].parts, vec![0]);
+        assert_eq!(groups[1].parts, vec![1]);
+        assert_eq!(groups[2].parts, vec![2, 3]);
+    }
+
+    #[test]
+    fn cuts_color_by_their_edge_partition() {
+        let structure = ComponentPartitionedMsf::with_execution(8, 2, 3, ExecMode::Simulated);
+        let resolved = vec![
+            GroupUpdate::Cut {
+                id: EdgeId(0),
+                endpoint: VertexId(0), // partition 0
+            },
+            link(1, 5, 6), // partition 1
+        ];
+        let groups = color_groups(&structure, &resolved);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].parts, vec![0]);
+        assert_eq!(groups[1].parts, vec![1]);
+    }
+}

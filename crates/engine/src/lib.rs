@@ -29,6 +29,40 @@
 //!    traffic) collapse to one computed answer; duplicate deletes and other
 //!    invalid operations are rejected up front with a per-op
 //!    [`Outcome::Rejected`] instead of panicking mid-batch.
+//! 4. **Intra-batch update parallelism** (partitioned engines,
+//!    [`Engine::new_partitioned`]) — the surviving updates are colored into
+//!    conflict-free groups (a union-find over the home partitions of each
+//!    update's endpoints; see `group.rs`) and the groups apply as
+//!    concurrent pool jobs against a
+//!    [`pdmsf_core::ComponentPartitionedMsf`], serial in arrival order
+//!    *inside* each group. A batch that yields a single group, or a pool of
+//!    width 1, falls back to the inline serial loop.
+//!
+//! ## The apply path
+//!
+//! [`Engine::execute_planned`] applies a planned batch in four strict
+//! phases, and the first two are what make apply-order flexibility safe:
+//!
+//! 1. **Write-ahead log.** The [`LoggedBatch`] is serialized from the
+//!    *plan* — before any update applies — so the WAL byte stream is a
+//!    pure function of the plan and can never observe (or depend on) the
+//!    apply order chosen below.
+//! 2. **Resolve + mirror.** For partitioned engines, each surviving cut
+//!    resolves one current endpoint of its edge from the [`DynGraph`]
+//!    mirror (valid because a surviving cut always targets a pre-batch
+//!    edge — the planner cancels every cut of an in-batch link). Then the
+//!    mirror pass runs serially in arrival order: id allocation is
+//!    push-order-dependent and stays identical across all apply paths.
+//! 3. **Apply.** Single-structure engines run the serial arrival-order
+//!    loop. Partitioned engines color the resolved updates into groups and
+//!    call [`pdmsf_core::ComponentPartitionedMsf::apply_groups`]; the
+//!    per-partition operation sequences are the same as the serial loop's
+//!    (groups own disjoint partition classes, closed under migration), so
+//!    outcomes, forest state and even the structures' internal bytes are
+//!    bit-for-bit identical — pinned by the lockstep proptests and the WAL
+//!    byte-identity test in `pdmsf-persist`.
+//! 4. **Answer queries** at the post-update snapshot point, exactly as
+//!    before.
 //!
 //! ## Semantics
 //!
@@ -63,11 +97,12 @@
 //! assert_eq!(result.summary.cancelled_pairs, 1);
 //! ```
 
-use pdmsf_core::ParDynamicMsf;
-use pdmsf_graph::{DynGraph, DynamicMsf, EdgeId, VertexId, Weight};
+use pdmsf_core::{ComponentPartitionedMsf, ParDynamicMsf};
+use pdmsf_graph::{DynGraph, DynamicMsf, Edge, EdgeId, MsfDelta, VertexId, Weight};
 use pdmsf_pram::ExecMode;
 use std::io;
 
+mod group;
 mod plan;
 pub mod snapshot;
 
@@ -198,6 +233,14 @@ pub struct BatchSummary {
     /// Distinct answers computed for those queries (batched path; the
     /// one-by-one path computes every answer and reports `queries`).
     pub unique_queries: usize,
+    /// Conflict-free update groups the batch was colored into (partitioned
+    /// grouped-apply path only; 0 on single-structure engines, on the
+    /// forced-serial path and on the one-by-one path).
+    pub update_groups: usize,
+    /// Surviving updates that shared a group with an earlier update
+    /// (`applied_updates - update_groups` when grouping ran) — the
+    /// conflicts that bounded the batch's apply fan-out.
+    pub group_conflicts: usize,
 }
 
 /// The result of executing one batch: one [`Outcome`] per input op, in op
@@ -229,6 +272,11 @@ pub struct EngineStats {
     pub deduped_queries: u64,
     /// Query snapshots captured.
     pub snapshots: u64,
+    /// Conflict-free update groups formed by the partitioned grouped-apply
+    /// path (its real fan-out; see [`BatchSummary::update_groups`]).
+    pub update_groups: u64,
+    /// Surviving updates that shared a group with an earlier update.
+    pub group_conflicts: u64,
 }
 
 /// Minimum unique queries before a snapshot is ever considered.
@@ -298,16 +346,117 @@ impl PlannedBatch {
     }
 }
 
+/// The MSF structure behind an engine: one monolithic [`ParDynamicMsf`],
+/// or the component-partitioned structure that unlocks grouped concurrent
+/// apply. Observable behaviour is identical; only the apply path differs.
+enum EngineStructure {
+    Single(Box<ParDynamicMsf>),
+    Partitioned(ComponentPartitionedMsf),
+}
+
+impl EngineStructure {
+    /// Delete with a partition hint: `endpoint` must be a current endpoint
+    /// of the edge (resolved from the mirror before it was deleted there).
+    fn delete_hinted(&mut self, id: EdgeId, endpoint: VertexId) -> MsfDelta {
+        match self {
+            EngineStructure::Single(m) => m.delete(id),
+            EngineStructure::Partitioned(p) => p.delete_hinted(id, endpoint),
+        }
+    }
+}
+
+impl DynamicMsf for EngineStructure {
+    fn num_vertices(&self) -> usize {
+        match self {
+            EngineStructure::Single(m) => m.num_vertices(),
+            EngineStructure::Partitioned(p) => p.num_vertices(),
+        }
+    }
+
+    fn add_vertex(&mut self) -> VertexId {
+        match self {
+            EngineStructure::Single(m) => m.add_vertex(),
+            EngineStructure::Partitioned(p) => p.add_vertex(),
+        }
+    }
+
+    fn insert(&mut self, e: Edge) -> MsfDelta {
+        match self {
+            EngineStructure::Single(m) => m.insert(e),
+            EngineStructure::Partitioned(p) => p.insert(e),
+        }
+    }
+
+    fn delete(&mut self, id: EdgeId) -> MsfDelta {
+        match self {
+            EngineStructure::Single(m) => m.delete(id),
+            EngineStructure::Partitioned(p) => p.delete(id),
+        }
+    }
+
+    fn contains_edge(&self, id: EdgeId) -> bool {
+        match self {
+            EngineStructure::Single(m) => m.contains_edge(id),
+            EngineStructure::Partitioned(p) => p.contains_edge(id),
+        }
+    }
+
+    fn is_forest_edge(&self, id: EdgeId) -> bool {
+        match self {
+            EngineStructure::Single(m) => m.is_forest_edge(id),
+            EngineStructure::Partitioned(p) => p.is_forest_edge(id),
+        }
+    }
+
+    fn forest_edges(&self) -> Vec<EdgeId> {
+        match self {
+            EngineStructure::Single(m) => m.forest_edges(),
+            EngineStructure::Partitioned(p) => p.forest_edges(),
+        }
+    }
+
+    fn forest_weight(&self) -> i128 {
+        match self {
+            EngineStructure::Single(m) => m.forest_weight(),
+            EngineStructure::Partitioned(p) => p.forest_weight(),
+        }
+    }
+
+    fn num_forest_edges(&self) -> usize {
+        match self {
+            EngineStructure::Single(m) => m.num_forest_edges(),
+            EngineStructure::Partitioned(p) => p.num_forest_edges(),
+        }
+    }
+
+    fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        match self {
+            EngineStructure::Single(m) => m.connected(u, v),
+            EngineStructure::Partitioned(p) => p.connected(u, v),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            EngineStructure::Single(m) => m.name(),
+            EngineStructure::Partitioned(p) => p.name(),
+        }
+    }
+}
+
 /// The batched update/query engine. Owns the id-allocating [`DynGraph`]
 /// mirror and the MSF structure; see the crate docs for semantics.
 pub struct Engine {
     graph: DynGraph,
-    msf: ParDynamicMsf,
+    msf: EngineStructure,
     stats: EngineStats,
     /// Sequence number of the last state-mutating batch applied.
     applied_seq: u64,
     /// Optional write-ahead op log; see [`OpSink`].
     sink: Option<Box<dyn OpSink>>,
+    /// Force the arrival-order serial apply loop even on a partitioned
+    /// engine (the E6 baseline arm and the identity tests).
+    serial_apply: bool,
 }
 
 // The sharded serving layer drives one engine per shard from pool workers
@@ -326,23 +475,65 @@ impl Engine {
     /// structure with thread-backed kernels (`K = sqrt(n)`,
     /// [`ExecMode::Threads`]).
     pub fn new(n: usize) -> Engine {
-        Engine::with_structure(n, ParDynamicMsf::new_threaded(n))
+        Engine::with_structure(
+            n,
+            EngineStructure::Single(Box::new(ParDynamicMsf::new_threaded(n))),
+        )
     }
 
     /// Full control over the chunk parameter and kernel execution mode of
     /// the backing structure.
     pub fn with_execution(n: usize, k: usize, exec: ExecMode) -> Engine {
-        Engine::with_structure(n, ParDynamicMsf::with_execution(n, k, exec))
+        Engine::with_structure(
+            n,
+            EngineStructure::Single(Box::new(ParDynamicMsf::with_execution(n, k, exec))),
+        )
     }
 
-    fn with_structure(n: usize, msf: ParDynamicMsf) -> Engine {
+    /// An engine backed by the component-partitioned structure with
+    /// `num_parts` partitions: batches apply their surviving updates as
+    /// concurrent conflict-free groups (see the crate docs). Observable
+    /// behaviour is identical to [`Engine::new`].
+    pub fn new_partitioned(n: usize, num_parts: usize) -> Engine {
+        Engine::with_structure(
+            n,
+            EngineStructure::Partitioned(ComponentPartitionedMsf::new_threaded(n, num_parts)),
+        )
+    }
+
+    /// [`Engine::new_partitioned`] with full control over the chunk
+    /// parameter and kernel execution mode (deterministic tests).
+    pub fn with_partitioned_execution(
+        n: usize,
+        num_parts: usize,
+        k: usize,
+        exec: ExecMode,
+    ) -> Engine {
+        Engine::with_structure(
+            n,
+            EngineStructure::Partitioned(ComponentPartitionedMsf::with_execution(
+                n, num_parts, k, exec,
+            )),
+        )
+    }
+
+    fn with_structure(n: usize, msf: EngineStructure) -> Engine {
         Engine {
             graph: DynGraph::new(n),
             msf,
             stats: EngineStats::default(),
             applied_seq: 0,
             sink: None,
+            serial_apply: false,
         }
+    }
+
+    /// Force the arrival-order serial apply loop even on a partitioned
+    /// engine. The resulting state is bit-for-bit identical to grouped
+    /// apply — this switch exists so the E6 experiment and the identity
+    /// tests can measure/verify exactly that.
+    pub fn set_serial_apply(&mut self, serial: bool) {
+        self.serial_apply = serial;
     }
 
     /// Assemble an engine from restored parts (the checkpoint/restore path
@@ -391,10 +582,11 @@ impl Engine {
         }
         Ok(Engine {
             graph,
-            msf,
+            msf: EngineStructure::Single(Box::new(msf)),
             stats,
             applied_seq,
             sink: None,
+            serial_apply: false,
         })
     }
 
@@ -426,9 +618,44 @@ impl Engine {
         &self.graph
     }
 
-    /// The backing MSF structure.
+    /// The backing MSF structure of a single-structure engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned engine ([`Engine::new_partitioned`]) — use
+    /// [`Engine::partitioned_structure`] there. Checkpointing, which
+    /// flattens this structure, is not yet supported for partitioned
+    /// engines.
     pub fn structure(&self) -> &ParDynamicMsf {
-        &self.msf
+        match &self.msf {
+            EngineStructure::Single(m) => m,
+            EngineStructure::Partitioned(_) => {
+                panic!("structure(): engine is component-partitioned; use partitioned_structure()")
+            }
+        }
+    }
+
+    /// The backing component-partitioned structure, if this engine was
+    /// built with [`Engine::new_partitioned`].
+    pub fn partitioned_structure(&self) -> Option<&ComponentPartitionedMsf> {
+        match &self.msf {
+            EngineStructure::Single(_) => None,
+            EngineStructure::Partitioned(p) => Some(p),
+        }
+    }
+
+    /// Whether this engine uses the component-partitioned structure.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self.msf, EngineStructure::Partitioned(_))
+    }
+
+    /// Validate the backing structure's internal invariants (test helper;
+    /// works for both structure kinds).
+    pub fn validate_structure(&self) {
+        match &self.msf {
+            EngineStructure::Single(m) => m.validate(),
+            EngineStructure::Partitioned(p) => p.validate(),
+        }
     }
 
     /// Cumulative engine counters.
@@ -592,32 +819,7 @@ impl Engine {
             }
             self.applied_seq = seq;
         }
-        let mut applied = 0usize;
-        for update in &plan.updates {
-            match *update {
-                PlannedUpdate::Link {
-                    id,
-                    u,
-                    v,
-                    weight,
-                    cancelled,
-                } => {
-                    let got = self.graph.insert_edge(u, v, weight);
-                    debug_assert_eq!(got, id, "plan id allocation diverged from the mirror");
-                    if !cancelled {
-                        self.msf.insert(self.graph.edge_unchecked(id));
-                        applied += 1;
-                    }
-                }
-                PlannedUpdate::Cut { id, cancelled } => {
-                    self.graph.delete_edge(id);
-                    if !cancelled {
-                        self.msf.delete(id);
-                        applied += 1;
-                    }
-                }
-            }
-        }
+        let (applied, update_groups, group_conflicts) = self.apply_updates(&plan.updates);
 
         if !plan.unique_queries.is_empty() {
             let unique = plan.unique_queries.len();
@@ -646,6 +848,8 @@ impl Engine {
             rejected: plan.rejected,
             queries: plan.query_refs.len(),
             unique_queries: plan.unique_queries.len(),
+            update_groups,
+            group_conflicts,
         };
         self.bump_stats(&summary);
         self.stats.cancelled_pairs += summary.cancelled_pairs as u64;
@@ -653,6 +857,76 @@ impl Engine {
         BatchResult {
             outcomes: plan.outcomes,
             summary,
+        }
+    }
+
+    /// Apply a plan's updates: mirror pass (always serial, arrival order —
+    /// id allocation is push-order-dependent) plus the structural pass,
+    /// grouped on partitioned engines and serial otherwise. Returns
+    /// `(applied, update_groups, group_conflicts)`.
+    fn apply_updates(&mut self, updates: &[PlannedUpdate]) -> (usize, usize, usize) {
+        let grouped = self.is_partitioned() && !self.serial_apply;
+        if grouped {
+            // Resolve each surviving cut's endpoint *before* the mirror
+            // pass deletes the edge there (see the crate docs).
+            let resolved = group::resolve_surviving(&self.graph, updates);
+            self.mirror_pass(updates);
+            let EngineStructure::Partitioned(p) = &mut self.msf else {
+                unreachable!("is_partitioned() held above");
+            };
+            let groups = group::color_groups(p, &resolved);
+            let update_groups = groups.len();
+            let group_conflicts = resolved.len() - update_groups;
+            p.apply_groups(&groups);
+            return (resolved.len(), update_groups, group_conflicts);
+        }
+        let mut applied = 0usize;
+        for update in updates {
+            match *update {
+                PlannedUpdate::Link {
+                    id,
+                    u,
+                    v,
+                    weight,
+                    cancelled,
+                } => {
+                    let got = self.graph.insert_edge(u, v, weight);
+                    debug_assert_eq!(got, id, "plan id allocation diverged from the mirror");
+                    if !cancelled {
+                        self.msf.insert(self.graph.edge_unchecked(id));
+                        applied += 1;
+                    }
+                }
+                PlannedUpdate::Cut { id, cancelled } => {
+                    // Resolve the endpoint hint before the mirror forgets
+                    // the edge (surviving cuts always target a live edge).
+                    let endpoint = (!cancelled).then(|| self.graph.edge_unchecked(id).u);
+                    self.graph.delete_edge(id);
+                    if let Some(endpoint) = endpoint {
+                        self.msf.delete_hinted(id, endpoint);
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        (applied, 0, 0)
+    }
+
+    /// The serial mirror pass of the grouped apply path: identical id
+    /// allocation and liveness transitions to the serial loop.
+    fn mirror_pass(&mut self, updates: &[PlannedUpdate]) {
+        for update in updates {
+            match *update {
+                PlannedUpdate::Link {
+                    id, u, v, weight, ..
+                } => {
+                    let got = self.graph.insert_edge(u, v, weight);
+                    debug_assert_eq!(got, id, "plan id allocation diverged from the mirror");
+                }
+                PlannedUpdate::Cut { id, .. } => {
+                    self.graph.delete_edge(id);
+                }
+            }
         }
     }
 
@@ -772,8 +1046,9 @@ impl Engine {
                             reason: Reject::UnknownOrDeadEdge,
                         }
                     } else {
+                        let endpoint = self.graph.edge_unchecked(id).u;
                         self.graph.delete_edge(id);
-                        self.msf.delete(id);
+                        self.msf.delete_hinted(id, endpoint);
                         applied += 1;
                         Outcome::Cut { id }
                     }
@@ -808,6 +1083,8 @@ impl Engine {
             rejected,
             queries,
             unique_queries: queries,
+            update_groups: 0,
+            group_conflicts: 0,
         };
         self.bump_stats(&summary);
         BatchResult { outcomes, summary }
@@ -830,6 +1107,8 @@ impl Engine {
         self.stats.applied_updates += summary.applied_updates as u64;
         self.stats.rejected += summary.rejected as u64;
         self.stats.queries += summary.queries as u64;
+        self.stats.update_groups += summary.update_groups as u64;
+        self.stats.group_conflicts += summary.group_conflicts as u64;
     }
 }
 
@@ -1117,6 +1396,52 @@ mod tests {
         let graph2 = pdmsf_graph::DynGraph::from_image(&tampered).unwrap();
         let msf2 = ParDynamicMsf::from_image(&image).unwrap();
         assert!(Engine::from_restored_parts(graph2, msf2, engine.stats(), 1).is_err());
+    }
+
+    #[test]
+    fn partitioned_engine_matches_single_and_counts_groups() {
+        let ops1 = vec![
+            link(0, 1, 3),  // block 0 (vertices 0..4 of 4 partitions over 16)
+            link(4, 5, 1),  // block 1
+            link(8, 9, 7),  // block 2
+            link(9, 13, 2), // crosses blocks 2 and 3
+            qconn(0, 1),
+        ];
+        let ops2 = vec![
+            Op::Cut { id: EdgeId(0) },
+            link(1, 2, 9), // block 0
+            link(12, 15, 4),
+            qconn(8, 13),
+            Op::QueryForestWeight,
+        ];
+        let mut partitioned = Engine::with_partitioned_execution(16, 4, 4, ExecMode::Simulated);
+        let mut forced_serial = Engine::with_partitioned_execution(16, 4, 4, ExecMode::Simulated);
+        forced_serial.set_serial_apply(true);
+        let mut single = Engine::with_execution(16, 4, ExecMode::Simulated);
+        for ops in [&ops1, &ops2] {
+            let rp = partitioned.execute(ops);
+            let rf = forced_serial.execute(ops);
+            let rs = single.execute(ops);
+            assert_eq!(rp.outcomes, rs.outcomes);
+            assert_eq!(rf.outcomes, rs.outcomes);
+            assert!(rp.summary.update_groups > 0);
+            assert_eq!(rf.summary.update_groups, 0);
+        }
+        assert_eq!(partitioned.forest_edges(), single.forest_edges());
+        assert_eq!(forced_serial.forest_edges(), single.forest_edges());
+        assert_eq!(partitioned.forest_weight(), single.forest_weight());
+        partitioned.validate_structure();
+        forced_serial.validate_structure();
+        // Batch 1: groups {0}, {1}, {2,3} → 3 groups, 1 conflict (4 updates).
+        // Batch 2: groups {0}, {2,3} (partitions 2 and 3 merged in batch 1,
+        // so the cut of edge 2's component and the 12–15 link now share a
+        // class) → stats accumulate across batches.
+        let stats = partitioned.stats();
+        assert_eq!(stats.update_groups, 5);
+        assert_eq!(stats.group_conflicts, 2);
+        assert!(partitioned.is_partitioned());
+        assert!(partitioned.partitioned_structure().is_some());
+        assert!(!single.is_partitioned());
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! every batch of every generated stream, under hostile inputs: duplicate
 //! cuts, cuts of unknown ids, opposing insert/delete pairs, self-loops,
 //! out-of-range endpoints and duplicate interleaved queries.
+//!
+//! The partitioned engine rides the same harness in two arms — grouped
+//! concurrent apply and forced arrival-order serial apply — and must match
+//! the single-structure engine, the one-by-one `SeqDynamicMsf` reference
+//! and Kruskal exactly, including the component-containment invariants
+//! checked by `validate()` after every stream.
 
 use pdmsf_core::SeqDynamicMsf;
 use pdmsf_engine::{Engine, Op, Outcome, Reject};
@@ -179,13 +185,27 @@ fn concretise(n: usize, raw_batches: &[Vec<RawOp>]) -> Vec<Vec<Op>> {
     batches
 }
 
-/// The core lockstep check shared by the proptest cases.
-fn check_lockstep(n: usize, batches: &[Vec<Op>], mut batched: Engine, mut serial: Engine) {
+/// The core lockstep check shared by the proptest cases. `grouped` and
+/// `part_serial` are partitioned engines — the first applies batches as
+/// concurrent conflict-free groups, the second is forced onto the
+/// arrival-order serial loop — and both must stay bit-for-bit in lockstep
+/// with the single-structure engine and the references.
+fn check_lockstep(
+    n: usize,
+    batches: &[Vec<Op>],
+    mut batched: Engine,
+    mut serial: Engine,
+    mut grouped: Engine,
+    mut part_serial: Engine,
+) {
+    part_serial.set_serial_apply(true);
     let mut reference = Reference::new(n);
     for (b, ops) in batches.iter().enumerate() {
         let expected = reference.run_batch(ops);
         let got_batched = batched.execute(ops);
         let got_serial = serial.execute_one_by_one(ops);
+        let got_grouped = grouped.execute(ops);
+        let got_part_serial = part_serial.execute(ops);
         assert_eq!(
             got_batched.outcomes, expected,
             "batched outcomes diverged from one-by-one SeqDynamicMsf in batch {b}"
@@ -193,6 +213,14 @@ fn check_lockstep(n: usize, batches: &[Vec<Op>], mut batched: Engine, mut serial
         assert_eq!(
             got_serial.outcomes, expected,
             "one-by-one engine outcomes diverged from the reference in batch {b}"
+        );
+        assert_eq!(
+            got_grouped.outcomes, expected,
+            "grouped-apply outcomes diverged from the reference in batch {b}"
+        );
+        assert_eq!(
+            got_part_serial.outcomes, expected,
+            "forced-serial partitioned outcomes diverged in batch {b}"
         );
         // Structural lockstep after every batch.
         let kruskal = kruskal_msf(&reference.graph);
@@ -205,7 +233,26 @@ fn check_lockstep(n: usize, batches: &[Vec<Op>], mut batched: Engine, mut serial
         assert_eq!(batched.forest_weight(), kruskal.total_weight);
         assert_eq!(serial.forest_edges(), kruskal.edges);
         assert_eq!(serial.forest_weight(), kruskal.total_weight);
+        assert_eq!(grouped.forest_edges(), kruskal.edges, "batch {b} grouped");
+        assert_eq!(grouped.forest_weight(), kruskal.total_weight);
+        assert_eq!(part_serial.forest_edges(), kruskal.edges);
+        assert_eq!(part_serial.forest_weight(), kruskal.total_weight);
+        // Grouped vs forced-serial apply: identical component homes, not
+        // just identical forests.
+        let (gp, sp) = (
+            grouped.partitioned_structure().unwrap(),
+            part_serial.partitioned_structure().unwrap(),
+        );
+        for v in 0..n as u32 {
+            assert_eq!(
+                gp.home_of(VertexId(v)),
+                sp.home_of(VertexId(v)),
+                "home of vertex {v} diverged between grouped and serial apply in batch {b}"
+            );
+        }
     }
+    grouped.validate_structure();
+    part_serial.validate_structure();
 }
 
 proptest! {
@@ -222,7 +269,14 @@ proptest! {
     ) {
         let n = 8;
         let batches = concretise(n, &raw);
-        check_lockstep(n, &batches, Engine::new(n), Engine::new(n));
+        check_lockstep(
+            n,
+            &batches,
+            Engine::new(n),
+            Engine::new(n),
+            Engine::new_partitioned(n, 3),
+            Engine::new_partitioned(n, 3),
+        );
     }
 
     /// Same property with a tiny chunk parameter (maximal chunk churn in
@@ -238,6 +292,8 @@ proptest! {
             &batches,
             Engine::with_execution(n, 2, ExecMode::Threads),
             Engine::with_execution(n, 2, ExecMode::Simulated),
+            Engine::with_partitioned_execution(n, 4, 2, ExecMode::Threads),
+            Engine::with_partitioned_execution(n, 4, 2, ExecMode::Simulated),
         );
     }
 }
@@ -277,6 +333,7 @@ fn generated_batch_streams_hold_the_lockstep_property() {
         let n = stream.num_vertices;
         let mut batched = Engine::new(n);
         let mut serial = Engine::new(n);
+        let mut grouped = Engine::new_partitioned(n, 4);
         let mut reference = Reference::new(n);
         // Load the base graph as one initial batch.
         let base: Vec<Op> = stream
@@ -284,12 +341,19 @@ fn generated_batch_streams_hold_the_lockstep_property() {
             .iter()
             .map(|&(u, v, weight)| Op::Link { u, v, weight })
             .collect();
-        check_lockstep_prefix(&mut batched, &mut serial, &mut reference, &base);
+        check_lockstep_prefix(
+            &mut batched,
+            &mut serial,
+            &mut grouped,
+            &mut reference,
+            &base,
+        );
         let mut saw_cancellation = false;
         for ops in &stream.batches {
-            check_lockstep_prefix(&mut batched, &mut serial, &mut reference, ops);
+            check_lockstep_prefix(&mut batched, &mut serial, &mut grouped, &mut reference, ops);
             saw_cancellation |= batched.stats().cancelled_pairs > 0;
         }
+        grouped.validate_structure();
         if matches!(kind, BatchKind::Bursty { .. }) {
             assert!(
                 saw_cancellation,
@@ -302,14 +366,18 @@ fn generated_batch_streams_hold_the_lockstep_property() {
 fn check_lockstep_prefix(
     batched: &mut Engine,
     serial: &mut Engine,
+    grouped: &mut Engine,
     reference: &mut Reference,
     ops: &[Op],
 ) {
     let expected = reference.run_batch(ops);
     assert_eq!(batched.execute(ops).outcomes, expected);
     assert_eq!(serial.execute_one_by_one(ops).outcomes, expected);
+    assert_eq!(grouped.execute(ops).outcomes, expected);
     let kruskal = kruskal_msf(&reference.graph);
     assert_eq!(batched.forest_edges(), kruskal.edges);
     assert_eq!(batched.forest_weight(), kruskal.total_weight);
     assert_eq!(serial.forest_edges(), kruskal.edges);
+    assert_eq!(grouped.forest_edges(), kruskal.edges);
+    assert_eq!(grouped.forest_weight(), kruskal.total_weight);
 }

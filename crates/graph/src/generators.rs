@@ -389,6 +389,17 @@ pub enum BatchKind {
         /// Fraction of operations that are queries, in permille.
         query_permille: u32,
     },
+    /// Like [`BatchKind::Clustered`], but **every operation** picks its own
+    /// block uniformly at random, so a single batch spreads across many
+    /// blocks at once. Individual ops still stay inside their block, which
+    /// makes the blocks independent update groups — the workload shape the
+    /// intra-batch grouped apply path (experiment E6) is built for.
+    ClusteredMix {
+        /// Number of vertex blocks.
+        clusters: usize,
+        /// Fraction of operations that are queries, in permille.
+        query_permille: u32,
+    },
 }
 
 /// Specification of a batched update/query stream.
@@ -438,7 +449,9 @@ impl BatchStream {
         // the batch that created them.
         let clusters = match spec.kind {
             BatchKind::Bursty { .. } => 1,
-            BatchKind::Clustered { clusters, .. } => clusters.max(1),
+            BatchKind::Clustered { clusters, .. } | BatchKind::ClusteredMix { clusters, .. } => {
+                clusters.max(1)
+            }
         };
         let block = n.div_ceil(clusters);
         let cluster_of = |v: VertexId| (v.index() / block).min(clusters - 1);
@@ -456,28 +469,34 @@ impl BatchStream {
 
         let query_permille = match spec.kind {
             BatchKind::Bursty { query_permille, .. }
-            | BatchKind::Clustered { query_permille, .. } => query_permille,
+            | BatchKind::Clustered { query_permille, .. }
+            | BatchKind::ClusteredMix { query_permille, .. } => query_permille,
+        };
+        // The region of one block, clamped so a degenerate tail block (or a
+        // block too small for a distinct pair) widens to the whole space.
+        let block_region = |c: usize| {
+            let lo = c * block;
+            let hi = (lo + block).min(n);
+            if lo < n && hi - lo >= 2 {
+                (lo, hi - lo)
+            } else {
+                (0, n)
+            }
         };
 
         let mut batches = Vec::with_capacity(spec.batches);
         for b in 0..spec.batches {
-            // The vertex region this batch concentrates on.
-            let (lo, span) = match spec.kind {
+            // The vertex region this batch concentrates on (ClusteredMix
+            // picks a fresh region per op instead, below).
+            let (batch_lo, batch_span) = match spec.kind {
                 BatchKind::Bursty { .. } => {
                     (rng.gen_range(0..n), (n / 16).clamp(8.min(n), n.max(1)))
                 }
-                BatchKind::Clustered { .. } => {
-                    let c = b % clusters;
-                    let lo = c * block;
-                    let hi = (lo + block).min(n);
-                    if hi - lo >= 2 {
-                        (lo, hi - lo)
-                    } else {
-                        (0, n)
-                    }
+                BatchKind::Clustered { .. } | BatchKind::ClusteredMix { .. } => {
+                    block_region(b % clusters)
                 }
             };
-            let cluster = b % clusters;
+            let batch_cluster = b % clusters;
             let mut ops: Vec<BatchOp> = Vec::with_capacity(spec.batch_size);
             // Flap links inserted in this batch, awaiting their cut.
             let mut pending_flaps: Vec<EdgeId> = Vec::new();
@@ -494,6 +513,14 @@ impl BatchStream {
                     });
                     continue;
                 }
+                let (lo, span, cluster) = match spec.kind {
+                    BatchKind::ClusteredMix { .. } => {
+                        let c = rng.gen_range(0..clusters);
+                        let (lo, span) = block_region(c);
+                        (lo, span, c)
+                    }
+                    _ => (batch_lo, batch_span, batch_cluster),
+                };
                 let region_vertex = |rng: &mut ChaCha8Rng| -> VertexId {
                     VertexId::from((lo + rng.gen_range(0..span)) % n)
                 };
@@ -545,7 +572,7 @@ impl BatchStream {
                 // An update slot.
                 let flap_permille = match spec.kind {
                     BatchKind::Bursty { flap_permille, .. } => flap_permille,
-                    BatchKind::Clustered { .. } => 0,
+                    BatchKind::Clustered { .. } | BatchKind::ClusteredMix { .. } => 0,
                 };
                 // A new flap needs budget for its own link *and* cut on top
                 // of every cut already owed — otherwise the batch could end
@@ -1105,6 +1132,61 @@ mod tests {
                     BatchOp::QueryForestWeight => {}
                 }
             }
+        }
+        replay_batches(&stream);
+    }
+
+    #[test]
+    fn clustered_mix_ops_stay_in_blocks_but_batches_span_many() {
+        let n = 96usize;
+        let clusters = 6usize;
+        let spec = BatchStreamSpec {
+            base: GraphSpec::RandomSparse { n, m: 150, seed: 9 },
+            batches: 8,
+            batch_size: 48,
+            kind: BatchKind::ClusteredMix {
+                clusters,
+                query_permille: 250,
+            },
+            seed: 31,
+        };
+        let stream = BatchStream::generate(&spec);
+        assert_eq!(stream.batches, BatchStream::generate(&spec).batches);
+        let block = n.div_ceil(clusters);
+        let block_of = |v: usize| (v / block).min(clusters - 1);
+        let mut endpoints: Vec<(usize, usize)> = stream
+            .base_edges
+            .iter()
+            .map(|&(u, v, _)| (u.index(), v.index()))
+            .collect();
+        for (b, batch) in stream.batches.iter().enumerate() {
+            let mut touched = vec![false; clusters];
+            for op in batch {
+                match *op {
+                    BatchOp::Link { u, v, .. } => {
+                        assert_eq!(
+                            block_of(u.index()),
+                            block_of(v.index()),
+                            "batch {b} linked across blocks"
+                        );
+                        touched[block_of(u.index())] = true;
+                        endpoints.push((u.index(), v.index()));
+                    }
+                    BatchOp::QueryConnected { u, v } => {
+                        assert_eq!(block_of(u.index()), block_of(v.index()));
+                    }
+                    BatchOp::Cut { id } => {
+                        let (u, v) = endpoints[id.index()];
+                        assert_eq!(block_of(u), block_of(v));
+                        touched[block_of(u)] = true;
+                    }
+                    BatchOp::QueryForestWeight => {}
+                }
+            }
+            assert!(
+                touched.iter().filter(|&&t| t).count() >= 2,
+                "batch {b} never spread across blocks"
+            );
         }
         replay_batches(&stream);
     }

@@ -42,6 +42,8 @@ fn encode_engine(engine: &Engine) -> Vec<u8> {
     e.u64(s.queries);
     e.u64(s.deduped_queries);
     e.u64(s.snapshots);
+    e.u64(s.update_groups);
+    e.u64(s.group_conflicts);
 
     let g = engine.graph().to_image();
     e.lane_u32(&g.edge_u);
@@ -114,6 +116,8 @@ fn decode_engine(payload: &[u8]) -> Result<Engine, PersistError> {
         queries: d.u64()?,
         deduped_queries: d.u64()?,
         snapshots: d.u64()?,
+        update_groups: d.u64()?,
+        group_conflicts: d.u64()?,
     };
     let graph_image = DynGraphImage {
         edge_u: d.lane_u32()?,
@@ -254,6 +258,17 @@ pub trait EngineCheckpointExt: Sized {
 
 impl EngineCheckpointExt for Engine {
     fn checkpoint<W: Write>(&self, mut w: W) -> Result<(), PersistError> {
+        if self.is_partitioned() {
+            // Flattening a component-partitioned structure into the
+            // single-structure image format is not supported yet; refuse
+            // with a clear error instead of panicking inside
+            // `Engine::structure()`.
+            return Err(PersistError::Inconsistent(
+                "component-partitioned engines do not support checkpointing yet \
+                 (their op log is replayable as usual)"
+                    .to_string(),
+            ));
+        }
         write_header(&mut w, KIND_ENGINE)?;
         write_section(&mut w, SEC_ENGINE, &encode_engine(self))?;
         write_section(&mut w, SEC_END, &[])?;
@@ -290,6 +305,13 @@ pub trait ServiceCheckpointExt: Sized {
 
 impl ServiceCheckpointExt for ShardedService {
     fn checkpoint_all<W: Write>(&self, mut w: W) -> Result<(), PersistError> {
+        if (0..self.num_shards()).any(|s| self.shard_engine(s).is_partitioned()) {
+            return Err(PersistError::Inconsistent(
+                "component-partitioned shard engines do not support checkpointing yet \
+                 (their op log is replayable as usual)"
+                    .to_string(),
+            ));
+        }
         write_header(&mut w, KIND_SERVICE)?;
         write_section(&mut w, SEC_TENANTS, &encode_tenants(self))?;
         for shard in 0..self.num_shards() {

@@ -175,6 +175,13 @@ pub struct ShardSummary {
     pub ops: usize,
     /// Updates that reached the shard's MSF structure.
     pub applied_updates: usize,
+    /// Conflict-free update groups the shard's grouped apply dispatched
+    /// (zero when the shard engine applies serially — single-structure
+    /// engines or forced-serial partitioned ones).
+    pub update_groups: usize,
+    /// Surviving updates beyond the first of their group — updates that
+    /// *shared* a group because their partition classes collided.
+    pub group_conflicts: usize,
     /// Opposing link/cut pairs the shard's planner cancelled.
     pub cancelled_pairs: usize,
     /// Operations the shard engine rejected (dead/duplicate cuts).
@@ -200,6 +207,12 @@ pub struct ServiceSummary {
     pub shards_touched: usize,
     /// Updates applied across all shard structures.
     pub applied_updates: usize,
+    /// Conflict-free update groups dispatched across all shards' grouped
+    /// apply paths (zero unless shards run partitioned engines).
+    pub update_groups: usize,
+    /// Updates that shared a group across all shards (see
+    /// [`ShardSummary::group_conflicts`]).
+    pub group_conflicts: usize,
     /// Opposing pairs cancelled across all shards.
     pub cancelled_pairs: usize,
     /// Rejected operations (router rejections + shard rejections).
@@ -288,6 +301,21 @@ impl ShardedService {
     /// `0..shards`.
     pub fn new(shards: usize, tenants: &[TenantSpec]) -> ShardedService {
         ShardedService::with_engine_factory(shards, tenants, Engine::new)
+    }
+
+    /// Like [`ShardedService::new`], but every shard runs a
+    /// component-partitioned engine with `num_parts` partitions, so each
+    /// shard's batch additionally applies its independent update groups as
+    /// concurrent pool jobs (nested inside the per-shard jobs; the
+    /// work-stealing pool handles nested submissions without deadlock).
+    pub fn new_partitioned(
+        shards: usize,
+        tenants: &[TenantSpec],
+        num_parts: usize,
+    ) -> ShardedService {
+        ShardedService::with_engine_factory(shards, tenants, move |n| {
+            Engine::new_partitioned(n, num_parts)
+        })
     }
 
     /// Full control over how each shard's engine is built from its vertex
@@ -664,6 +692,8 @@ impl ShardedService {
                     shard,
                     ops: s.ops,
                     applied_updates: s.applied_updates,
+                    update_groups: s.update_groups,
+                    group_conflicts: s.group_conflicts,
                     cancelled_pairs: s.cancelled_pairs,
                     rejected: s.rejected,
                     queries: s.queries,
@@ -680,6 +710,8 @@ impl ShardedService {
             ops,
             shards_touched: per_shard.len(),
             applied_updates: per_shard.iter().map(|s| s.applied_updates).sum(),
+            update_groups: per_shard.iter().map(|s| s.update_groups).sum(),
+            group_conflicts: per_shard.iter().map(|s| s.group_conflicts).sum(),
             cancelled_pairs: per_shard.iter().map(|s| s.cancelled_pairs).sum(),
             rejected: routed.router_rejected + per_shard.iter().map(|s| s.rejected).sum::<usize>(),
             router_rejected: routed.router_rejected,
@@ -922,6 +954,59 @@ mod tests {
             concurrent.total_forest_weight(),
             serial.total_forest_weight()
         );
+    }
+
+    #[test]
+    fn partitioned_shards_agree_with_plain_ones_and_report_groups() {
+        let specs: Vec<TenantSpec> = (0..4).map(|t| TenantSpec::new(TenantId(t), 16)).collect();
+        let mut plain = ShardedService::new(2, &specs);
+        let mut parted = ShardedService::new_partitioned(2, &specs, 4);
+        let batches: Vec<Vec<TenantOp>> = vec![
+            (0..4)
+                .flat_map(|t| [link(t, 0, 1, 3), link(t, 8, 9, 5), link(t, 4, 12, 7)])
+                .collect(),
+            vec![
+                link(0, 1, 2, 2),
+                cut(1, 0),
+                link(2, 9, 10, 4),
+                qconn(3, 4, 12),
+                qweight(0),
+            ],
+        ];
+        let mut saw_groups = 0usize;
+        for ops in &batches {
+            let a = plain.execute(ops);
+            let b = parted.execute(ops);
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.summary.forest_weight, b.summary.forest_weight);
+            assert_eq!(a.summary.applied_updates, b.summary.applied_updates);
+            // Plain single-structure shards never report groups; partitioned
+            // ones do, and the per-shard numbers add up to the service sums.
+            assert_eq!(a.summary.update_groups, 0);
+            assert_eq!(a.summary.group_conflicts, 0);
+            assert_eq!(
+                b.summary.update_groups,
+                b.summary
+                    .per_shard
+                    .iter()
+                    .map(|p| p.update_groups)
+                    .sum::<usize>()
+            );
+            assert_eq!(
+                b.summary.group_conflicts,
+                b.summary
+                    .per_shard
+                    .iter()
+                    .map(|p| p.group_conflicts)
+                    .sum::<usize>()
+            );
+            assert!(
+                b.summary.update_groups + b.summary.group_conflicts <= b.summary.applied_updates
+            );
+            saw_groups += b.summary.update_groups;
+        }
+        assert!(saw_groups > 0, "partitioned shards never grouped an update");
+        assert_eq!(plain.total_forest_weight(), parted.total_forest_weight());
     }
 
     #[test]

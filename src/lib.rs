@@ -123,6 +123,30 @@
 //! bursty and tenant-clustered streams and records the trajectory in
 //! `BENCH_batch_throughput.json`.
 //!
+//! ## Intra-batch update parallelism
+//!
+//! Batching also unlocks parallelism *inside* the apply phase. A
+//! partitioned engine ([`Engine::new_partitioned`]) backs the batch with a
+//! **component-partitioned structure** ([`core::ComponentPartitionedMsf`]):
+//! the vertex space is split across `P` independent [`core::ParDynamicMsf`]
+//! partitions under the invariant that **components never span
+//! partitions** — a cross-partition link first *migrates* the smaller
+//! component (lockstep bidirectional BFS picks it deterministically; its
+//! edges re-insert in Kruskal order, rebuilding the identical unique MSF).
+//! Per batch the engine **conflict-colors** the surviving updates (a
+//! union-find over partition ids) into groups whose partition classes are
+//! disjoint and applies the groups as **concurrent pool jobs** — nested
+//! inside shard jobs when the sharded layer dispatches them — serially in
+//! arrival order within each group. Because migrations stay inside a
+//! group's own class, the per-partition operation sequences are identical
+//! whether groups run concurrently or the whole batch applies serially, so
+//! outcomes, forests and WAL bytes are **bit-for-bit identical** to serial
+//! apply (the WAL is written at plan time, before any apply, and a
+//! byte-identity test pins all three paths). Single-group batches and
+//! width-1 pools fall back to inline apply. Experiment E6 (`experiments --
+//! e6`) measures grouped vs forced-serial apply over block-mixed streams
+//! at pool widths 4 and 1, recording `BENCH_intra_batch.json`.
+//!
 //! ## The sharded serving layer
 //!
 //! Above the single-engine batch layer sits the **multi-tenant sharded
@@ -230,6 +254,7 @@ pub use pdmsf_shard::ShardedService;
 pub mod prelude {
     pub use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
     pub use pdmsf_core::par::ParDynamicMsf;
+    pub use pdmsf_core::partition::ComponentPartitionedMsf;
     pub use pdmsf_core::seq::SeqDynamicMsf;
     pub use pdmsf_core::sparsify::SparsifiedMsf;
     pub use pdmsf_engine::{BatchResult, BatchSummary, Engine, Outcome, PlannedBatch, Reject};
