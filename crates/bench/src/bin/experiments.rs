@@ -23,13 +23,20 @@
 //! `PDMSF_POOL_THREADS` width and merge — the pool width is read once per
 //! process, so one run cannot sweep it).
 //!
-//! The name `e4` is **reserved** for the planned per-op latency harness
-//! (tail-latency percentiles of the serving layer); it used to alias the
-//! legacy PRAM-scaling tables, which live at `e11`. The legacy density
-//! sweep that held `e6` before the intra-batch benchmark took that slot
-//! is now `e13` (renumbered like E10–E12 before it).
+//! E4 emits `BENCH_serve_latency.json`: the **closed-loop serve-latency
+//! ramp** — offered load on a sharded service climbs round by round
+//! (`initial_rps` + k·`increment_rps`) under virtual arrival pacing,
+//! per-op and per-batch latencies flow through `pdmsf-obs` histograms,
+//! and the headline is the knee point: the highest offered rps whose
+//! round still met the p95 SLO (see `pdmsf_bench::serve`). E4 used to
+//! alias the legacy PRAM-scaling tables, which live at `e11`; the legacy
+//! density sweep that held `e6` before the intra-batch benchmark took
+//! that slot is now `e13` (renumbered like E10–E12 before it).
 
 use pdmsf_baselines::{NaiveDynamicMsf, RecomputeMsf};
+use pdmsf_bench::serve::{
+    drive_serve_ramp, knee_point, serve_records_to_json, RampConfig, ServeScenario,
+};
 use pdmsf_bench::{
     batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
     clustered_mix_batch_stream, drive, drive_engine_batched, drive_engine_one_by_one,
@@ -102,8 +109,9 @@ fn main() {
     if want("e3") {
         e3_sched_throughput(quick);
     }
-    // `e4` is reserved for the planned per-op latency harness (see the
-    // module docs) — it no longer aliases the legacy e11 tables.
+    if want("e4") {
+        e4_serve_latency(quick);
+    }
     if want("e11") {
         e11_pram_scaling(&config);
     }
@@ -770,8 +778,101 @@ fn e10_seq_update_time(cfg: &Config) {
     }
 }
 
+/// E4: the closed-loop serve-latency ramp (see [`pdmsf_bench::serve`]).
+/// Offered load on a sharded service climbs `initial_rps` →
+/// `max_rps` in `increment_rps` steps under virtual arrival pacing; per
+/// round the per-op latency distribution (arrival → completion, queueing
+/// included) flows through `pdmsf-obs` histograms and is reported as
+/// p50/p95/p99 + failure rate. The ramp stops at saturation
+/// (failure-rate / median-latency thresholds), and the headline knee —
+/// the highest offered rps whose round met the p95 SLO — lands in
+/// `BENCH_serve_latency.json` next to the full per-round table.
+fn e4_serve_latency(quick: bool) {
+    println!("\n== E4: closed-loop serve latency ramp (writes BENCH_serve_latency.json) ==");
+    println!("offered load ramps per round; per-op latency = arrival -> completion");
+    println!("(queueing included); knee = max offered rps meeting the p95 SLO");
+    let config = if quick {
+        RampConfig::quick()
+    } else {
+        RampConfig::standard()
+    };
+    let scenarios: &[ServeScenario] = if quick {
+        &[ServeScenario {
+            name: "uniform",
+            tenants: 8,
+            tenant_vertices: 256,
+            shards: 4,
+            batch_size: 256,
+            zipf_permille: 0,
+            seed: 41,
+        }]
+    } else {
+        &[
+            ServeScenario {
+                name: "uniform",
+                tenants: 16,
+                tenant_vertices: 512,
+                shards: 8,
+                batch_size: 512,
+                zipf_permille: 0,
+                seed: 41,
+            },
+            ServeScenario {
+                name: "zipf_hot",
+                tenants: 16,
+                tenant_vertices: 512,
+                shards: 8,
+                batch_size: 512,
+                zipf_permille: 900,
+                seed: 41,
+            },
+        ]
+    };
+    let mut records = Vec::new();
+    println!(
+        "{:>9} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>5}",
+        "scenario", "round", "offered_rps", "achieved", "p50_us", "p95_us", "p99_us", "fail", "ok"
+    );
+    for scenario in scenarios {
+        let ramp = drive_serve_ramp(scenario, &config);
+        for r in &ramp {
+            println!(
+                "{:>9} {:>6} {:>12} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8.2}% {:>5}",
+                r.scenario,
+                r.round,
+                r.offered_rps,
+                r.achieved_rps,
+                r.p50_ns as f64 / 1e3,
+                r.p95_ns as f64 / 1e3,
+                r.p99_ns as f64 / 1e3,
+                r.failure_rate * 100.0,
+                if r.sustainable { "yes" } else { "NO" }
+            );
+        }
+        match knee_point(&ramp) {
+            Some(knee) => println!(
+                "  {}: knee = {} rps sustained under p95 <= {} ms",
+                scenario.name,
+                knee,
+                config.slo.as_millis()
+            ),
+            None => println!(
+                "  {}: no sustainable round (SLO p95 <= {} ms missed from the start)",
+                scenario.name,
+                config.slo.as_millis()
+            ),
+        }
+        records.extend(ramp);
+    }
+    let json = serve_records_to_json(&RunMeta::collect(), &config, &records);
+    let path = "BENCH_serve_latency.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
 /// E11: PRAM depth, work and processors per update vs n (numbered E2/E3/E4
-/// before the sharded service claimed E2; also selected by `e3` / `e4`).
+/// before the sharded service claimed E2 and the serve-latency ramp
+/// claimed E4).
 fn e11_pram_scaling(cfg: &Config) {
     println!("\n== E11: EREW PRAM scaling of the parallel structure (formerly E2/E3/E4) ==");
     println!(

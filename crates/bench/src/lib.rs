@@ -12,6 +12,7 @@
 //! and the table-printing binary.
 
 pub mod harness;
+pub mod serve;
 
 use pdmsf_core::{ParDynamicMsf, SeqDynamicMsf};
 use pdmsf_engine::{Engine, Op};

@@ -1,0 +1,349 @@
+//! Experiment E4: the **closed-loop serve-latency ramp**.
+//!
+//! The throughput experiments (E1/E2/E3) drive batches back-to-back and
+//! report ops/sec — they answer "how fast can the stack drain work", not
+//! "what load can it *sustain* while staying responsive". E4 answers the
+//! second question the way a capacity test does (the classic
+//! `initial_rps`/`increment_rps`/`max_rps` ramp of interactive-consistency
+//! harnesses):
+//!
+//! 1. Offered load starts at [`RampConfig::initial_rps`] and climbs by
+//!    [`RampConfig::increment_rps`] per round up to [`RampConfig::max_rps`].
+//! 2. Each round drives a fresh [`ShardedService`] with a generated
+//!    tenant-tagged stream ([`crate::tenant_stream`] — the same Bursty /
+//!    Zipf-skewed generators as E2) under **virtual arrival pacing**: op
+//!    `j` of the round arrives at `t0 + j/rate`, a batch dispatches when
+//!    its last op has arrived, and the driver only sleeps when it is
+//!    *ahead* of the arrival clock — when a batch takes longer than its
+//!    arrival window the next batches start late and queueing delay shows
+//!    up in the per-op latencies, exactly as in a real ingest queue.
+//! 3. Per-op latency (completion − arrival) and per-batch service time are
+//!    recorded into [`pdmsf_obs`] histograms — the round report *is* the
+//!    histogram snapshot (exact count, p50/p95/p99 to one log2 bucket).
+//! 4. The ramp stops early once the service is clearly saturated:
+//!    failure rate (ops slower than [`RampConfig::timeout`]) above
+//!    [`RampConfig::stop_failure_rate`], or median latency above
+//!    [`RampConfig::stop_t_median`].
+//!
+//! The headline is the **knee point**: the highest offered rps whose round
+//! still met the SLO (p95 ≤ [`RampConfig::slo`] and failure rate ≤
+//! [`RampConfig::stop_failure_rate`]). `experiments -- e4` writes the full
+//! per-round table plus the knee to `BENCH_serve_latency.json`.
+
+use std::time::{Duration, Instant};
+
+use pdmsf_obs as obs;
+use pdmsf_shard::{ShardedService, TenantSpec};
+
+use crate::{tenant_stream, RunMeta};
+
+/// One serve workload: the tenant topology and stream shape a ramp runs
+/// against. Scenarios are data, composed from the existing generators —
+/// adding one is adding a literal.
+#[derive(Clone, Debug)]
+pub struct ServeScenario {
+    /// Label stamped into records (`uniform`, `zipf_hot`, ...).
+    pub name: &'static str,
+    pub tenants: usize,
+    pub tenant_vertices: usize,
+    pub shards: usize,
+    /// Ops per service batch (the arrival-window size).
+    pub batch_size: usize,
+    /// Tenant-pick skew for the stream generator (0 = uniform).
+    pub zipf_permille: u32,
+    pub seed: u64,
+}
+
+/// The ramp schedule and stop/SLO thresholds.
+#[derive(Clone, Debug)]
+pub struct RampConfig {
+    pub initial_rps: u64,
+    pub increment_rps: u64,
+    pub max_rps: u64,
+    /// Ops driven per round (larger = tighter quantiles, longer rounds).
+    pub round_ops: usize,
+    /// The p95 service-level objective a sustainable round must meet.
+    pub slo: Duration,
+    /// Per-op failure threshold: an op slower than this counts as failed.
+    pub timeout: Duration,
+    /// Stop the ramp (and disqualify the round) once this failure-rate is
+    /// exceeded.
+    pub stop_failure_rate: f64,
+    /// Stop the ramp once median latency exceeds this (the service is far
+    /// past its knee; later rounds only burn time).
+    pub stop_t_median: Duration,
+}
+
+impl RampConfig {
+    /// The default capacity ramp (full E4 run).
+    pub fn standard() -> RampConfig {
+        RampConfig {
+            initial_rps: 20_000,
+            increment_rps: 20_000,
+            max_rps: 1_000_000,
+            round_ops: 40_000,
+            slo: Duration::from_millis(50),
+            timeout: Duration::from_millis(250),
+            stop_failure_rate: 0.05,
+            stop_t_median: Duration::from_millis(100),
+        }
+    }
+
+    /// A seconds-long smoke ramp for CI.
+    pub fn quick() -> RampConfig {
+        RampConfig {
+            initial_rps: 5_000,
+            increment_rps: 15_000,
+            max_rps: 50_000,
+            round_ops: 4_000,
+            ..RampConfig::standard()
+        }
+    }
+}
+
+/// One measured round of a serve ramp.
+#[derive(Clone, Debug)]
+pub struct ServeRecord {
+    pub scenario: &'static str,
+    pub shards: usize,
+    pub tenants: usize,
+    /// Chunk parameter K of shard 0's structure.
+    pub k: usize,
+    pub round: usize,
+    pub offered_rps: u64,
+    pub ops: usize,
+    /// Ops over the round's actual span (first arrival → last completion).
+    pub achieved_rps: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub mean_ns: u64,
+    /// p95 of per-batch service time (dispatch → completion).
+    pub batch_p95_ns: u64,
+    pub failures: u64,
+    pub failure_rate: f64,
+    /// Did this round meet the SLO (p95 ≤ slo, failure rate in bounds)?
+    pub sustainable: bool,
+}
+
+/// Run the full ramp for one scenario. Returns the per-round records; the
+/// knee is derived by [`knee_point`].
+pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<ServeRecord> {
+    // Global-registry handles so `metrics_dump` / the exposition test see
+    // the bench layer too; per-round local histograms produce the report.
+    let reg = obs::global();
+    let op_family = reg.histogram(
+        "pdmsf_bench_serve_op_ns",
+        "E4 per-op serve latency (arrival to completion)",
+    );
+    let batch_family = reg.histogram(
+        "pdmsf_bench_serve_batch_ns",
+        "E4 per-batch service time (dispatch to completion)",
+    );
+
+    let mut records = Vec::new();
+    let mut offered = config.initial_rps.max(1);
+    let mut round = 0;
+    loop {
+        // A fresh service + stream per round: rounds are independent
+        // samples of the same workload at different rates (replaying one
+        // stream would make later rounds cut edges earlier rounds linked).
+        let specs: Vec<TenantSpec> = (0..scenario.tenants)
+            .map(|t| TenantSpec::new(pdmsf_graph::TenantId(t as u32), scenario.tenant_vertices))
+            .collect();
+        let mut service = ShardedService::new(scenario.shards, &specs);
+        service.enable_metrics();
+        let k = service.shard_engine(0).structure().chunk_parameter();
+
+        let batches = (config.round_ops / scenario.batch_size).max(1);
+        let stream = tenant_stream(
+            scenario.tenants,
+            scenario.tenant_vertices,
+            batches,
+            scenario.batch_size,
+            scenario.zipf_permille,
+            scenario.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        service.execute(&stream.base_ops()); // warm state, untimed
+
+        let op_hist = obs::Histogram::new();
+        let batch_hist = obs::Histogram::new();
+        let mut failures = 0u64;
+        let mut ops_done = 0usize;
+        let timeout_ns = config.timeout.as_nanos() as u64;
+        let ns_per_op = 1_000_000_000f64 / offered as f64;
+
+        let t0 = Instant::now();
+        let mut arrived = 0usize; // ops arrived before the current batch
+        let mut last_completion_ns = 0u64;
+        for batch in &stream.batches {
+            let last_arrival_ns = ((arrived + batch.len()) as f64 * ns_per_op) as u64;
+            // Closed loop: wait for the batch's arrival window to fill —
+            // but never sleep when already behind (queueing builds up).
+            let now_ns = t0.elapsed().as_nanos() as u64;
+            if last_arrival_ns > now_ns {
+                std::thread::sleep(Duration::from_nanos(last_arrival_ns - now_ns));
+            }
+            let dispatch = Instant::now();
+            service.execute(batch);
+            let batch_ns = dispatch.elapsed().as_nanos() as u64;
+            batch_hist.record(batch_ns);
+            batch_family.record(batch_ns);
+
+            let completion_ns = t0.elapsed().as_nanos() as u64;
+            last_completion_ns = completion_ns;
+            for j in 0..batch.len() {
+                let arrival_ns = ((arrived + j + 1) as f64 * ns_per_op) as u64;
+                let latency = completion_ns.saturating_sub(arrival_ns);
+                op_hist.record(latency);
+                op_family.record(latency);
+                if latency > timeout_ns {
+                    failures += 1;
+                }
+            }
+            arrived += batch.len();
+            ops_done += batch.len();
+        }
+
+        let snap = op_hist.snapshot();
+        let failure_rate = failures as f64 / ops_done.max(1) as f64;
+        let p95 = snap.quantile(0.95);
+        let record = ServeRecord {
+            scenario: scenario.name,
+            shards: scenario.shards,
+            tenants: scenario.tenants,
+            k,
+            round,
+            offered_rps: offered,
+            ops: ops_done,
+            achieved_rps: ops_done as f64 * 1e9 / last_completion_ns.max(1) as f64,
+            p50_ns: snap.quantile(0.5),
+            p95_ns: p95,
+            p99_ns: snap.quantile(0.99),
+            mean_ns: snap.mean() as u64,
+            batch_p95_ns: batch_hist.snapshot().quantile(0.95),
+            failures,
+            failure_rate,
+            sustainable: p95 <= config.slo.as_nanos() as u64
+                && failure_rate <= config.stop_failure_rate,
+        };
+        let stop = record.failure_rate > config.stop_failure_rate
+            || record.p50_ns > config.stop_t_median.as_nanos() as u64
+            || offered >= config.max_rps;
+        records.push(record);
+        if stop {
+            break;
+        }
+        offered = (offered + config.increment_rps).min(config.max_rps);
+        round += 1;
+    }
+    records
+}
+
+/// The knee of a ramp: the highest offered rps among sustainable rounds
+/// (`None` when even the first round missed the SLO).
+pub fn knee_point(records: &[ServeRecord]) -> Option<u64> {
+    records
+        .iter()
+        .filter(|r| r.sustainable)
+        .map(|r| r.offered_rps)
+        .max()
+}
+
+/// Serialize an E4 run as `BENCH_serve_latency.json` (hand-rolled JSON; see
+/// [`crate::bench_records_to_json`]).
+pub fn serve_records_to_json(
+    meta: &RunMeta,
+    config: &RampConfig,
+    records: &[ServeRecord],
+) -> String {
+    let knee = knee_point(records);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"serve_latency\",\n");
+    out.push_str("  \"unit\": \"rps\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{\"git_sha\": \"{}\", \"threads\": {}, \"par_cutoff\": {}}},\n",
+        meta.git_sha, meta.threads, meta.par_cutoff
+    ));
+    out.push_str(&format!(
+        "  \"config\": {{\"initial_rps\": {}, \"increment_rps\": {}, \"max_rps\": {}, \"round_ops\": {}, \"slo_ms\": {}, \"timeout_ms\": {}, \"stop_failure_rate\": {}, \"stop_t_median_ms\": {}}},\n",
+        config.initial_rps,
+        config.increment_rps,
+        config.max_rps,
+        config.round_ops,
+        config.slo.as_millis(),
+        config.timeout.as_millis(),
+        config.stop_failure_rate,
+        config.stop_t_median.as_millis()
+    ));
+    out.push_str(&format!(
+        "  \"headline\": {{\"knee_rps\": {}, \"slo_p95_ms\": {}}},\n",
+        knee.map_or("null".to_string(), |k| k.to_string()),
+        config.slo.as_millis()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"shards\": {}, \"tenants\": {}, \"k\": {}, \"round\": {}, \"offered_rps\": {}, \"ops\": {}, \"achieved_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"batch_p95_us\": {:.1}, \"failures\": {}, \"failure_rate\": {:.4}, \"sustainable\": {}}}{}\n",
+            r.scenario,
+            r.shards,
+            r.tenants,
+            r.k,
+            r.round,
+            r.offered_rps,
+            r.ops,
+            r.achieved_rps,
+            r.p50_ns as f64 / 1e3,
+            r.p95_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.mean_ns as f64 / 1e3,
+            r.batch_p95_ns as f64 / 1e3,
+            r.failures,
+            r.failure_rate,
+            r.sustainable,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ramp_produces_rounds_and_knee() {
+        let scenario = ServeScenario {
+            name: "test",
+            tenants: 3,
+            tenant_vertices: 64,
+            shards: 2,
+            batch_size: 32,
+            zipf_permille: 0,
+            seed: 7,
+        };
+        let config = RampConfig {
+            initial_rps: 50_000,
+            increment_rps: 50_000,
+            max_rps: 100_000,
+            round_ops: 128,
+            slo: Duration::from_secs(5),
+            timeout: Duration::from_secs(10),
+            stop_failure_rate: 0.5,
+            stop_t_median: Duration::from_secs(5),
+        };
+        let records = drive_serve_ramp(&scenario, &config);
+        assert!(!records.is_empty() && records.len() <= 2);
+        assert!(records.iter().all(|r| r.ops >= 128));
+        // Generous SLO: every round sustains, knee = last offered rate.
+        assert_eq!(
+            knee_point(&records),
+            Some(records.last().unwrap().offered_rps)
+        );
+        let json = serve_records_to_json(&RunMeta::collect(), &config, &records);
+        assert!(json.contains("\"knee_rps\""));
+        assert!(json.contains("\"scenario\": \"test\""));
+    }
+}

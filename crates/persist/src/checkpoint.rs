@@ -14,6 +14,7 @@
 //! documented in `pdmsf_core::snapshot`.
 
 use std::io::{Read, Write};
+use std::time::Instant;
 
 use pdmsf_core::{ChunkArenaImage, MsfImage, ParDynamicMsf, RowBankImage};
 use pdmsf_engine::{Engine, EngineStats};
@@ -24,6 +25,17 @@ use crate::format::{
     expect_section, read_header, write_header, write_section, Dec, Enc, PersistError, KIND_ENGINE,
     KIND_SERVICE, SEC_END, SEC_ENGINE, SEC_SHARD, SEC_TENANTS,
 };
+use crate::metrics::{metrics, CountingWriter};
+
+/// Stamp one finished checkpoint into the `pdmsf_persist_checkpoint_*`
+/// families.
+fn note_checkpoint(bytes: u64, started: Instant) {
+    let m = metrics();
+    m.checkpoint_ns.record_duration(started.elapsed());
+    m.checkpoint_bytes.add(bytes);
+    m.checkpoint_last_bytes.set(bytes as i64);
+    m.checkpoints.inc();
+}
 
 // ---------------------------------------------------------------------------
 // Engine blob codec (shared by the engine checkpoint and the per-shard
@@ -257,7 +269,7 @@ pub trait EngineCheckpointExt: Sized {
 }
 
 impl EngineCheckpointExt for Engine {
-    fn checkpoint<W: Write>(&self, mut w: W) -> Result<(), PersistError> {
+    fn checkpoint<W: Write>(&self, w: W) -> Result<(), PersistError> {
         if self.is_partitioned() {
             // Flattening a component-partitioned structure into the
             // single-structure image format is not supported yet; refuse
@@ -269,10 +281,13 @@ impl EngineCheckpointExt for Engine {
                     .to_string(),
             ));
         }
+        let t0 = Instant::now();
+        let mut w = CountingWriter::new(w);
         write_header(&mut w, KIND_ENGINE)?;
         write_section(&mut w, SEC_ENGINE, &encode_engine(self))?;
         write_section(&mut w, SEC_END, &[])?;
         w.flush()?;
+        note_checkpoint(w.written, t0);
         Ok(())
     }
 
@@ -304,7 +319,7 @@ pub trait ServiceCheckpointExt: Sized {
 }
 
 impl ServiceCheckpointExt for ShardedService {
-    fn checkpoint_all<W: Write>(&self, mut w: W) -> Result<(), PersistError> {
+    fn checkpoint_all<W: Write>(&self, w: W) -> Result<(), PersistError> {
         if (0..self.num_shards()).any(|s| self.shard_engine(s).is_partitioned()) {
             return Err(PersistError::Inconsistent(
                 "component-partitioned shard engines do not support checkpointing yet \
@@ -312,6 +327,8 @@ impl ServiceCheckpointExt for ShardedService {
                     .to_string(),
             ));
         }
+        let t0 = Instant::now();
+        let mut w = CountingWriter::new(w);
         write_header(&mut w, KIND_SERVICE)?;
         write_section(&mut w, SEC_TENANTS, &encode_tenants(self))?;
         for shard in 0..self.num_shards() {
@@ -323,6 +340,7 @@ impl ServiceCheckpointExt for ShardedService {
         }
         write_section(&mut w, SEC_END, &[])?;
         w.flush()?;
+        note_checkpoint(w.written, t0);
         Ok(())
     }
 

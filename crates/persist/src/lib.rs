@@ -73,6 +73,7 @@ pub mod checkpoint;
 pub mod crc32;
 pub mod faults;
 pub mod format;
+mod metrics;
 pub mod oplog;
 pub mod recover;
 

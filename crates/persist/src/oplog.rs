@@ -28,11 +28,13 @@
 
 use std::fs::File;
 use std::io::{self, Write};
+use std::time::Instant;
 
 use pdmsf_engine::{LoggedBatch, LoggedUpdate, OpSink};
 use pdmsf_graph::{EdgeId, VertexId, Weight};
 
 use crate::format::{payload_crc, PersistError, FORMAT_VERSION, LOG_MAGIC};
+use crate::metrics::metrics;
 
 /// Update tag byte: a link record follows.
 const UPD_LINK: u8 = 0;
@@ -127,7 +129,9 @@ impl<M: LogMedium> OpLogWriter<M> {
 
     /// Issue the durability barrier now.
     pub fn sync(&mut self) -> io::Result<()> {
+        let t0 = Instant::now();
         self.medium.sync()?;
+        metrics().wal_fsync_ns.record_duration(t0.elapsed());
         self.unsynced = 0;
         Ok(())
     }
@@ -162,6 +166,7 @@ impl<M: LogMedium + Send> OpSink for OpLogWriter<M> {
                 ),
             ));
         }
+        let t0 = Instant::now();
         let payload = encode_batch(batch);
         self.medium.write_all(&seq.to_le_bytes())?;
         self.medium
@@ -169,6 +174,10 @@ impl<M: LogMedium + Send> OpSink for OpLogWriter<M> {
         self.medium
             .write_all(&payload_crc(seq, &payload).to_le_bytes())?;
         self.medium.write_all(&payload)?;
+        let m = metrics();
+        m.wal_append_ns.record_duration(t0.elapsed());
+        m.wal_bytes.add(16 + payload.len() as u64);
+        m.wal_records.inc();
         self.last_seq = seq;
         self.records += 1;
         self.unsynced += 1;

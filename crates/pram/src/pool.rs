@@ -84,8 +84,9 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use pdmsf_obs as obs;
 
 /// One job: a borrowed range closure plus shard accounting. Shard ranges are
 /// claimed from `next` (injector chunks) or travel as [`Seg`]s through the
@@ -177,13 +178,66 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-// Process-wide observability counters (see [`stats`]). They cover every
-// pool in the process (the global one plus any test-local instances).
-static JOBS_RUN: AtomicU64 = AtomicU64::new(0);
-static SHARDS_EXECUTED: AtomicU64 = AtomicU64::new(0);
-static INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
-static CHUNKS_CLAIMED: AtomicU64 = AtomicU64::new(0);
-static STEALS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide observability counters (see [`stats`]), backed by the
+/// `pdmsf-obs` global registry so one Prometheus scrape
+/// ([`pdmsf_obs::Registry::render_text`]) covers the scheduler. They cover
+/// every pool in the process (the global one plus any test-local
+/// instances). [`stats`] reads the same instruments — the registry is the
+/// single source of truth; the former hand-rolled `static AtomicU64`s are
+/// gone.
+struct PoolMetrics {
+    jobs_run: Arc<obs::Counter>,
+    shards_executed: Arc<obs::Counter>,
+    inline_runs: Arc<obs::Counter>,
+    chunks_claimed: Arc<obs::Counter>,
+    steals: Arc<obs::Counter>,
+    parks: Arc<obs::Counter>,
+    wakes: Arc<obs::Counter>,
+    workers: Arc<obs::Gauge>,
+    workers_parked: Arc<obs::Gauge>,
+}
+
+static POOL_METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+
+/// The pool's registered instruments, resolved once — the hot path pays
+/// one initialized-check load plus the relaxed `fetch_add` it always paid.
+fn metrics() -> &'static PoolMetrics {
+    POOL_METRICS.get_or_init(|| {
+        let r = obs::global();
+        PoolMetrics {
+            jobs_run: r.counter("pdmsf_pool_jobs_total", "pooled jobs completed"),
+            shards_executed: r.counter(
+                "pdmsf_pool_shards_executed_total",
+                "shards executed through pooled jobs",
+            ),
+            inline_runs: r.counter(
+                "pdmsf_pool_inline_runs_total",
+                "run calls degraded to inline execution",
+            ),
+            chunks_claimed: r.counter(
+                "pdmsf_pool_chunks_claimed_total",
+                "shard chunks claimed from the injector queue",
+            ),
+            steals: r.counter(
+                "pdmsf_pool_steals_total",
+                "successful steals of parked shard ranges",
+            ),
+            parks: r.counter(
+                "pdmsf_pool_parks_total",
+                "times a worker parked waiting for work",
+            ),
+            wakes: r.counter("pdmsf_pool_wakes_total", "times a parked worker was woken"),
+            workers: r.gauge(
+                "pdmsf_pool_workers",
+                "pool worker threads spawned in the process",
+            ),
+            workers_parked: r.gauge(
+                "pdmsf_pool_workers_parked",
+                "pool workers currently parked waiting for work",
+            ),
+        }
+    })
+}
 
 thread_local! {
     /// The executor slot this thread currently holds, as `(pool address,
@@ -213,6 +267,7 @@ impl Pool {
             done_cv: Condvar::new(),
             workers,
         }));
+        metrics().workers.add(workers as i64);
         for w in 0..workers {
             let p: &'static Pool = pool;
             std::thread::Builder::new()
@@ -233,8 +288,13 @@ impl Pool {
                 }
                 None => {
                     state.parked += 1;
+                    let m = metrics();
+                    m.parks.inc();
+                    m.workers_parked.add(1);
                     state = self.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
                     state.parked -= 1;
+                    m.wakes.inc();
+                    m.workers_parked.add(-1);
                 }
             }
         }
@@ -333,7 +393,7 @@ impl Pool {
                     state.queue.remove(pos);
                 }
             }
-            CHUNKS_CLAIMED.fetch_add(1, Ordering::Relaxed);
+            metrics().chunks_claimed.inc();
             return Some(self.split_run(state, slot, id, start, start + chunk));
         }
 
@@ -369,7 +429,7 @@ impl Pool {
                 (job, start, end) = (seg.job, seg.end - take, seg.end);
                 seg.end = start;
             }
-            STEALS.fetch_add(1, Ordering::Relaxed);
+            metrics().steals.inc();
             return Some(self.split_run(state, slot, job, start, end));
         }
         None
@@ -391,7 +451,7 @@ impl Pool {
             .as_ref()
             .expect("job slot freed while a range was parked")
             .f;
-        SHARDS_EXECUTED.fetch_add((end - start) as u64, Ordering::Relaxed);
+        metrics().shards_executed.add((end - start) as u64);
         drop(state);
         // Soundness: the submitter blocks until `done`, which is set only
         // after this range's `pending` decrement below — the closure behind
@@ -491,7 +551,7 @@ impl Pool {
             EXECUTOR.with(|e| e.set(held));
         }
         drop(state);
-        JOBS_RUN.fetch_add(1, Ordering::Relaxed);
+        metrics().jobs_run.inc();
         if let Some(payload) = job.panic {
             std::panic::resume_unwind(payload);
         }
@@ -621,12 +681,13 @@ pub fn stats() -> PoolStats {
         Some(p) => (p.workers, lock(&p.state).parked),
         None => (0, 0),
     };
+    let m = metrics();
     PoolStats {
-        jobs_run: JOBS_RUN.load(Ordering::Relaxed),
-        shards_executed: SHARDS_EXECUTED.load(Ordering::Relaxed),
-        inline_runs: INLINE_RUNS.load(Ordering::Relaxed),
-        chunks_claimed: CHUNKS_CLAIMED.load(Ordering::Relaxed),
-        steals: STEALS.load(Ordering::Relaxed),
+        jobs_run: m.jobs_run.get(),
+        shards_executed: m.shards_executed.get(),
+        inline_runs: m.inline_runs.get(),
+        chunks_claimed: m.chunks_claimed.get(),
+        steals: m.steals.get(),
         workers,
         workers_parked,
     }
@@ -658,7 +719,7 @@ pub fn stats() -> PoolStats {
 /// **not** spawned in those cases.
 pub fn run_shard_ranges(shards: usize, f: impl Fn(std::ops::Range<usize>) + Sync) {
     if shards <= 1 {
-        INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
+        metrics().inline_runs.inc();
         if shards == 1 {
             f(0..1);
         }
@@ -666,7 +727,7 @@ pub fn run_shard_ranges(shards: usize, f: impl Fn(std::ops::Range<usize>) + Sync
     }
     let pool = pool();
     if pool.workers == 0 {
-        INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
+        metrics().inline_runs.inc();
         f(0..shards);
         return;
     }

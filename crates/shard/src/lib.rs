@@ -79,9 +79,12 @@
 
 use pdmsf_engine::{Engine, Outcome, PlannedBatch};
 use pdmsf_graph::{TenantId, TenantOp, VertexId};
+use pdmsf_obs as obs;
 use pdmsf_pram::kernels::SendPtr;
 use pdmsf_pram::pool;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 mod router;
 
@@ -282,6 +285,50 @@ struct ShardOutput {
     snapshots: u64,
 }
 
+/// Pre-resolved handles into the `pdmsf-obs` global registry for the
+/// `pdmsf_shard_*` metric families: one batch-latency histogram per shard
+/// (labeled `shard="<i>"`), routing rejects and queue-batch sizes.
+struct ServiceMetrics {
+    /// Per-shard batch latency (engine apply + weight sweeps), indexed by
+    /// shard.
+    batch_ns: Vec<Arc<obs::Histogram>>,
+    service_batches: Arc<obs::Counter>,
+    routing_rejects: Arc<obs::Counter>,
+    /// Ops per dispatched shard sub-batch — the queue-batch size
+    /// distribution the router produces.
+    queue_batch_ops: Arc<obs::Histogram>,
+}
+
+impl ServiceMetrics {
+    fn resolve(shards: usize) -> ServiceMetrics {
+        let r = obs::global();
+        ServiceMetrics {
+            batch_ns: (0..shards)
+                .map(|s| {
+                    r.histogram_labeled(
+                        "pdmsf_shard_batch_ns",
+                        "shard",
+                        &s.to_string(),
+                        "per-shard sub-batch execution latency",
+                    )
+                })
+                .collect(),
+            service_batches: r.counter(
+                "pdmsf_shard_service_batches_total",
+                "service batches executed",
+            ),
+            routing_rejects: r.counter(
+                "pdmsf_shard_routing_rejects_total",
+                "operations rejected at the router",
+            ),
+            queue_batch_ops: r.histogram(
+                "pdmsf_shard_queue_batch_ops",
+                "operations per dispatched shard sub-batch",
+            ),
+        }
+    }
+}
+
 /// The multi-tenant sharded serving layer. See the crate docs.
 pub struct ShardedService {
     shards: Vec<Engine>,
@@ -289,6 +336,9 @@ pub struct ShardedService {
     /// Tenant id → dense index into `tenants`.
     lookup: HashMap<TenantId, u32>,
     stats: ServiceStats,
+    /// Optional registry-backed instrumentation
+    /// ([`ShardedService::enable_metrics`]).
+    metrics: Option<ServiceMetrics>,
 }
 
 impl ShardedService {
@@ -358,6 +408,19 @@ impl ShardedService {
             tenants: states,
             lookup,
             stats: ServiceStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Turn on registry-backed instrumentation: per-shard batch latency
+    /// histograms (`pdmsf_shard_batch_ns{shard="<i>"}`), routing rejects and
+    /// queue-batch sizes, plus per-phase engine metrics on every shard
+    /// engine ([`Engine::enable_metrics`]). Handles resolve from
+    /// [`pdmsf_obs::global`]; uninstrumented services skip every clock read.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(ServiceMetrics::resolve(self.shards.len()));
+        for engine in &mut self.shards {
+            engine.enable_metrics();
         }
     }
 
@@ -483,6 +546,7 @@ impl ShardedService {
             tenants: states,
             lookup,
             stats,
+            metrics: None,
         })
     }
 
@@ -576,6 +640,26 @@ impl ShardedService {
         let routed = router::route(&mut self.tenants, &self.lookup, &self.shards, ops);
         let slots = routed.slots.len();
 
+        // Per-slot histogram handles, cloned up front so the job closure
+        // captures only `Sync` data (`Arc<Histogram>` records via interior
+        // atomics). `None` throughout when metrics are off — the job then
+        // takes no clock readings at all.
+        let slot_hists: Vec<Option<Arc<obs::Histogram>>> = match &self.metrics {
+            Some(m) => {
+                m.service_batches.inc();
+                m.routing_rejects.add(routed.router_rejected as u64);
+                for sub in &routed.sub_batches {
+                    m.queue_batch_ops.record(sub.len() as u64);
+                }
+                routed
+                    .slots
+                    .iter()
+                    .map(|&s| Some(m.batch_ns[s].clone()))
+                    .collect()
+            }
+            None => (0..slots).map(|_| None).collect(),
+        };
+
         // Plan every touched shard's sub-batch on the caller thread (pure,
         // `&self` per engine) so the workers only run the `&mut` half.
         let mut plans: Vec<Option<PlannedBatch>> = routed
@@ -595,6 +679,7 @@ impl ShardedService {
             let outputs_base = SendPtr(outputs.as_mut_ptr());
             let tenants = &self.tenants;
             let routed = &routed;
+            let slot_hists = &slot_hists;
             // Each slot targets a distinct shard, takes its own plan and
             // writes its own output slot — all raw accesses are disjoint,
             // and `run_shards` blocks until every slot finished, so the
@@ -605,6 +690,7 @@ impl ShardedService {
                     .take()
                     .expect("each slot claims its plan exactly once");
                 let snapshots_before = engine.stats().snapshots;
+                let started = slot_hists[slot].as_ref().map(|_| Instant::now());
                 let result = engine.execute_planned(plan);
                 // All of this shard's tenant weight queries in one sweep
                 // over its forest (per-tenant sweeps would rescan the live
@@ -617,6 +703,9 @@ impl ShardedService {
                     })
                     .collect();
                 let weights = engine.forest_weights_in_ranges(&ranges);
+                if let (Some(hist), Some(t0)) = (&slot_hists[slot], started) {
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                }
                 let output = ShardOutput {
                     result,
                     weights,

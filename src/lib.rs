@@ -24,6 +24,9 @@
 //!   on top of the engine,
 //! * [`persist`] ([`pdmsf_persist`]) — durable checkpoint/restore, the
 //!   write-ahead op log and crash recovery,
+//! * [`obs`] ([`pdmsf_obs`]) — the zero-dependency metrics core: counters,
+//!   gauges, log2 latency histograms, phase spans and Prometheus-text
+//!   exposition,
 //! * [`baselines`] ([`pdmsf_baselines`]) — comparison structures.
 //!
 //! ## Performance architecture
@@ -207,6 +210,40 @@
 //!   against a cold rebuild, recording `BENCH_persist.json`; the end-to-end
 //!   flow is `examples/checkpoint_restore.rs`.
 //!
+//! ## Observability
+//!
+//! Crate [`pdmsf_obs`] (re-exported as [`obs`]) is the stack's metrics
+//! core: a zero-dependency [`obs::Registry`] of named atomic counters,
+//! gauges and fixed-size **log2-bucketed latency histograms** (lock-free
+//! `record`, exact count/sum, mergeable snapshots, p50/p95/p99 estimates
+//! accurate to one power-of-two bucket), plus [`obs::Span`] /
+//! [`obs::PhaseTimer`] drop-guards for phase timing and a Prometheus
+//! text-format renderer ([`obs::Registry::render_text`]).
+//!
+//! Instrumentation follows a two-tier policy, keyed off the process-wide
+//! [`obs::global`] registry and named `pdmsf_<layer>_<metric>`:
+//!
+//! * **Always on** where events are cheap to count or rare: the worker
+//!   pool's scheduler counters (`pdmsf_pool_*` — jobs, chunk claims,
+//!   steals, parks/wakes; [`pram::pool::stats`] is now a façade over
+//!   them) and the persistence layer (`pdmsf_persist_*` — WAL append and
+//!   fsync latency, bytes, checkpoint size/duration).
+//! * **Opt-in** on the hot serving paths: [`Engine::enable_metrics`] adds
+//!   per-batch plan/apply/snapshot/group-coloring phase timings and
+//!   outcome counters (`pdmsf_engine_*`);
+//!   [`ShardedService::enable_metrics`] adds per-shard batch-latency
+//!   histograms (labeled `shard="<i>"`), routing rejects and queue-batch
+//!   sizes (`pdmsf_shard_*`), and turns on engine metrics for every
+//!   shard. Uninstrumented engines skip every clock read — the overhead
+//!   bench (`benches/obs_overhead.rs`) pins the instrumented E1 batch
+//!   path within 2% of the uninstrumented one.
+//!
+//! `examples/metrics_dump.rs` drives a skewed sharded workload and prints
+//! the full four-layer exposition; experiment E4 (`experiments -- e4`)
+//! uses the same histograms to drive a closed-loop latency ramp and find
+//! the knee point (max sustainable load under an SLO), recording
+//! `BENCH_serve_latency.json`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -243,6 +280,7 @@ pub use pdmsf_core as core;
 pub use pdmsf_dyntree as dyntree;
 pub use pdmsf_engine as engine;
 pub use pdmsf_graph as graph;
+pub use pdmsf_obs as obs;
 pub use pdmsf_persist as persist;
 pub use pdmsf_pram as pram;
 pub use pdmsf_shard as shard;
@@ -264,6 +302,7 @@ pub mod prelude {
         TenantId, TenantOp, TenantStream, TenantStreamSpec, UpdateOp, UpdateStream,
         UpdateStreamSpec, VertexId, WKey, Weight,
     };
+    pub use pdmsf_obs::{Counter, Gauge, Histogram, PhaseTimer, Registry, Span};
     pub use pdmsf_persist::{
         recover_engine, recover_service, EngineCheckpointExt, FlushPolicy, OpLogWriter,
         PersistError, RecoveryReport, ServiceCheckpointExt, SharedDisk,
