@@ -27,6 +27,15 @@ const MAX_RATIO: f64 = 1.02;
 const PAIRS: usize = 11;
 
 fn main() {
+    // Tracing is compiled into every engine phase but must be OFF here:
+    // the <2% budget is the cost of the *disabled* two-tier check (one
+    // relaxed load + branch per span site) riding along with the metrics.
+    assert!(
+        !pdmsf_obs::trace::enabled(),
+        "obs_overhead measures the tracing-off path; nothing may enable \
+         the global tracer in this process"
+    );
+
     let n = 2_048;
     let stream = bursty_batch_stream(n, n / 2, 16, 256, 5);
 
@@ -77,6 +86,9 @@ fn main() {
         (median - 1.0) * 100.0,
         (MAX_RATIO - 1.0) * 100.0
     );
+
+    // The measured pairs must all have run with tracing still disabled.
+    assert!(!pdmsf_obs::trace::enabled());
 
     // Keep the timing honest: both paths must have actually run batches.
     let _ = Duration::ZERO;

@@ -833,8 +833,14 @@ fn e4_serve_latency(quick: bool) {
         "{:>9} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>5}",
         "scenario", "round", "offered_rps", "achieved", "p50_us", "p95_us", "p99_us", "fail", "ok"
     );
+    let mut slowest: Option<pdmsf_obs::trace::CapturedTrace> = None;
     for scenario in scenarios {
-        let ramp = drive_serve_ramp(scenario, &config);
+        let (ramp, scenario_slowest) = drive_serve_ramp(scenario, &config);
+        if let Some(cap) = scenario_slowest {
+            if slowest.as_ref().is_none_or(|s| cap.total_ns > s.total_ns) {
+                slowest = Some(cap);
+            }
+        }
         for r in &ramp {
             println!(
                 "{:>9} {:>6} {:>12} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8.2}% {:>5}",
@@ -868,6 +874,20 @@ fn e4_serve_latency(quick: bool) {
     let path = "BENCH_serve_latency.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path}");
+    // Export the ramp's slowest captured batch as Chrome trace-event JSON
+    // (loadable in Perfetto / about://tracing) for tail-latency forensics.
+    if let Some(cap) = slowest {
+        let trace_path = "BENCH_serve_trace.json";
+        let trace_json = pdmsf_obs::trace::chrome_trace_json(&cap.events);
+        std::fs::write(trace_path, trace_json)
+            .unwrap_or_else(|e| panic!("cannot write {trace_path}: {e}"));
+        println!(
+            "wrote {trace_path} (slowest captured batch: trace {} at {:.1} us end-to-end, {} events)",
+            cap.trace,
+            cap.total_ns as f64 / 1e3,
+            cap.events.len()
+        );
+    }
 }
 
 /// E11: PRAM depth, work and processors per update vs n (numbered E2/E3/E4

@@ -72,6 +72,11 @@ pub struct RampConfig {
     /// Stop the ramp once median latency exceeds this (the service is far
     /// past its knee; later rounds only burn time).
     pub stop_t_median: Duration,
+    /// Trace 1 in `trace_sample` batches through the flight recorder
+    /// (0 disables tracing entirely). Traced rounds stamp a per-phase
+    /// breakdown of their slowest captured batch into the round record,
+    /// and the slowest capture of the whole ramp is returned for export.
+    pub trace_sample: u32,
 }
 
 impl RampConfig {
@@ -86,6 +91,7 @@ impl RampConfig {
             timeout: Duration::from_millis(250),
             stop_failure_rate: 0.05,
             stop_t_median: Duration::from_millis(100),
+            trace_sample: 8,
         }
     }
 
@@ -124,11 +130,55 @@ pub struct ServeRecord {
     pub failure_rate: f64,
     /// Did this round meet the SLO (p95 ≤ slo, failure rate in bounds)?
     pub sustainable: bool,
+    /// Pool scheduler activity over the round
+    /// ([`pdmsf_pram::pool::StatsSnapshot::delta`]).
+    pub pool_jobs: u64,
+    pub pool_shards: u64,
+    pub pool_inline: u64,
+    pub pool_chunks: u64,
+    pub pool_steals: u64,
+    /// End-to-end latency of the round's slowest flight-recorder capture
+    /// (0 when the round was untraced or nothing was captured).
+    pub trace_total_ns: u64,
+    /// Per-phase time of that slowest capture ([`obs::trace::phase_durations`];
+    /// `wal` = append + fsync; note group/mirror spans nest inside apply).
+    pub trace_plan_ns: u64,
+    pub trace_group_ns: u64,
+    pub trace_apply_ns: u64,
+    pub trace_snapshot_ns: u64,
+    pub trace_wal_ns: u64,
 }
 
-/// Run the full ramp for one scenario. Returns the per-round records; the
-/// knee is derived by [`knee_point`].
-pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<ServeRecord> {
+/// Phase attribution pulled out of one captured batch's span set.
+fn phase_breakdown(cap: &obs::trace::CapturedTrace) -> [u64; 5] {
+    use obs::trace::Phase;
+    let mut plan = 0;
+    let mut group = 0;
+    let mut apply = 0;
+    let mut snapshot = 0;
+    let mut wal = 0;
+    for (phase, ns) in obs::trace::phase_durations(&cap.events) {
+        match phase {
+            Phase::Plan => plan += ns,
+            Phase::Group => group += ns,
+            Phase::Apply => apply += ns,
+            Phase::Snapshot => snapshot += ns,
+            Phase::WalAppend | Phase::WalFsync => wal += ns,
+            _ => {}
+        }
+    }
+    [plan, group, apply, snapshot, wal]
+}
+
+/// Run the full ramp for one scenario. Returns the per-round records (the
+/// knee is derived by [`knee_point`]) plus the slowest flight-recorder
+/// capture of the whole ramp (`None` when `config.trace_sample == 0` or
+/// nothing was captured) — `experiments -- e4` exports it as Chrome
+/// trace-event JSON next to the latency table.
+pub fn drive_serve_ramp(
+    scenario: &ServeScenario,
+    config: &RampConfig,
+) -> (Vec<ServeRecord>, Option<obs::trace::CapturedTrace>) {
     // Global-registry handles so `metrics_dump` / the exposition test see
     // the bench layer too; per-round local histograms produce the report.
     let reg = obs::global();
@@ -141,7 +191,16 @@ pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<Se
         "E4 per-batch service time (dispatch to completion)",
     );
 
+    if config.trace_sample > 0 {
+        // Pin every traced batch: retention keeps the slowest, so each
+        // round's drain yields its worst batches. Drain stale captures
+        // from earlier ramps in this process first.
+        obs::trace::set_capture_threshold_ns(1);
+        let _ = obs::trace::take_captured();
+    }
+
     let mut records = Vec::new();
+    let mut slowest: Option<obs::trace::CapturedTrace> = None;
     let mut offered = config.initial_rps.max(1);
     let mut round = 0;
     loop {
@@ -165,6 +224,13 @@ pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<Se
             scenario.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         service.execute(&stream.base_ops()); // warm state, untimed
+        if config.trace_sample > 0 {
+            // After the warm batch so the oversized warmup is never traced
+            // (it would otherwise dominate the flight recorder).
+            service.enable_tracing();
+            service.set_trace_sampling(config.trace_sample);
+        }
+        let pool_snap = pdmsf_pram::pool::snapshot();
 
         let op_hist = obs::Histogram::new();
         let batch_hist = obs::Histogram::new();
@@ -208,6 +274,22 @@ pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<Se
         let snap = op_hist.snapshot();
         let failure_rate = failures as f64 / ops_done.max(1) as f64;
         let p95 = snap.quantile(0.95);
+        let pool_delta = pool_snap.delta();
+        // Drain this round's captures: the slowest one yields the round's
+        // phase breakdown, and the slowest across all rounds is exported.
+        let mut round_trace = [0u64; 5];
+        let mut round_total = 0u64;
+        if config.trace_sample > 0 {
+            for cap in obs::trace::take_captured() {
+                if round_total == 0 {
+                    round_total = cap.total_ns;
+                    round_trace = phase_breakdown(&cap);
+                }
+                if slowest.as_ref().is_none_or(|s| cap.total_ns > s.total_ns) {
+                    slowest = Some(cap);
+                }
+            }
+        }
         let record = ServeRecord {
             scenario: scenario.name,
             shards: scenario.shards,
@@ -226,6 +308,17 @@ pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<Se
             failure_rate,
             sustainable: p95 <= config.slo.as_nanos() as u64
                 && failure_rate <= config.stop_failure_rate,
+            pool_jobs: pool_delta.jobs_run,
+            pool_shards: pool_delta.shards_executed,
+            pool_inline: pool_delta.inline_runs,
+            pool_chunks: pool_delta.chunks_claimed,
+            pool_steals: pool_delta.steals,
+            trace_total_ns: round_total,
+            trace_plan_ns: round_trace[0],
+            trace_group_ns: round_trace[1],
+            trace_apply_ns: round_trace[2],
+            trace_snapshot_ns: round_trace[3],
+            trace_wal_ns: round_trace[4],
         };
         let stop = record.failure_rate > config.stop_failure_rate
             || record.p50_ns > config.stop_t_median.as_nanos() as u64
@@ -237,7 +330,7 @@ pub fn drive_serve_ramp(scenario: &ServeScenario, config: &RampConfig) -> Vec<Se
         offered = (offered + config.increment_rps).min(config.max_rps);
         round += 1;
     }
-    records
+    (records, slowest)
 }
 
 /// The knee of a ramp: the highest offered rps among sustainable rounds
@@ -277,15 +370,39 @@ pub fn serve_records_to_json(
         config.stop_failure_rate,
         config.stop_t_median.as_millis()
     ));
+    // Phase attribution at the knee: each phase's share of the knee
+    // round's slowest captured batch (null when the knee round was
+    // untraced or captured nothing). Shares are thread-time over the
+    // batch's wall-clock, so a phase running concurrently on several
+    // pool workers (apply, typically) can legitimately exceed 1.0.
+    let knee_phases = knee
+        .and_then(|k| {
+            records
+                .iter()
+                .rfind(|r| r.sustainable && r.offered_rps == k)
+        })
+        .filter(|r| r.trace_total_ns > 0)
+        .map_or("null".to_string(), |r| {
+            let share = |ns: u64| ns as f64 / r.trace_total_ns as f64;
+            format!(
+                "{{\"plan\": {:.4}, \"group\": {:.4}, \"apply\": {:.4}, \"snapshot\": {:.4}, \"wal\": {:.4}}}",
+                share(r.trace_plan_ns),
+                share(r.trace_group_ns),
+                share(r.trace_apply_ns),
+                share(r.trace_snapshot_ns),
+                share(r.trace_wal_ns)
+            )
+        });
     out.push_str(&format!(
-        "  \"headline\": {{\"knee_rps\": {}, \"slo_p95_ms\": {}}},\n",
+        "  \"headline\": {{\"knee_rps\": {}, \"slo_p95_ms\": {}, \"knee_phase_shares\": {}}},\n",
         knee.map_or("null".to_string(), |k| k.to_string()),
-        config.slo.as_millis()
+        config.slo.as_millis(),
+        knee_phases
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"shards\": {}, \"tenants\": {}, \"k\": {}, \"round\": {}, \"offered_rps\": {}, \"ops\": {}, \"achieved_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"batch_p95_us\": {:.1}, \"failures\": {}, \"failure_rate\": {:.4}, \"sustainable\": {}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"shards\": {}, \"tenants\": {}, \"k\": {}, \"round\": {}, \"offered_rps\": {}, \"ops\": {}, \"achieved_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"batch_p95_us\": {:.1}, \"failures\": {}, \"failure_rate\": {:.4}, \"sustainable\": {}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}, \"pool_chunks\": {}, \"pool_steals\": {}, \"trace_total_us\": {:.1}, \"trace_plan_us\": {:.1}, \"trace_group_us\": {:.1}, \"trace_apply_us\": {:.1}, \"trace_snapshot_us\": {:.1}, \"trace_wal_us\": {:.1}}}{}\n",
             r.scenario,
             r.shards,
             r.tenants,
@@ -302,6 +419,17 @@ pub fn serve_records_to_json(
             r.failures,
             r.failure_rate,
             r.sustainable,
+            r.pool_jobs,
+            r.pool_shards,
+            r.pool_inline,
+            r.pool_chunks,
+            r.pool_steals,
+            r.trace_total_ns as f64 / 1e3,
+            r.trace_plan_ns as f64 / 1e3,
+            r.trace_group_ns as f64 / 1e3,
+            r.trace_apply_ns as f64 / 1e3,
+            r.trace_snapshot_ns as f64 / 1e3,
+            r.trace_wal_ns as f64 / 1e3,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -333,8 +461,9 @@ mod tests {
             timeout: Duration::from_secs(10),
             stop_failure_rate: 0.5,
             stop_t_median: Duration::from_secs(5),
+            trace_sample: 1,
         };
-        let records = drive_serve_ramp(&scenario, &config);
+        let (records, slowest) = drive_serve_ramp(&scenario, &config);
         assert!(!records.is_empty() && records.len() <= 2);
         assert!(records.iter().all(|r| r.ops >= 128));
         // Generous SLO: every round sustains, knee = last offered rate.
@@ -342,8 +471,16 @@ mod tests {
             knee_point(&records),
             Some(records.last().unwrap().offered_rps)
         );
+        // Every batch traced with a 1ns capture threshold: each round must
+        // carry a phase breakdown and the ramp a slowest capture.
+        assert!(records.iter().all(|r| r.trace_total_ns > 0));
+        let slowest = slowest.expect("traced ramp pins at least one batch");
+        assert!(!slowest.events.is_empty());
         let json = serve_records_to_json(&RunMeta::collect(), &config, &records);
         assert!(json.contains("\"knee_rps\""));
+        assert!(json.contains("\"knee_phase_shares\""));
         assert!(json.contains("\"scenario\": \"test\""));
+        assert!(json.contains("\"pool_jobs\""));
+        assert!(json.contains("\"trace_total_us\""));
     }
 }

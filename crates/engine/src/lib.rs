@@ -188,6 +188,33 @@ pub enum Reject {
     UnknownTenant,
 }
 
+impl Reject {
+    /// Stable label value for the `reason` dimension of the
+    /// `pdmsf_engine_ops_rejected_total` counter family.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            Reject::UnknownOrDeadEdge => "unknown_or_dead_edge",
+            Reject::EndpointOutOfRange => "endpoint_out_of_range",
+            Reject::SelfLoop => "self_loop",
+            Reject::UnknownTenant => "unknown_tenant",
+        }
+    }
+
+    /// Dense index of this reason into [`Reject::ALL`] (and the engine's
+    /// per-reason counter array).
+    fn metric_index(self) -> usize {
+        self as usize
+    }
+
+    /// Every reject reason, in [`Reject::metric_index`] order.
+    pub const ALL: [Reject; 4] = [
+        Reject::UnknownOrDeadEdge,
+        Reject::EndpointOutOfRange,
+        Reject::SelfLoop,
+        Reject::UnknownTenant,
+    ];
+}
+
 /// The per-operation result of a batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -462,7 +489,10 @@ struct EngineMetrics {
     ops: Arc<obs::Counter>,
     updates_applied: Arc<obs::Counter>,
     pairs_cancelled: Arc<obs::Counter>,
-    ops_rejected: Arc<obs::Counter>,
+    /// One series per [`Reject`] reason, indexed by
+    /// [`Reject::metric_index`] — the family is split by a `reason` label
+    /// so a scrape attributes rejects without a log dive.
+    ops_rejected: [Arc<obs::Counter>; Reject::ALL.len()],
     queries: Arc<obs::Counter>,
     snapshots: Arc<obs::Counter>,
     update_groups: Arc<obs::Counter>,
@@ -493,10 +523,14 @@ impl EngineMetrics {
                 "pdmsf_engine_pairs_cancelled_total",
                 "opposing link/cut pairs cancelled at plan time",
             ),
-            ops_rejected: r.counter(
-                "pdmsf_engine_ops_rejected_total",
-                "operations rejected by batch validation",
-            ),
+            ops_rejected: Reject::ALL.map(|reason| {
+                r.counter_labeled(
+                    "pdmsf_engine_ops_rejected_total",
+                    "reason",
+                    reason.metric_label(),
+                    "operations rejected by batch validation",
+                )
+            }),
             queries: r.counter("pdmsf_engine_queries_total", "queries answered"),
             snapshots: r.counter("pdmsf_engine_snapshots_total", "query snapshots captured"),
             update_groups: r.counter(
@@ -834,7 +868,11 @@ impl Engine {
     /// current allocation frontier, which an intervening batch would move).
     pub fn plan_batch(&self, ops: &[Op]) -> PlannedBatch {
         let timer = PhaseTimer::start(self.metrics.as_ref().map(|m| &*m.plan_ns));
+        // Trace against the ambient batch id (set by the sharded service
+        // on its submitting thread, or by any caller via `trace::scope`).
+        let tspan = obs::trace::TSpan::start(obs::trace::Phase::Plan, ops.len() as u64, 0);
         let plan = plan::plan(&self.graph, ops);
+        tspan.stop();
         timer.stop();
         PlannedBatch {
             plan,
@@ -908,7 +946,10 @@ impl Engine {
         // Owned spans (Arc clones), not borrowed timers: the timed phases
         // need `&mut self` while a borrowed guard would pin `&self.metrics`.
         let apply_span = Span::start(self.metrics.as_ref().map(|m| m.apply_ns.clone()));
+        let apply_tspan =
+            obs::trace::TSpan::start(obs::trace::Phase::Apply, plan.updates.len() as u64, 0);
         let (applied, update_groups, group_conflicts) = self.apply_updates(&plan.updates);
+        apply_tspan.stop();
         apply_span.stop();
 
         if !plan.unique_queries.is_empty() {
@@ -920,6 +961,11 @@ impl Engine {
                     .as_ref()
                     .filter(|_| snapshot_pays)
                     .map(|m| m.snapshot_ns.clone()),
+            );
+            let snapshot_tspan = obs::trace::TSpan::start(
+                obs::trace::Phase::Snapshot,
+                unique as u64,
+                snapshot_pays as u64,
             );
             let answers: Vec<Outcome> = if !snapshot_pays {
                 // Small query sets: a snapshot's O(n) capture would dominate.
@@ -935,6 +981,7 @@ impl Engine {
                 let snap = QuerySnapshot::capture(&self.graph, &self.msf);
                 snapshot::answer_queries(&snap, &plan.unique_queries)
             };
+            snapshot_tspan.stop();
             snapshot_span.stop();
             for &(out, slot) in &plan.query_refs {
                 plan.outcomes[out] = answers[slot];
@@ -959,7 +1006,16 @@ impl Engine {
             m.ops.add(summary.ops as u64);
             m.updates_applied.add(summary.applied_updates as u64);
             m.pairs_cancelled.add(summary.cancelled_pairs as u64);
-            m.ops_rejected.add(summary.rejected as u64);
+            if summary.rejected > 0 {
+                // Attribute each reject to its reason series; rejected
+                // outcome slots are final (query backfill above only
+                // touches accepted query slots).
+                for outcome in &plan.outcomes {
+                    if let Outcome::Rejected { reason } = outcome {
+                        m.ops_rejected[reason.metric_index()].inc();
+                    }
+                }
+            }
             m.queries.add(summary.queries as u64);
             m.update_groups.add(summary.update_groups as u64);
             m.group_conflicts.add(summary.group_conflicts as u64);
@@ -980,12 +1036,18 @@ impl Engine {
             // Resolve each surviving cut's endpoint *before* the mirror
             // pass deletes the edge there (see the crate docs).
             let resolved = group::resolve_surviving(&self.graph, updates);
+            let mirror_tspan =
+                obs::trace::TSpan::start(obs::trace::Phase::Mirror, updates.len() as u64, 0);
             self.mirror_pass(updates);
+            mirror_tspan.stop();
             let coloring_span = Span::start(self.metrics.as_ref().map(|m| m.coloring_ns.clone()));
+            let group_tspan =
+                obs::trace::TSpan::start(obs::trace::Phase::Group, resolved.len() as u64, 0);
             let EngineStructure::Partitioned(p) = &mut self.msf else {
                 unreachable!("is_partitioned() held above");
             };
             let groups = group::color_groups(p, &resolved);
+            group_tspan.stop();
             coloring_span.stop();
             let update_groups = groups.len();
             let group_conflicts = resolved.len() - update_groups;

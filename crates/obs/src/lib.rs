@@ -57,6 +57,8 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+pub mod trace;
+
 /// Number of histogram buckets: bucket 0 for the value 0, buckets
 /// `1..=62` for `[2^(i-1), 2^i)`, bucket 63 unbounded above `2^62 - 1`.
 pub const BUCKETS: usize = 64;
@@ -155,6 +157,10 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Smallest observed value (`u64::MAX` while empty).
+    min: AtomicU64,
+    /// Largest observed value (0 while empty).
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -171,6 +177,8 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -180,6 +188,8 @@ impl Histogram {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Record `n` observations of the same value (e.g. every op of a batch
@@ -192,6 +202,8 @@ impl Histogram {
         self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
         self.count.fetch_add(n, Ordering::Relaxed);
         self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Record a duration in nanoseconds (saturating at `u64::MAX`).
@@ -207,10 +219,18 @@ impl Histogram {
         for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
             *slot = bucket.load(Ordering::Relaxed);
         }
+        let count = self.count.load(Ordering::Relaxed);
         HistSnapshot {
             buckets,
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            // Normalize the empty sentinel so snapshots are plain data.
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +245,10 @@ pub struct HistSnapshot {
     pub count: u64,
     /// Sum of all observed values (exact, wrapping).
     pub sum: u64,
+    /// Smallest observed value (exact; 0 on an empty snapshot).
+    pub min: u64,
+    /// Largest observed value (exact; 0 on an empty snapshot).
+    pub max: u64,
 }
 
 impl Default for HistSnapshot {
@@ -233,6 +257,8 @@ impl Default for HistSnapshot {
             buckets: [0; BUCKETS],
             count: 0,
             sum: 0,
+            min: 0,
+            max: 0,
         }
     }
 }
@@ -244,6 +270,16 @@ impl HistSnapshot {
     pub fn merge(&mut self, other: &HistSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
+        }
+        // min/max before counts: the empty-side cases key off the old
+        // counts, not the merged one.
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
         }
         self.count += other.count;
         self.sum = self.sum.wrapping_add(other.sum);
@@ -444,6 +480,17 @@ impl Registry {
         }
     }
 
+    /// Get or register the series of counter family `name` carrying the
+    /// label `key="value"` (e.g. per-reason reject counters).
+    pub fn counter_labeled(&self, name: &str, key: &str, value: &str, help: &str) -> Arc<Counter> {
+        match self.series(name, help, Some((key, value)), Kind::Counter, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
     /// Get or register the unlabeled gauge `name`.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
         match self.series(name, help, None, Kind::Gauge, || {
@@ -567,6 +614,8 @@ impl Registry {
                         ));
                         out.push_str(&format!("{name}_sum{} {}\n", label(None), snap.sum));
                         out.push_str(&format!("{name}_count{} {}\n", label(None), snap.count));
+                        out.push_str(&format!("{name}_min{} {}\n", label(None), snap.min));
+                        out.push_str(&format!("{name}_max{} {}\n", label(None), snap.max));
                     }
                 }
             }
@@ -622,6 +671,33 @@ mod tests {
         assert_eq!(s.buckets[0], 1); // the zero
         assert_eq!(s.buckets[1], 2); // the ones
         assert_eq!(s.buckets[3], 4); // 5 and 7×3
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1 << 40);
+    }
+
+    #[test]
+    fn min_max_are_exact_and_empty_safe() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert_eq!((empty.min, empty.max), (0, 0));
+        h.record(17);
+        let one = h.snapshot();
+        assert_eq!((one.min, one.max), (17, 17));
+        h.record_n(3, 5);
+        h.record(900);
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max), (3, 900));
+        // Merge: empty sides must not contribute a fake min of 0.
+        let mut merged = HistSnapshot::default();
+        merged.merge(&s);
+        assert_eq!((merged.min, merged.max), (3, 900));
+        merged.merge(&HistSnapshot::default());
+        assert_eq!((merged.min, merged.max), (3, 900));
+        let other = Histogram::new();
+        other.record(1);
+        other.record(5000);
+        merged.merge(&other.snapshot());
+        assert_eq!((merged.min, merged.max), (1, 5000));
     }
 
     /// Quantile estimates land in the same bucket as the exact sample
@@ -718,6 +794,27 @@ mod tests {
     }
 
     #[test]
+    fn counter_labeled_series_are_independent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter_labeled("pdmsf_test_rejects_total", "reason", "self_loop", "rejects");
+        let b = r.counter_labeled("pdmsf_test_rejects_total", "reason", "dead_edge", "rejects");
+        let a2 = r.counter_labeled("pdmsf_test_rejects_total", "reason", "self_loop", "rejects");
+        a.add(2);
+        a2.inc();
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 1);
+        let text = r.render_text();
+        assert!(text.contains("pdmsf_test_rejects_total{reason=\"self_loop\"} 3"));
+        assert!(text.contains("pdmsf_test_rejects_total{reason=\"dead_edge\"} 1"));
+        assert_eq!(
+            text.matches("# TYPE pdmsf_test_rejects_total counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "registered as counter")]
     fn registry_rejects_kind_mismatch() {
         let r = Registry::new();
@@ -751,6 +848,8 @@ pdmsf_demo_latency_ns_bucket{le=\"7\"} 4
 pdmsf_demo_latency_ns_bucket{le=\"+Inf\"} 4
 pdmsf_demo_latency_ns_sum 12
 pdmsf_demo_latency_ns_count 4
+pdmsf_demo_latency_ns_min 0
+pdmsf_demo_latency_ns_max 6
 # HELP pdmsf_demo_ops_total operations processed
 # TYPE pdmsf_demo_ops_total counter
 pdmsf_demo_ops_total 7
@@ -762,6 +861,8 @@ pdmsf_demo_shard_ns_bucket{shard=\"2\",le=\"3\"} 1
 pdmsf_demo_shard_ns_bucket{shard=\"2\",le=\"+Inf\"} 1
 pdmsf_demo_shard_ns_sum{shard=\"2\"} 3
 pdmsf_demo_shard_ns_count{shard=\"2\"} 1
+pdmsf_demo_shard_ns_min{shard=\"2\"} 3
+pdmsf_demo_shard_ns_max{shard=\"2\"} 3
 # HELP pdmsf_demo_workers worker threads
 # TYPE pdmsf_demo_workers gauge
 pdmsf_demo_workers 3

@@ -32,6 +32,7 @@ use std::time::Instant;
 
 use pdmsf_engine::{LoggedBatch, LoggedUpdate, OpSink};
 use pdmsf_graph::{EdgeId, VertexId, Weight};
+use pdmsf_obs as obs;
 
 use crate::format::{payload_crc, PersistError, FORMAT_VERSION, LOG_MAGIC};
 use crate::metrics::metrics;
@@ -130,7 +131,10 @@ impl<M: LogMedium> OpLogWriter<M> {
     /// Issue the durability barrier now.
     pub fn sync(&mut self) -> io::Result<()> {
         let t0 = Instant::now();
+        let tspan =
+            obs::trace::TSpan::start(obs::trace::Phase::WalFsync, self.last_seq, self.unsynced);
         self.medium.sync()?;
+        tspan.stop();
         metrics().wal_fsync_ns.record_duration(t0.elapsed());
         self.unsynced = 0;
         Ok(())
@@ -168,12 +172,15 @@ impl<M: LogMedium + Send> OpSink for OpLogWriter<M> {
         }
         let t0 = Instant::now();
         let payload = encode_batch(batch);
+        let tspan =
+            obs::trace::TSpan::start(obs::trace::Phase::WalAppend, seq, 16 + payload.len() as u64);
         self.medium.write_all(&seq.to_le_bytes())?;
         self.medium
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.medium
             .write_all(&payload_crc(seq, &payload).to_le_bytes())?;
         self.medium.write_all(&payload)?;
+        tspan.stop();
         let m = metrics();
         m.wal_append_ns.record_duration(t0.elapsed());
         m.wal_bytes.add(16 + payload.len() as u64);

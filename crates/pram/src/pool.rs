@@ -110,6 +110,12 @@ struct Job {
     panic: Option<Box<dyn std::any::Any + Send>>,
     /// Set when `pending` hits zero; the submitter frees the slot.
     done: bool,
+    /// The submitting thread's ambient [`obs::trace::TraceId`] (0 = none),
+    /// snapshotted at submission. Every range of this job — including
+    /// ranges stolen onto other workers — executes under this id, so trace
+    /// events attribute to the batch that submitted the job rather than to
+    /// whatever the executing thread was doing.
+    trace: u64,
 }
 
 // The raw closure pointer is only ever dereferenced while the submitting
@@ -447,17 +453,31 @@ impl Pool {
         start: usize,
         end: usize,
     ) -> std::sync::MutexGuard<'a, State> {
-        let f = state.jobs[job_id]
+        let job = state.jobs[job_id]
             .as_ref()
-            .expect("job slot freed while a range was parked")
-            .f;
+            .expect("job slot freed while a range was parked");
+        let (f, trace) = (job.f, job.trace);
         metrics().shards_executed.add((end - start) as u64);
         drop(state);
         // Soundness: the submitter blocks until `done`, which is set only
         // after this range's `pending` decrement below — the closure behind
         // `f` is alive for this call.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*f)(start, end) }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if trace != 0 {
+                // Re-scope the submitter's id on this (possibly stealing)
+                // thread so the range's span lands in the right batch.
+                let _scope = obs::trace::scope(obs::trace::TraceId(trace));
+                let span = obs::trace::TSpan::start(
+                    obs::trace::Phase::PoolRange,
+                    start as u64,
+                    end as u64,
+                );
+                unsafe { (*f)(start, end) };
+                span.stop();
+            } else {
+                unsafe { (*f)(start, end) };
+            }
+        }));
         let mut state = lock(&self.state);
         let job = state.jobs[job_id]
             .as_mut()
@@ -514,6 +534,11 @@ impl Pool {
             pending: shards,
             panic: None,
             done: false,
+            trace: if obs::trace::enabled() {
+                obs::trace::current().0
+            } else {
+                0
+            },
         });
         if nested {
             state.deques[slot].push(Seg {
@@ -721,14 +746,20 @@ pub fn run_shard_ranges(shards: usize, f: impl Fn(std::ops::Range<usize>) + Sync
     if shards <= 1 {
         metrics().inline_runs.inc();
         if shards == 1 {
+            // Inline degradation still traces against the ambient id, so a
+            // traced batch looks the same whether or not the pool spawned.
+            let span = obs::trace::TSpan::start(obs::trace::Phase::PoolRange, 0, 1);
             f(0..1);
+            span.stop();
         }
         return;
     }
     let pool = pool();
     if pool.workers == 0 {
         metrics().inline_runs.inc();
+        let span = obs::trace::TSpan::start(obs::trace::Phase::PoolRange, 0, shards as u64);
         f(0..shards);
+        span.stop();
         return;
     }
     pool.run(shards, &|start, end| f(start..end));

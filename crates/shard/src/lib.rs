@@ -339,6 +339,15 @@ pub struct ShardedService {
     /// Optional registry-backed instrumentation
     /// ([`ShardedService::enable_metrics`]).
     metrics: Option<ServiceMetrics>,
+    /// Batch tracing ([`ShardedService::enable_tracing`]): when on, every
+    /// `trace_sample`-th batch allocates a fresh [`obs::trace::TraceId`]
+    /// and runs under its scope, so routing, planning, pool ranges, engine
+    /// phases and WAL writes all attribute to that batch.
+    tracing: bool,
+    /// Sample 1 in `trace_sample` batches (1 = every batch).
+    trace_sample: u32,
+    /// Batches seen since tracing was enabled (drives sampling).
+    trace_seq: u64,
 }
 
 impl ShardedService {
@@ -409,6 +418,9 @@ impl ShardedService {
             lookup,
             stats: ServiceStats::default(),
             metrics: None,
+            tracing: false,
+            trace_sample: 1,
+            trace_seq: 0,
         }
     }
 
@@ -422,6 +434,40 @@ impl ShardedService {
         for engine in &mut self.shards {
             engine.enable_metrics();
         }
+    }
+
+    /// Turn on batch tracing: enables the global trace ring
+    /// ([`obs::trace::enable_default`]) and allocates a [`obs::trace::TraceId`]
+    /// per sampled batch. The id is scoped on the submitting thread and
+    /// carried across pool workers by the jobs themselves, so every layer's
+    /// spans — routing, plan, group, apply, snapshot, pool ranges, WAL
+    /// append/fsync — land under the batch that caused them. Combine with
+    /// [`obs::trace::set_capture_threshold_ns`] or
+    /// [`obs::trace::capture_next`] to pin slow batches in the flight
+    /// recorder; the service offers every traced batch with its end-to-end
+    /// latency.
+    pub fn enable_tracing(&mut self) {
+        obs::trace::enable_default();
+        self.tracing = true;
+    }
+
+    /// Trace 1 in `n` batches (default 1 = every batch). `n = 0` is
+    /// treated as 1.
+    pub fn set_trace_sampling(&mut self, n: u32) {
+        self.trace_sample = n.max(1);
+    }
+
+    /// The [`obs::trace::TraceId`] for the next batch: NONE unless tracing
+    /// is on and the sampling counter elects this batch.
+    fn next_trace_id(&mut self) -> obs::trace::TraceId {
+        if !self.tracing || !obs::trace::enabled() {
+            return obs::trace::TraceId::NONE;
+        }
+        self.trace_seq += 1;
+        if !self.trace_seq.is_multiple_of(u64::from(self.trace_sample)) {
+            return obs::trace::TraceId::NONE;
+        }
+        obs::trace::next_id()
     }
 
     /// Number of shards (including empty ones).
@@ -547,6 +593,9 @@ impl ShardedService {
             lookup,
             stats,
             metrics: None,
+            tracing: false,
+            trace_sample: 1,
+            trace_seq: 0,
         })
     }
 
@@ -637,7 +686,17 @@ impl ShardedService {
     }
 
     fn run(&mut self, ops: &[TenantOp], concurrent: bool) -> ServiceResult {
+        // Scope the sampled batch's trace id on the caller thread: spans
+        // emitted below (and on pool workers, via the job's carried id)
+        // attribute to this batch; untraced batches stay span-free.
+        let trace_id = self.next_trace_id();
+        let _trace_scope = obs::trace::scope(trace_id);
+        let batch_t0 = trace_id.is_some().then(Instant::now);
+        let batch_tspan =
+            obs::trace::TSpan::start(obs::trace::Phase::Batch, ops.len() as u64, trace_id.0);
+        let route_tspan = obs::trace::TSpan::start(obs::trace::Phase::Route, ops.len() as u64, 0);
         let routed = router::route(&mut self.tenants, &self.lookup, &self.shards, ops);
+        route_tspan.stop();
         let slots = routed.slots.len();
 
         // Per-slot histogram handles, cloned up front so the job closure
@@ -725,7 +784,15 @@ impl ShardedService {
             }
         }
 
-        self.reassemble(ops.len(), routed, outputs, pool_snap.delta())
+        let result = self.reassemble(ops.len(), routed, outputs, pool_snap.delta());
+        batch_tspan.stop();
+        if let Some(t0) = batch_t0 {
+            // Offer the finished batch to the flight recorder with its
+            // end-to-end latency; it is pinned only if `capture_next` was
+            // armed or the latency meets the capture threshold.
+            obs::trace::offer_capture(trace_id, t0.elapsed().as_nanos() as u64);
+        }
+        result
     }
 
     fn reassemble(

@@ -244,6 +244,51 @@
 //! the knee point (max sustainable load under an SLO), recording
 //! `BENCH_serve_latency.json`.
 //!
+//! ### Tracing and the flight recorder
+//!
+//! Histograms say *that* the tail is slow; [`obs::trace`] says *why*. The
+//! trace core is a process-global **lock-free ring** of fixed capacity
+//! holding structured [`obs::trace::TraceEvent`]s — begin/end/instant, a
+//! shared monotonic-ns epoch, a stable per-thread id, a batch-scoped
+//! [`obs::trace::TraceId`], an [`obs::trace::Phase`] tag and two payload
+//! words. Writers claim a slot with one relaxed `fetch_add` and publish
+//! with a seqlock-style sequence word; readers ([`obs::trace::events`])
+//! validate the sequence before and after loading, so a torn slot is
+//! skipped, never misread. The same two-tier cost policy applies: with
+//! tracing off ([`obs::trace::enabled`] false) every emit is one relaxed
+//! load and a branch — no clock read, no TLS, no ring traffic (the
+//! `obs_overhead` bench gate asserts this stays < 2%).
+//!
+//! **TraceId propagation** is ambient, not parameter-threaded:
+//! [`ShardedService::enable_tracing`] allocates an id per sampled batch
+//! ([`shard::ShardedService::set_trace_sampling`] picks 1-in-N) and pins
+//! it in a thread-local scope ([`obs::trace::scope`]) for the batch's
+//! lifetime on the submitting thread. Spans ([`obs::trace::TSpan`]) read
+//! the ambient id, so routing, per-shard planning, engine
+//! plan/mirror/group/apply/snapshot phases and WAL append/fsync all
+//! attribute to the batch without any signature changes. The one explicit
+//! hand-off is the worker pool: each job snapshots its submitter's ambient
+//! id, and every executed range — **including ranges stolen onto other
+//! workers** — re-scopes that id before running, so `pool.range` spans land
+//! in the batch that submitted the work, not the thread that happened to
+//! run it.
+//!
+//! The **flight recorder** implements tail-based retention on top: the
+//! service offers every traced batch with its end-to-end latency
+//! ([`obs::trace::offer_capture`]); a batch is promoted out of the ring
+//! into a pinned capture buffer when [`obs::trace::capture_next`] was
+//! armed or the latency meets [`obs::trace::set_capture_threshold_ns`],
+//! and when the buffer is full the *fastest* pinned capture is evicted —
+//! retention converges to the slowest batches seen. Captures export as
+//! Chrome trace-event JSON ([`obs::trace::chrome_trace_json`], loadable in
+//! Perfetto / `about://tracing`), a compact text timeline
+//! ([`obs::trace::text_timeline`]) or per-phase totals
+//! ([`obs::trace::phase_durations`]). `examples/trace_dump.rs` walks the
+//! whole path on a live four-layer workload; E4 traces 1-in-8 batches,
+//! stamps each round's slowest capture as a phase breakdown in
+//! `BENCH_serve_latency.json` (the knee record carries phase *shares*),
+//! and exports the ramp's slowest batch as `BENCH_serve_trace.json`.
+//!
 //! ## Quickstart
 //!
 //! ```
