@@ -41,10 +41,10 @@ use pdmsf_bench::{
     batch_records_to_json, bench_records_to_json, bursty_batch_stream, clustered_batch_stream,
     clustered_mix_batch_stream, drive, drive_engine_batched, drive_engine_one_by_one,
     drive_service_flat, drive_service_sharded, drive_updates_only, failure_stream, grid_stream,
-    insert_stream, intra_batch_records_to_json, mixed_stream, persist_records_to_json,
-    pram_profile, sched_records_to_json, seq_mean_update_time, shard_records_to_json,
-    tenant_stream, BatchRecord, BenchRecord, IntraBatchRecord, MergedTenantEngine, PersistRecord,
-    RunMeta, SchedRecord, ShardRecord,
+    insert_stream, intra_batch_records_to_json, migration_churn_batch_stream, mixed_stream,
+    persist_records_to_json, pram_profile, sched_records_to_json, seq_mean_update_time,
+    shard_records_to_json, tenant_stream, BatchRecord, BenchRecord, IntraBatchRecord,
+    MergedTenantEngine, PersistRecord, RunMeta, SchedRecord, ShardRecord,
 };
 use pdmsf_core::{
     seq::default_sequential_k, MapSeqDynamicMsf, ParDynamicMsf, SeqDynamicMsf, SparsifiedMsf,
@@ -796,16 +796,35 @@ fn e4_serve_latency(quick: bool) {
     } else {
         RampConfig::standard()
     };
+    // Every run drives each workload twice: once on classic
+    // single-structure shard engines (`partitions: 0`) and once on
+    // component-partitioned engines (grouped intra-batch apply + adaptive
+    // rebalancing) — the `*_parts` rows. Comparing the two knees in one
+    // run is the E4 read on whether partitioned serving holds the
+    // single-structure capacity while stamping group attribution.
     let scenarios: &[ServeScenario] = if quick {
-        &[ServeScenario {
-            name: "uniform",
-            tenants: 8,
-            tenant_vertices: 256,
-            shards: 4,
-            batch_size: 256,
-            zipf_permille: 0,
-            seed: 41,
-        }]
+        &[
+            ServeScenario {
+                name: "uniform",
+                tenants: 8,
+                tenant_vertices: 256,
+                shards: 4,
+                batch_size: 256,
+                zipf_permille: 0,
+                partitions: 0,
+                seed: 41,
+            },
+            ServeScenario {
+                name: "uniform_parts",
+                tenants: 8,
+                tenant_vertices: 256,
+                shards: 4,
+                batch_size: 256,
+                zipf_permille: 0,
+                partitions: 4,
+                seed: 41,
+            },
+        ]
     } else {
         &[
             ServeScenario {
@@ -815,6 +834,17 @@ fn e4_serve_latency(quick: bool) {
                 shards: 8,
                 batch_size: 512,
                 zipf_permille: 0,
+                partitions: 0,
+                seed: 41,
+            },
+            ServeScenario {
+                name: "uniform_parts",
+                tenants: 16,
+                tenant_vertices: 512,
+                shards: 8,
+                batch_size: 512,
+                zipf_permille: 0,
+                partitions: 8,
                 seed: 41,
             },
             ServeScenario {
@@ -824,6 +854,17 @@ fn e4_serve_latency(quick: bool) {
                 shards: 8,
                 batch_size: 512,
                 zipf_permille: 900,
+                partitions: 0,
+                seed: 41,
+            },
+            ServeScenario {
+                name: "zipf_hot_parts",
+                tenants: 16,
+                tenant_vertices: 512,
+                shards: 8,
+                batch_size: 512,
+                zipf_permille: 900,
+                partitions: 8,
                 seed: 41,
             },
         ]
@@ -869,6 +910,29 @@ fn e4_serve_latency(quick: bool) {
             ),
         }
         records.extend(ramp);
+    }
+    // Pairwise knee read: each partitioned scenario against its
+    // single-structure twin from the same run.
+    for scenario in scenarios.iter().filter(|s| s.partitions > 0) {
+        let base = scenario.name.trim_end_matches("_parts");
+        let knee_of = |name: &str| {
+            let rows: Vec<_> = records
+                .iter()
+                .filter(|r| r.scenario == name)
+                .cloned()
+                .collect();
+            knee_point(&rows)
+        };
+        if let (Some(plain), Some(parts)) = (knee_of(base), knee_of(scenario.name)) {
+            println!(
+                "  {} vs {}: knee {} -> {} rps ({}x)",
+                base,
+                scenario.name,
+                plain,
+                parts,
+                parts as f64 / plain as f64
+            );
+        }
     }
     let json = serve_records_to_json(&RunMeta::collect(), &config, &records);
     let path = "BENCH_serve_latency.json";
@@ -1157,6 +1221,7 @@ fn e6_intra_batch(quick: bool) {
                     let stats = engine.stats();
                     records.push(IntraBatchRecord {
                         path: path.to_string(),
+                        stream: "clustered".to_string(),
                         n,
                         partitions,
                         threads,
@@ -1165,6 +1230,8 @@ fn e6_intra_batch(quick: bool) {
                         ops,
                         update_groups: stats.update_groups,
                         group_conflicts: stats.group_conflicts,
+                        migrations: stats.migrations,
+                        rebalances: stats.rebalances,
                         elapsed_ns: t.as_nanos(),
                     });
                     records.last().unwrap().ops_per_sec()
@@ -1203,6 +1270,95 @@ fn e6_intra_batch(quick: bool) {
             );
         }
     }
+    // --- migration-heavy cell: adaptive rebalancing vs static homes ---
+    // A concentrate batch drags every block's component into one partition
+    // (see `migration_churn_batch_stream`); the cut batch strands them
+    // there; the rest of the stream is block-local churn. The adaptive arm
+    // (default engine) re-homes components right after the pile-up and
+    // runs the churn as ~one group per block on small per-partition
+    // structures; the static arm (`set_rebalance(false)`) stays collapsed
+    // forever — a single serial group against one partition holding every
+    // live edge. Same stream, bit-identical forests — the ratio is pure
+    // rebalancing leverage. The cycle spans the whole stream (one pile-up):
+    // re-homing costs edge mass, so what rebalancing buys is the churn
+    // span that follows, and this cell measures exactly that trade.
+    println!("migration stream: adaptive (default rebalancing) vs static (rebalance off)");
+    let (mig_n, mig_batches, mig_batch_size) = if quick {
+        (1 << 14, 18, 512)
+    } else {
+        (1 << 16, 48, 1024)
+    };
+    let mig_stream = migration_churn_batch_stream(
+        mig_n,
+        mig_batches,
+        mig_batch_size,
+        partitions,
+        mig_batches,
+        97,
+    );
+    let mig_ops: usize = mig_stream.batches.iter().map(|b| b.len()).sum();
+    let mut mig_rates: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut mig_rebalances = 0u64;
+    let mut mig_migrations = 0u64;
+    for _ in 0..reps {
+        let mut run = |path: &str, engine: &Engine, t: Duration, ops: usize| -> f64 {
+            let stats = engine.stats();
+            records.push(IntraBatchRecord {
+                path: path.to_string(),
+                stream: "migration".to_string(),
+                n: mig_n,
+                partitions,
+                threads,
+                batch_size: mig_batch_size,
+                batches: mig_stream.batches.len(),
+                ops,
+                update_groups: stats.update_groups,
+                group_conflicts: stats.group_conflicts,
+                migrations: stats.migrations,
+                rebalances: stats.rebalances,
+                elapsed_ns: t.as_nanos(),
+            });
+            records.last().unwrap().ops_per_sec()
+        };
+        let mut adaptive = Engine::new_partitioned(mig_n, partitions);
+        let (t_a, ops_a) = drive_engine_batched(&mut adaptive, &mig_stream);
+        mig_rates[0].push(run("adaptive", &adaptive, t_a, ops_a));
+        mig_rebalances = adaptive.stats().rebalances;
+        mig_migrations = adaptive.stats().migrations;
+
+        let mut static_e = Engine::new_partitioned(mig_n, partitions);
+        static_e.set_rebalance(false);
+        let (t_s, ops_s) = drive_engine_batched(&mut static_e, &mig_stream);
+        mig_rates[1].push(run("static", &static_e, t_s, ops_s));
+
+        // Rebalancing must be observable *and* invisible: the adaptive arm
+        // has to re-home components, and both arms' forests must agree.
+        assert!(adaptive.stats().rebalances > 0);
+        assert_eq!(static_e.stats().rebalances, 0);
+        assert_eq!(adaptive.forest_weight(), static_e.forest_weight());
+        assert_eq!(adaptive.forest_edges(), static_e.forest_edges());
+        adaptive.validate_structure();
+        static_e.validate_structure();
+    }
+    let m_adaptive = median(&mut mig_rates[0]);
+    let m_static = median(&mut mig_rates[1]);
+    println!(
+        "{:>8} {:>7} {:>8} {:>9} {:>16.0} {:>16.0} {:>11.2}x  ({} ops, {} rebalances, {} migrations)",
+        mig_n,
+        mig_batch_size,
+        threads,
+        "-",
+        m_adaptive,
+        m_static,
+        if m_static > 0.0 {
+            m_adaptive / m_static
+        } else {
+            0.0
+        },
+        mig_ops,
+        mig_rebalances,
+        mig_migrations
+    );
     let meta = RunMeta::collect();
     let json = intra_batch_records_to_json(&meta, &records);
     let path = "BENCH_intra_batch.json";

@@ -19,6 +19,7 @@ use pdmsf_engine::{Engine, Op};
 use pdmsf_graph::{
     BatchKind, BatchOp, BatchStream, BatchStreamSpec, DynamicMsf, EdgeId, GraphSpec, StreamKind,
     TenantOp, TenantStream, TenantStreamSpec, UpdateOp, UpdateStream, UpdateStreamSpec, VertexId,
+    Weight,
 };
 use pdmsf_pram::CostReport;
 use pdmsf_shard::ShardedService;
@@ -138,6 +139,147 @@ pub fn clustered_mix_batch_stream(
         },
         seed: seed ^ 0xC316,
     })
+}
+
+/// Migration-churn batched stream: the E6 **migration-heavy** workload
+/// that separates adaptive partition rebalancing from static homes.
+///
+/// Batch 0 builds one chain component per vertex block (blocks aligned
+/// with the partitioned structure's initial homes). The remaining batches
+/// cycle through three phases with period `cycle` (`cycle >= batches`
+/// gives a single pile-up followed by pure churn):
+///
+/// 1. **Concentrate** — a bridge link from every other block's chain to
+///    vertex 0. Cross-partition links migrate the smaller side (`u` on a
+///    tie), so each bridge drags that block's whole component into vertex
+///    0's partition; by the end of the batch *every* component is homed
+///    there.
+/// 2. **Cut** — delete the bridges. The chains are separate components
+///    again but all still live in one partition: without rebalancing the
+///    structure stays collapsed forever (block-local churn never crosses
+///    partitions, so nothing migrates back out).
+/// 3. **Churn** (the remaining `cycle - 2` batches of each period) —
+///    block-local link/cut pairs plus connectivity queries across all
+///    blocks: the parallelizable work. A rebalancing engine re-homed the
+///    chains after the cut batch and colors ~one group per block; a
+///    static engine sees every update in the one loaded partition and
+///    collapses to a single serial group *and* pays the bigger collapsed
+///    structure on every operation. Migration itself costs edge mass
+///    (every migrated edge re-inserts), so the churn span is what the
+///    adaptive arm's rebalance buys back — `cycle` sets that ratio.
+///
+/// Deterministic for a given seed (hand-rolled xorshift), so the adaptive
+/// and static arms replay the identical stream and their forests must
+/// agree bit-for-bit.
+pub fn migration_churn_batch_stream(
+    n: usize,
+    batches: usize,
+    batch_size: usize,
+    blocks: usize,
+    cycle: usize,
+    seed: u64,
+) -> BatchStream {
+    assert!(
+        blocks >= 2 && n.is_multiple_of(blocks),
+        "blocks must divide n"
+    );
+    assert!(
+        cycle >= 3,
+        "a cycle needs concentrate, cut and churn phases"
+    );
+    let bsize = n / blocks;
+    assert!(bsize >= 2, "blocks need at least two vertices");
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut out: Vec<Vec<BatchOp>> = Vec::with_capacity(batches + 1);
+    let mut next_id = 0u32;
+    let mut build = Vec::with_capacity(blocks * (bsize - 1));
+    for b in 0..blocks {
+        for i in 0..bsize - 1 {
+            let u = (b * bsize + i) as u32;
+            build.push(BatchOp::Link {
+                u: VertexId(u),
+                v: VertexId(u + 1),
+                weight: Weight::new((rng() % 1_000 + 1) as i64),
+            });
+            next_id += 1;
+        }
+    }
+    out.push(build);
+
+    let mut bridges: Vec<EdgeId> = Vec::new();
+    // Block-local churn edges linked in *earlier* batches (cutting an edge
+    // linked in the same batch would just be a cancelled pair).
+    let mut cuttable: std::collections::VecDeque<EdgeId> = std::collections::VecDeque::new();
+    for t in 0..batches {
+        let mut batch = Vec::with_capacity(batch_size);
+        match t % cycle {
+            0 => {
+                for b in 1..blocks {
+                    batch.push(BatchOp::Link {
+                        u: VertexId((b * bsize) as u32),
+                        v: VertexId(0),
+                        weight: Weight::new(1_000_000),
+                    });
+                    bridges.push(EdgeId(next_id));
+                    next_id += 1;
+                }
+            }
+            1 => {
+                for id in bridges.drain(..) {
+                    batch.push(BatchOp::Cut { id });
+                }
+            }
+            _ => {
+                let updates = batch_size * 850 / 1_000;
+                let mut old_edges = cuttable.len();
+                let mut b = 0usize;
+                while batch.len() < updates {
+                    if old_edges > 0 && batch.len() % 2 == 1 {
+                        batch.push(BatchOp::Cut {
+                            id: cuttable.pop_front().expect("counted above"),
+                        });
+                        old_edges -= 1;
+                    } else {
+                        let base = (b % blocks) * bsize;
+                        let u = base + (rng() % bsize as u64) as usize;
+                        let mut v = base + (rng() % bsize as u64) as usize;
+                        if v == u {
+                            v = base + (u - base + 1) % bsize;
+                        }
+                        batch.push(BatchOp::Link {
+                            u: VertexId(u as u32),
+                            v: VertexId(v as u32),
+                            weight: Weight::new((rng() % 1_000 + 1) as i64),
+                        });
+                        cuttable.push_back(EdgeId(next_id));
+                        next_id += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+        while batch.len() < batch_size {
+            let u = (rng() % n as u64) as u32;
+            let v = (rng() % n as u64) as u32;
+            batch.push(BatchOp::QueryConnected {
+                u: VertexId(u),
+                v: VertexId(v),
+            });
+        }
+        out.push(batch);
+    }
+    BatchStream {
+        num_vertices: n,
+        base_edges: Vec::new(),
+        batches: out,
+    }
 }
 
 /// Multi-tenant tenant-tagged stream with Zipf-skewed tenant popularity and
@@ -865,8 +1007,14 @@ pub fn persist_records_to_json(meta: &RunMeta, records: &[PersistRecord]) -> Str
 /// width and `threads` is per-record, not run-level.
 #[derive(Clone, Debug)]
 pub struct IntraBatchRecord {
-    /// Apply path (`"grouped"` / `"serial"`).
+    /// Apply path: `"grouped"` / `"serial"` on the clustered stream
+    /// (conflict-colored concurrent apply vs forced arrival-order apply),
+    /// `"adaptive"` / `"static"` on the migration stream (default
+    /// post-batch rebalancing vs rebalancing disabled).
     pub path: String,
+    /// Workload: `"clustered"` ([`clustered_mix_batch_stream`]) or
+    /// `"migration"` ([`migration_churn_batch_stream`]).
+    pub stream: String,
     /// Number of vertices.
     pub n: usize,
     /// Partition count of the component-partitioned structure.
@@ -883,6 +1031,12 @@ pub struct IntraBatchRecord {
     pub update_groups: u64,
     /// Surviving updates that shared a group (0 on the serial path).
     pub group_conflicts: u64,
+    /// Component migrations over the run (cross-partition links plus
+    /// rebalance moves).
+    pub migrations: u64,
+    /// Post-batch rebalance passes that moved a component (always 0 on
+    /// the `"static"` path).
+    pub rebalances: u64,
     /// Wall-clock nanoseconds spent inside the timed batches.
     pub elapsed_ns: u128,
 }
@@ -913,8 +1067,9 @@ pub fn intra_batch_records_to_json(meta: &RunMeta, records: &[IntraBatchRecord])
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"path\": \"{}\", \"n\": {}, \"partitions\": {}, \"threads\": {}, \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"update_groups\": {}, \"group_conflicts\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
+            "    {{\"path\": \"{}\", \"stream\": \"{}\", \"n\": {}, \"partitions\": {}, \"threads\": {}, \"batch_size\": {}, \"batches\": {}, \"ops\": {}, \"update_groups\": {}, \"group_conflicts\": {}, \"migrations\": {}, \"rebalances\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.2}}}{}\n",
             r.path,
+            r.stream,
             r.n,
             r.partitions,
             r.threads,
@@ -923,6 +1078,8 @@ pub fn intra_batch_records_to_json(meta: &RunMeta, records: &[IntraBatchRecord])
             r.ops,
             r.update_groups,
             r.group_conflicts,
+            r.migrations,
+            r.rebalances,
             r.elapsed_ns,
             r.ops_per_sec(),
             if i + 1 < records.len() { "," } else { "" }
@@ -1160,6 +1317,7 @@ mod tests {
         let records = vec![
             IntraBatchRecord {
                 path: "grouped".into(),
+                stream: "clustered".into(),
                 n: 4096,
                 partitions: 8,
                 threads: 4,
@@ -1168,10 +1326,13 @@ mod tests {
                 ops: 4096,
                 update_groups: 96,
                 group_conflicts: 12,
+                migrations: 0,
+                rebalances: 0,
                 elapsed_ns: 1_000_000,
             },
             IntraBatchRecord {
                 path: "serial".into(),
+                stream: "clustered".into(),
                 n: 4096,
                 partitions: 8,
                 threads: 1,
@@ -1180,7 +1341,24 @@ mod tests {
                 ops: 4096,
                 update_groups: 0,
                 group_conflicts: 0,
+                migrations: 0,
+                rebalances: 0,
                 elapsed_ns: 2_000_000,
+            },
+            IntraBatchRecord {
+                path: "adaptive".into(),
+                stream: "migration".into(),
+                n: 4096,
+                partitions: 8,
+                threads: 4,
+                batch_size: 256,
+                batches: 16,
+                ops: 4096,
+                update_groups: 80,
+                group_conflicts: 4,
+                migrations: 42,
+                rebalances: 5,
+                elapsed_ns: 1_500_000,
             },
         ];
         let meta = RunMeta {
@@ -1191,11 +1369,54 @@ mod tests {
         let json = intra_batch_records_to_json(&meta, &records);
         assert!(json.contains("\"benchmark\": \"intra_batch\""));
         assert!(json.contains("\"path\": \"grouped\""));
+        assert!(json.contains("\"stream\": \"clustered\""));
+        assert!(json.contains("\"stream\": \"migration\""));
         assert!(json.contains("\"update_groups\": 96"));
+        assert!(json.contains("\"migrations\": 42"));
+        assert!(json.contains("\"rebalances\": 5"));
         // Threads is per-record (merged multi-width artifact), not run-level.
         assert!(json.contains("\"threads\": 1") && json.contains("\"threads\": 4"));
         assert_eq!(records[0].ops_per_sec(), 4_096_000_000.0 / 1_000.0);
-        assert_eq!(json.matches("},\n").count(), 2);
+        assert_eq!(json.matches("},\n").count(), 3);
+    }
+
+    #[test]
+    fn migration_churn_stream_piles_up_and_rebalances() {
+        use pdmsf_engine::Engine;
+        let n = 256;
+        let blocks = 4;
+        let stream = migration_churn_batch_stream(n, 7, 64, blocks, 3, 97);
+        assert_eq!(stream.batches.len(), 8); // build + 7 cycling
+
+        // Adaptive (default) vs static (rebalance off): identical forests,
+        // but only adaptive ever rebalances.
+        let mut adaptive = Engine::new_partitioned(n, blocks);
+        let mut static_e = Engine::new_partitioned(n, blocks);
+        static_e.set_rebalance(false);
+        for batch in &stream.batches {
+            adaptive.execute(batch);
+            static_e.execute(batch);
+        }
+        assert_eq!(adaptive.forest_weight(), static_e.forest_weight());
+        assert_eq!(adaptive.forest_edges(), static_e.forest_edges());
+        adaptive.validate_structure();
+        static_e.validate_structure();
+        let (a, s) = (adaptive.stats(), static_e.stats());
+        assert!(a.migrations > 0, "bridges must force migrations");
+        assert!(a.rebalances > 0, "cut batches must trigger rebalances");
+        assert_eq!(s.rebalances, 0);
+        // The static engine stays collapsed: every component homed in one
+        // partition, so the cut batch leaves occupancy concentrated.
+        let occ = static_e
+            .partitioned_structure()
+            .expect("partitioned engine")
+            .occupancy()
+            .to_vec();
+        let total: u64 = occ.iter().sum();
+        assert!(
+            occ.iter().any(|&o| o * 2 > total),
+            "static homes should stay concentrated, occupancy {occ:?}"
+        );
     }
 
     #[test]

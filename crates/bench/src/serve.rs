@@ -51,6 +51,11 @@ pub struct ServeScenario {
     pub batch_size: usize,
     /// Tenant-pick skew for the stream generator (0 = uniform).
     pub zipf_permille: u32,
+    /// Partitions per shard engine: `> 0` builds the service with
+    /// component-partitioned engines ([`ShardedService::new_partitioned`],
+    /// grouped intra-batch apply + adaptive rebalancing), `0` keeps the
+    /// classic single-structure engines.
+    pub partitions: usize,
     pub seed: u64,
 }
 
@@ -115,6 +120,8 @@ pub struct ServeRecord {
     pub tenants: usize,
     /// Chunk parameter K of shard 0's structure.
     pub k: usize,
+    /// Partitions per shard engine (0 = single-structure engines).
+    pub partitions: usize,
     pub round: usize,
     pub offered_rps: u64,
     pub ops: usize,
@@ -137,6 +144,18 @@ pub struct ServeRecord {
     pub pool_inline: u64,
     pub pool_chunks: u64,
     pub pool_steals: u64,
+    /// Conflict-free update groups dispatched over the round's batches
+    /// (zero on non-partitioned engines; see
+    /// [`pdmsf_shard::ServiceSummary::update_groups`]).
+    pub update_groups: u64,
+    /// Updates that shared a group because their component classes
+    /// collided on a partition bank.
+    pub group_conflicts: u64,
+    /// Component migrations over the round (cross-partition links plus
+    /// rebalance moves).
+    pub migrations: u64,
+    /// Post-batch rebalance passes that moved a component.
+    pub rebalances: u64,
     /// End-to-end latency of the round's slowest flight-recorder capture
     /// (0 when the round was untraced or nothing was captured).
     pub trace_total_ns: u64,
@@ -147,27 +166,46 @@ pub struct ServeRecord {
     pub trace_apply_ns: u64,
     pub trace_snapshot_ns: u64,
     pub trace_wal_ns: u64,
+    /// Wall-clock per-phase time of the same capture
+    /// ([`obs::trace::phase_wall_durations`]): each phase's interval
+    /// *union* across workers, so overlapping concurrent spans count once
+    /// and these never exceed `trace_total_ns`.
+    pub trace_plan_wall_ns: u64,
+    pub trace_group_wall_ns: u64,
+    pub trace_apply_wall_ns: u64,
+    pub trace_snapshot_wall_ns: u64,
+    pub trace_wal_wall_ns: u64,
 }
 
-/// Phase attribution pulled out of one captured batch's span set.
-fn phase_breakdown(cap: &obs::trace::CapturedTrace) -> [u64; 5] {
+/// Phase attribution pulled out of one captured batch's span set, as
+/// `(thread_time, wall_time)` in plan/group/apply/snapshot/wal order.
+/// Thread-time ([`obs::trace::phase_durations`]) sums every worker's spans,
+/// so a phase on `k` concurrent workers counts `k×`; wall-time
+/// ([`obs::trace::phase_wall_durations`]) is the phase's interval union and
+/// counts overlapped spans once.
+fn phase_breakdown(cap: &obs::trace::CapturedTrace) -> ([u64; 5], [u64; 5]) {
     use obs::trace::Phase;
-    let mut plan = 0;
-    let mut group = 0;
-    let mut apply = 0;
-    let mut snapshot = 0;
-    let mut wal = 0;
+    let slot = |phase: Phase| match phase {
+        Phase::Plan => Some(0),
+        Phase::Group => Some(1),
+        Phase::Apply => Some(2),
+        Phase::Snapshot => Some(3),
+        Phase::WalAppend | Phase::WalFsync => Some(4),
+        _ => None,
+    };
+    let mut thread = [0u64; 5];
     for (phase, ns) in obs::trace::phase_durations(&cap.events) {
-        match phase {
-            Phase::Plan => plan += ns,
-            Phase::Group => group += ns,
-            Phase::Apply => apply += ns,
-            Phase::Snapshot => snapshot += ns,
-            Phase::WalAppend | Phase::WalFsync => wal += ns,
-            _ => {}
+        if let Some(i) = slot(phase) {
+            thread[i] += ns;
         }
     }
-    [plan, group, apply, snapshot, wal]
+    let mut wall = [0u64; 5];
+    for (phase, ns) in obs::trace::phase_wall_durations(&cap.events) {
+        if let Some(i) = slot(phase) {
+            wall[i] += ns;
+        }
+    }
+    (thread, wall)
 }
 
 /// Run the full ramp for one scenario. Returns the per-round records (the
@@ -210,9 +248,17 @@ pub fn drive_serve_ramp(
         let specs: Vec<TenantSpec> = (0..scenario.tenants)
             .map(|t| TenantSpec::new(pdmsf_graph::TenantId(t as u32), scenario.tenant_vertices))
             .collect();
-        let mut service = ShardedService::new(scenario.shards, &specs);
+        let mut service = if scenario.partitions > 0 {
+            ShardedService::new_partitioned(scenario.shards, &specs, scenario.partitions)
+        } else {
+            ShardedService::new(scenario.shards, &specs)
+        };
         service.enable_metrics();
-        let k = service.shard_engine(0).structure().chunk_parameter();
+        let engine0 = service.shard_engine(0);
+        let k = match engine0.partitioned_structure() {
+            Some(p) => p.chunk_parameter(),
+            None => engine0.structure().chunk_parameter(),
+        };
 
         let batches = (config.round_ops / scenario.batch_size).max(1);
         let stream = tenant_stream(
@@ -236,6 +282,12 @@ pub fn drive_serve_ramp(
         let batch_hist = obs::Histogram::new();
         let mut failures = 0u64;
         let mut ops_done = 0usize;
+        // Grouped-apply attribution accumulated from each batch's summary
+        // (the warm batch above is deliberately excluded).
+        let mut update_groups = 0u64;
+        let mut group_conflicts = 0u64;
+        let mut migrations = 0u64;
+        let mut rebalances = 0u64;
         let timeout_ns = config.timeout.as_nanos() as u64;
         let ns_per_op = 1_000_000_000f64 / offered as f64;
 
@@ -251,10 +303,14 @@ pub fn drive_serve_ramp(
                 std::thread::sleep(Duration::from_nanos(last_arrival_ns - now_ns));
             }
             let dispatch = Instant::now();
-            service.execute(batch);
+            let result = service.execute(batch);
             let batch_ns = dispatch.elapsed().as_nanos() as u64;
             batch_hist.record(batch_ns);
             batch_family.record(batch_ns);
+            update_groups += result.summary.update_groups as u64;
+            group_conflicts += result.summary.group_conflicts as u64;
+            migrations += result.summary.migrations;
+            rebalances += result.summary.rebalances;
 
             let completion_ns = t0.elapsed().as_nanos() as u64;
             last_completion_ns = completion_ns;
@@ -278,12 +334,13 @@ pub fn drive_serve_ramp(
         // Drain this round's captures: the slowest one yields the round's
         // phase breakdown, and the slowest across all rounds is exported.
         let mut round_trace = [0u64; 5];
+        let mut round_wall = [0u64; 5];
         let mut round_total = 0u64;
         if config.trace_sample > 0 {
             for cap in obs::trace::take_captured() {
                 if round_total == 0 {
                     round_total = cap.total_ns;
-                    round_trace = phase_breakdown(&cap);
+                    (round_trace, round_wall) = phase_breakdown(&cap);
                 }
                 if slowest.as_ref().is_none_or(|s| cap.total_ns > s.total_ns) {
                     slowest = Some(cap);
@@ -295,6 +352,7 @@ pub fn drive_serve_ramp(
             shards: scenario.shards,
             tenants: scenario.tenants,
             k,
+            partitions: scenario.partitions,
             round,
             offered_rps: offered,
             ops: ops_done,
@@ -313,12 +371,21 @@ pub fn drive_serve_ramp(
             pool_inline: pool_delta.inline_runs,
             pool_chunks: pool_delta.chunks_claimed,
             pool_steals: pool_delta.steals,
+            update_groups,
+            group_conflicts,
+            migrations,
+            rebalances,
             trace_total_ns: round_total,
             trace_plan_ns: round_trace[0],
             trace_group_ns: round_trace[1],
             trace_apply_ns: round_trace[2],
             trace_snapshot_ns: round_trace[3],
             trace_wal_ns: round_trace[4],
+            trace_plan_wall_ns: round_wall[0],
+            trace_group_wall_ns: round_wall[1],
+            trace_apply_wall_ns: round_wall[2],
+            trace_snapshot_wall_ns: round_wall[3],
+            trace_wal_wall_ns: round_wall[4],
         };
         let stop = record.failure_rate > config.stop_failure_rate
             || record.p50_ns > config.stop_t_median.as_nanos() as u64
@@ -372,9 +439,15 @@ pub fn serve_records_to_json(
     ));
     // Phase attribution at the knee: each phase's share of the knee
     // round's slowest captured batch (null when the knee round was
-    // untraced or captured nothing). Shares are thread-time over the
-    // batch's wall-clock, so a phase running concurrently on several
-    // pool workers (apply, typically) can legitimately exceed 1.0.
+    // untraced or captured nothing). Two families per phase:
+    //
+    // * `*_thread_share` divides summed *thread-time* by the batch's
+    //   wall-clock — a phase running concurrently on several pool workers
+    //   (apply, typically) can legitimately exceed 1.0. It answers
+    //   "where did the CPUs go".
+    // * `*_wall_share` divides the phase's interval *union* by the same
+    //   wall-clock — overlapping worker spans count once, so it is always
+    //   ≤ 1.0. It answers "what was the batch waiting on".
     let knee_phases = knee
         .and_then(|k| {
             records
@@ -385,12 +458,17 @@ pub fn serve_records_to_json(
         .map_or("null".to_string(), |r| {
             let share = |ns: u64| ns as f64 / r.trace_total_ns as f64;
             format!(
-                "{{\"plan\": {:.4}, \"group\": {:.4}, \"apply\": {:.4}, \"snapshot\": {:.4}, \"wal\": {:.4}}}",
+                "{{\"plan_thread_share\": {:.4}, \"plan_wall_share\": {:.4}, \"group_thread_share\": {:.4}, \"group_wall_share\": {:.4}, \"apply_thread_share\": {:.4}, \"apply_wall_share\": {:.4}, \"snapshot_thread_share\": {:.4}, \"snapshot_wall_share\": {:.4}, \"wal_thread_share\": {:.4}, \"wal_wall_share\": {:.4}}}",
                 share(r.trace_plan_ns),
+                share(r.trace_plan_wall_ns),
                 share(r.trace_group_ns),
+                share(r.trace_group_wall_ns),
                 share(r.trace_apply_ns),
+                share(r.trace_apply_wall_ns),
                 share(r.trace_snapshot_ns),
-                share(r.trace_wal_ns)
+                share(r.trace_snapshot_wall_ns),
+                share(r.trace_wal_ns),
+                share(r.trace_wal_wall_ns)
             )
         });
     out.push_str(&format!(
@@ -402,11 +480,12 @@ pub fn serve_records_to_json(
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"shards\": {}, \"tenants\": {}, \"k\": {}, \"round\": {}, \"offered_rps\": {}, \"ops\": {}, \"achieved_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"batch_p95_us\": {:.1}, \"failures\": {}, \"failure_rate\": {:.4}, \"sustainable\": {}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}, \"pool_chunks\": {}, \"pool_steals\": {}, \"trace_total_us\": {:.1}, \"trace_plan_us\": {:.1}, \"trace_group_us\": {:.1}, \"trace_apply_us\": {:.1}, \"trace_snapshot_us\": {:.1}, \"trace_wal_us\": {:.1}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"shards\": {}, \"tenants\": {}, \"k\": {}, \"partitions\": {}, \"round\": {}, \"offered_rps\": {}, \"ops\": {}, \"achieved_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"batch_p95_us\": {:.1}, \"failures\": {}, \"failure_rate\": {:.4}, \"sustainable\": {}, \"pool_jobs\": {}, \"pool_shards\": {}, \"pool_inline\": {}, \"pool_chunks\": {}, \"pool_steals\": {}, \"update_groups\": {}, \"group_conflicts\": {}, \"migrations\": {}, \"rebalances\": {}, \"trace_total_us\": {:.1}, \"trace_plan_us\": {:.1}, \"trace_group_us\": {:.1}, \"trace_apply_us\": {:.1}, \"trace_snapshot_us\": {:.1}, \"trace_wal_us\": {:.1}, \"trace_plan_wall_us\": {:.1}, \"trace_group_wall_us\": {:.1}, \"trace_apply_wall_us\": {:.1}, \"trace_snapshot_wall_us\": {:.1}, \"trace_wal_wall_us\": {:.1}}}{}\n",
             r.scenario,
             r.shards,
             r.tenants,
             r.k,
+            r.partitions,
             r.round,
             r.offered_rps,
             r.ops,
@@ -424,12 +503,21 @@ pub fn serve_records_to_json(
             r.pool_inline,
             r.pool_chunks,
             r.pool_steals,
+            r.update_groups,
+            r.group_conflicts,
+            r.migrations,
+            r.rebalances,
             r.trace_total_ns as f64 / 1e3,
             r.trace_plan_ns as f64 / 1e3,
             r.trace_group_ns as f64 / 1e3,
             r.trace_apply_ns as f64 / 1e3,
             r.trace_snapshot_ns as f64 / 1e3,
             r.trace_wal_ns as f64 / 1e3,
+            r.trace_plan_wall_ns as f64 / 1e3,
+            r.trace_group_wall_ns as f64 / 1e3,
+            r.trace_apply_wall_ns as f64 / 1e3,
+            r.trace_snapshot_wall_ns as f64 / 1e3,
+            r.trace_wal_wall_ns as f64 / 1e3,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -440,19 +528,14 @@ pub fn serve_records_to_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
-    #[test]
-    fn tiny_ramp_produces_rounds_and_knee() {
-        let scenario = ServeScenario {
-            name: "test",
-            tenants: 3,
-            tenant_vertices: 64,
-            shards: 2,
-            batch_size: 32,
-            zipf_permille: 0,
-            seed: 7,
-        };
-        let config = RampConfig {
+    /// The flight recorder is process-global: ramp tests that trace must
+    /// not interleave their capture/drain cycles.
+    static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn tiny_config() -> RampConfig {
+        RampConfig {
             initial_rps: 50_000,
             increment_rps: 50_000,
             max_rps: 100_000,
@@ -462,7 +545,23 @@ mod tests {
             stop_failure_rate: 0.5,
             stop_t_median: Duration::from_secs(5),
             trace_sample: 1,
+        }
+    }
+
+    #[test]
+    fn tiny_ramp_produces_rounds_and_knee() {
+        let _serial = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scenario = ServeScenario {
+            name: "test",
+            tenants: 3,
+            tenant_vertices: 64,
+            shards: 2,
+            batch_size: 32,
+            zipf_permille: 0,
+            partitions: 0,
+            seed: 7,
         };
+        let config = tiny_config();
         let (records, slowest) = drive_serve_ramp(&scenario, &config);
         assert!(!records.is_empty() && records.len() <= 2);
         assert!(records.iter().all(|r| r.ops >= 128));
@@ -474,13 +573,63 @@ mod tests {
         // Every batch traced with a 1ns capture threshold: each round must
         // carry a phase breakdown and the ramp a slowest capture.
         assert!(records.iter().all(|r| r.trace_total_ns > 0));
+        // Single-structure engines never group or migrate.
+        assert!(records.iter().all(|r| r.update_groups == 0));
+        assert!(records.iter().all(|r| r.migrations == 0));
         let slowest = slowest.expect("traced ramp pins at least one batch");
         assert!(!slowest.events.is_empty());
         let json = serve_records_to_json(&RunMeta::collect(), &config, &records);
         assert!(json.contains("\"knee_rps\""));
         assert!(json.contains("\"knee_phase_shares\""));
+        // Both share families present (knee round is traced here).
+        assert!(json.contains("\"apply_thread_share\""));
+        assert!(json.contains("\"apply_wall_share\""));
         assert!(json.contains("\"scenario\": \"test\""));
+        assert!(json.contains("\"partitions\": 0"));
         assert!(json.contains("\"pool_jobs\""));
         assert!(json.contains("\"trace_total_us\""));
+        assert!(json.contains("\"trace_apply_wall_us\""));
+    }
+
+    #[test]
+    fn partitioned_ramp_stamps_group_attribution() {
+        let _serial = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let scenario = ServeScenario {
+            name: "test_parts",
+            tenants: 2,
+            tenant_vertices: 64,
+            shards: 2,
+            batch_size: 32,
+            zipf_permille: 0,
+            partitions: 4,
+            seed: 11,
+        };
+        let mut config = tiny_config();
+        config.max_rps = 50_000;
+        let (records, _) = drive_serve_ramp(&scenario, &config);
+        assert!(!records.is_empty());
+        for r in &records {
+            assert_eq!(r.partitions, 4);
+            assert!(
+                r.update_groups > 0,
+                "partitioned engines must dispatch update groups"
+            );
+            assert!(r.trace_total_ns > 0);
+            // Wall-time is an interval union: it can never exceed the
+            // capture's end-to-end span (thread-time can).
+            for wall in [
+                r.trace_plan_wall_ns,
+                r.trace_group_wall_ns,
+                r.trace_apply_wall_ns,
+                r.trace_snapshot_wall_ns,
+                r.trace_wal_wall_ns,
+            ] {
+                assert!(wall <= r.trace_total_ns);
+            }
+        }
+        let json = serve_records_to_json(&RunMeta::collect(), &config, &records);
+        assert!(json.contains("\"partitions\": 4"));
+        assert!(json.contains("\"update_groups\""));
+        assert!(json.contains("\"rebalances\""));
     }
 }

@@ -42,6 +42,22 @@
 //! concurrently, serially in group order, or fully serially in arrival
 //! order. That closure argument is what the engine's lockstep and
 //! WAL-byte-identity tests pin down.
+//!
+//! ## Adaptive rebalancing
+//!
+//! Migration is one-way: cutting the bridge that forced a migration leaves
+//! both components homed in the destination partition, so skewed streams
+//! concentrate state into ever fewer partitions and starve the conflict
+//! coloring of parallelism. Per-partition live-edge **occupancy counters**
+//! (maintained incrementally at every insert/delete/migration) feed
+//! [`ComponentPartitionedMsf::maybe_rebalance`], which the engine calls at
+//! a deterministic point *between* batches: when the fullest partition
+//! exceeds twice the mean occupancy, its smallest components are re-homed
+//! into the least-loaded partitions through the same ascending-`WKey`
+//! migration path — so forests, outcomes and (plan-time-serialized) WAL
+//! bytes stay bit-for-bit identical, and the decision, being a pure
+//! function of structure state, fires identically under grouped and
+//! forced-serial execution.
 
 use crate::par::{default_parallel_k, ParDynamicMsf};
 use pdmsf_graph::{DynamicMsf, Edge, EdgeId, EdgeStore, MsfDelta, VertexId, WKey};
@@ -79,15 +95,20 @@ pub struct UpdateGroup {
     pub parts: Vec<u32>,
 }
 
-/// Cumulative migration counters of a [`ComponentPartitionedMsf`].
+/// Cumulative migration/rebalance counters of a
+/// [`ComponentPartitionedMsf`]. Rebalance component moves reuse the
+/// migration machinery, so they count into the migration totals too.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PartitionStats {
-    /// Cross-partition links that triggered a component migration.
+    /// Component migrations (cross-partition links plus rebalance moves).
     pub migrations: u64,
     /// Vertices re-homed by those migrations.
     pub migrated_vertices: u64,
     /// Edges deleted + re-inserted by those migrations.
     pub migrated_edges: u64,
+    /// Rebalance passes that moved at least one component
+    /// (see [`ComponentPartitionedMsf::maybe_rebalance`]).
+    pub rebalances: u64,
 }
 
 impl PartitionStats {
@@ -95,6 +116,7 @@ impl PartitionStats {
         self.migrations += other.migrations;
         self.migrated_vertices += other.migrated_vertices;
         self.migrated_edges += other.migrated_edges;
+        self.rebalances += other.rebalances;
     }
 }
 
@@ -107,8 +129,19 @@ pub struct ComponentPartitionedMsf {
     /// A vertex exists in *every* partition but is isolated (degree 0) in
     /// all but its home.
     home: Vec<u32>,
+    /// `occupancy[p]` = live edges currently homed in partition `p`,
+    /// maintained incrementally at every insert/delete/migration so the
+    /// rebalance trigger never rescans a partition.
+    occupancy: Vec<u64>,
+    /// Smallest max-partition occupancy at which [`Self::maybe_rebalance`]
+    /// fires — keeps tiny structures (unit tests, warm-up) from churning.
+    rebalance_min: u64,
     stats: PartitionStats,
 }
+
+/// Default [`ComponentPartitionedMsf::set_rebalance_min`] floor: below this
+/// many live edges in the fullest partition, skew is noise, not load.
+pub const REBALANCE_MIN_OCCUPANCY: u64 = 64;
 
 impl ComponentPartitionedMsf {
     /// A structure over `n` isolated vertices split into `num_parts`
@@ -132,6 +165,8 @@ impl ComponentPartitionedMsf {
         ComponentPartitionedMsf {
             parts,
             home,
+            occupancy: vec![0; p],
+            rebalance_min: REBALANCE_MIN_OCCUPANCY,
             stats: PartitionStats::default(),
         }
     }
@@ -139,6 +174,11 @@ impl ComponentPartitionedMsf {
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Chunk parameter K shared by every partition's structure.
+    pub fn chunk_parameter(&self) -> usize {
+        self.parts[0].chunk_parameter()
     }
 
     /// The partition currently owning vertex `v`'s component.
@@ -149,6 +189,17 @@ impl ComponentPartitionedMsf {
     /// Cumulative migration counters.
     pub fn partition_stats(&self) -> PartitionStats {
         self.stats
+    }
+
+    /// Live edges currently homed in each partition.
+    pub fn occupancy(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Lower the occupancy floor below which [`Self::maybe_rebalance`] is a
+    /// no-op (tests force small structures through the rebalance path).
+    pub fn set_rebalance_min(&mut self, min: u64) {
+        self.rebalance_min = min;
     }
 
     /// Delete edge `id` given one of its endpoints (locates the partition
@@ -162,7 +213,90 @@ impl ComponentPartitionedMsf {
             p,
             endpoint.index()
         );
+        self.occupancy[p as usize] -= 1;
         self.parts[p as usize].delete(id)
+    }
+
+    /// Spread load back across partitions after migrations have
+    /// concentrated it: when the fullest partition holds more than twice
+    /// the mean occupancy (and at least `rebalance_min` edges), re-home its
+    /// smallest components — smallest edge count first, ties by lowest
+    /// start vertex — into the least-loaded other partitions until it is
+    /// back at the mean (the largest component always stays put). Each move
+    /// reuses [`migrate`]'s ascending-`WKey` re-insertion, so the rebuilt
+    /// forests are the identical unique MSF and observable behaviour is
+    /// unchanged; WAL bytes are untouched because the engine serializes
+    /// batches at plan time.
+    ///
+    /// The whole decision is a pure function of the structure state, so
+    /// grouped and forced-serial executions of the same batch stream — whose
+    /// states are bit-for-bit equal between batches — rebalance identically.
+    /// Call it **between** batches only (outside any group). Returns `true`
+    /// if anything moved.
+    pub fn maybe_rebalance(&mut self) -> bool {
+        let p = self.parts.len();
+        if p <= 1 {
+            return false;
+        }
+        let total: u64 = self.occupancy.iter().sum();
+        let mut src = 0usize;
+        for q in 1..p {
+            if self.occupancy[q] > self.occupancy[src] {
+                src = q;
+            }
+        }
+        let max_occ = self.occupancy[src];
+        if max_occ < self.rebalance_min || max_occ * p as u64 <= 2 * total {
+            return false;
+        }
+        // Enumerate the overloaded partition's components by ascending
+        // start vertex (full BFS each, over live-edge adjacency).
+        let n = self.home.len();
+        let mut seen = vec![false; n];
+        let mut comps: Vec<Bfs> = Vec::new();
+        for v in 0..n {
+            if self.home[v] != src as u32 || seen[v] {
+                continue;
+            }
+            if self.parts[src].forest().adj[v].is_empty() {
+                continue;
+            }
+            let mut bfs = Bfs::new(VertexId(v as u32));
+            while !bfs.step(&self.parts[src]) {}
+            for w in &bfs.verts {
+                seen[w.index()] = true;
+            }
+            comps.push(bfs);
+        }
+        if comps.len() <= 1 {
+            // One giant component: nothing to split off (partitions hold
+            // whole components by invariant).
+            return false;
+        }
+        comps.sort_by_key(|c| (c.edges.len(), c.verts[0].0));
+        let mean = total / p as u64;
+        let view = self.full_view();
+        let mut st = PartitionStats::default();
+        let mut moved = false;
+        let keep_largest = comps.len() - 1;
+        for bfs in &comps[..keep_largest] {
+            if view.occ(src as u32) <= mean {
+                break;
+            }
+            let mut dst = if src == 0 { 1 } else { 0 };
+            for q in 0..p {
+                if q != src && view.occ(q as u32) < view.occ(dst as u32) {
+                    dst = q;
+                }
+            }
+            migrate(&view, &mut st, bfs, src as u32, dst as u32);
+            moved = true;
+        }
+        if moved {
+            st.rebalances = 1;
+        }
+        self.stats.add(&st);
+        moved
     }
 
     /// Apply the surviving updates of one batch, partitioned into
@@ -199,6 +333,7 @@ impl ComponentPartitionedMsf {
         let mut group_stats = vec![PartitionStats::default(); groups.len()];
         let parts_ptr = SendPtr(self.parts.as_mut_ptr());
         let home_ptr = SendPtr(self.home.as_mut_ptr());
+        let occ_ptr = SendPtr(self.occupancy.as_mut_ptr());
         let stats_ptr = SendPtr(group_stats.as_mut_ptr());
         let owned_ref = &owned;
         // Each group job touches only the partitions (and `home` entries of
@@ -212,6 +347,7 @@ impl ComponentPartitionedMsf {
                     num_parts,
                     home: home_ptr.get(),
                     num_vertices,
+                    occ: occ_ptr.get(),
                     owned: Some(&owned_ref[gi]),
                 };
                 let st = unsafe { &mut *stats_ptr.get().add(gi) };
@@ -239,6 +375,18 @@ impl ComponentPartitionedMsf {
     pub fn validate(&self) {
         for part in &self.parts {
             part.validate();
+        }
+        // The incremental occupancy counters must agree with a from-scratch
+        // live-edge count of every partition.
+        for (pi, part) in self.parts.iter().enumerate() {
+            let live: usize = (0..self.home.len())
+                .map(|v| part.forest().adj[v].len())
+                .sum::<usize>()
+                / 2;
+            assert_eq!(
+                self.occupancy[pi], live as u64,
+                "occupancy counter of partition {pi} drifted"
+            );
         }
         for v in 0..self.home.len() {
             let h = self.home[v];
@@ -274,6 +422,7 @@ impl ComponentPartitionedMsf {
             num_parts: self.parts.len(),
             home: self.home.as_mut_ptr(),
             num_vertices: self.home.len(),
+            occ: self.occupancy.as_mut_ptr(),
             owned: None,
         }
     }
@@ -309,6 +458,7 @@ impl DynamicMsf for ComponentPartitionedMsf {
         // scan for the owning partition.
         for p in 0..self.parts.len() {
             if self.parts[p].contains_edge(id) {
+                self.occupancy[p] -= 1;
                 return self.parts[p].delete(id);
             }
         }
@@ -363,6 +513,9 @@ struct PartView<'a> {
     num_parts: usize,
     home: *mut u32,
     num_vertices: usize,
+    /// Per-partition live-edge counters; an entry is only touched together
+    /// with its partition, so group disjointness covers it too.
+    occ: *mut u64,
     owned: Option<&'a [bool]>,
 }
 
@@ -408,6 +561,24 @@ impl PartView<'_> {
         self.check_owned(p);
         unsafe { *self.home.add(v.index()) = p }
     }
+
+    #[inline]
+    fn occ(&self, p: u32) -> u64 {
+        self.check_owned(p);
+        unsafe { *self.occ.add(p as usize) }
+    }
+
+    #[inline]
+    fn occ_add(&self, p: u32, k: u64) {
+        self.check_owned(p);
+        unsafe { *self.occ.add(p as usize) += k }
+    }
+
+    #[inline]
+    fn occ_sub(&self, p: u32, k: u64) {
+        self.check_owned(p);
+        unsafe { *self.occ.add(p as usize) -= k }
+    }
 }
 
 fn apply_group(view: &PartView, st: &mut PartitionStats, updates: &[GroupUpdate]) {
@@ -417,7 +588,9 @@ fn apply_group(view: &PartView, st: &mut PartitionStats, updates: &[GroupUpdate]
                 view_link(view, st, e);
             }
             GroupUpdate::Cut { id, endpoint } => {
-                view.part(view.home(endpoint)).delete(id);
+                let p = view.home(endpoint);
+                view.part(p).delete(id);
+                view.occ_sub(p, 1);
             }
         }
     }
@@ -430,6 +603,7 @@ fn view_link(view: &PartView, st: &mut PartitionStats, e: Edge) -> MsfDelta {
     } else {
         unify(view, st, e.u, e.v)
     };
+    view.occ_add(p, 1);
     view.part(p).insert(e)
 }
 
@@ -541,6 +715,8 @@ fn migrate(view: &PartView, st: &mut PartitionStats, bfs: &Bfs, src: u32, dst: u
     for &e in &all {
         dst_part.insert(e);
     }
+    view.occ_sub(src, all.len() as u64);
+    view.occ_add(dst, all.len() as u64);
     st.migrations += 1;
     st.migrated_vertices += bfs.verts.len() as u64;
     st.migrated_edges += all.len() as u64;
@@ -686,6 +862,74 @@ mod tests {
         part.insert(edge(0, 0, 4, 7));
         part.validate();
         assert!(part.connected(VertexId(0), VertexId(4)));
+    }
+
+    #[test]
+    fn rebalance_spreads_concentrated_components() {
+        // Four 8-vertex blocks, one chain component per block, then pile
+        // every chain into partition 0 via bridge links that are cut right
+        // after (migration is one-way, so the chains stay where the bridge
+        // dragged them). Linking `(8b, 0)` moves the `u` side — block `b`'s
+        // chain — into partition 0 on the size tie.
+        let n = 32;
+        let mut part = ComponentPartitionedMsf::with_execution(n, 4, 4, ExecMode::Simulated);
+        let mut id = 0u32;
+        for b in 0..4u32 {
+            for i in 0..7 {
+                part.insert(edge(id, 8 * b + i, 8 * b + i + 1, (id + 1) as i64));
+                id += 1;
+            }
+        }
+        for b in 1..4u32 {
+            let bridge = id;
+            part.insert(edge(bridge, 8 * b, 0, 1));
+            id += 1;
+            part.delete_hinted(EdgeId(bridge), VertexId(0));
+        }
+        assert_eq!(part.occupancy(), &[28, 0, 0, 0]);
+        part.validate();
+
+        // Floor above current load: trigger refuses.
+        part.set_rebalance_min(100);
+        assert!(!part.maybe_rebalance());
+
+        part.set_rebalance_min(1);
+        assert!(part.maybe_rebalance());
+        // Smallest-first moves into least-loaded partitions: 28 edges
+        // spread back to exactly 7 per partition, largest component stays.
+        assert_eq!(part.occupancy(), &[7, 7, 7, 7]);
+        let st = part.partition_stats();
+        assert_eq!(st.rebalances, 1);
+        part.validate();
+        // All four chains still intact and mutually disconnected.
+        for b in 0..4u32 {
+            assert!(part.connected(VertexId(8 * b), VertexId(8 * b + 7)));
+        }
+        assert!(!part.connected(VertexId(0), VertexId(8)));
+        assert_eq!(part.num_forest_edges(), 28);
+
+        // Already balanced: a second pass is a no-op.
+        assert!(!part.maybe_rebalance());
+        assert_eq!(part.partition_stats().rebalances, 1);
+    }
+
+    #[test]
+    fn rebalance_keeps_a_single_giant_component_in_place() {
+        let n = 16;
+        let mut part = ComponentPartitionedMsf::with_execution(n, 4, 4, ExecMode::Simulated);
+        part.set_rebalance_min(1);
+        // One chain spanning every vertex: everything migrates into one
+        // partition, but a lone component cannot be split across
+        // partitions, so rebalance must decline.
+        for i in 0..15u32 {
+            part.insert(edge(i, i, i + 1, 1));
+        }
+        let homes: Vec<u32> = (0..n as u32).map(|v| part.home_of(VertexId(v))).collect();
+        assert!(!part.maybe_rebalance());
+        let after: Vec<u32> = (0..n as u32).map(|v| part.home_of(VertexId(v))).collect();
+        assert_eq!(homes, after);
+        assert_eq!(part.partition_stats().rebalances, 0);
+        part.validate();
     }
 
     #[test]

@@ -5,16 +5,31 @@
 //! **partition classes are disjoint**, so the groups can mutate the
 //! component-partitioned structure concurrently with no synchronization.
 //!
-//! The coloring is a union-find over *partition ids* at batch start: a
-//! link unions its two endpoints' home partitions, a cut touches its
-//! edge's partition. Updates whose partitions land in the same class form
+//! The coloring is **component-granular with partition-bank escalation**:
+//! every update is keyed by its endpoints' component representatives —
+//! `home_of(v)` resolves a vertex to the partition owning its component,
+//! which *is* the component's location under the containment invariant —
+//! and two updates merge into one group exactly when their components
+//! would touch the same partition's banks (a link additionally fuses its
+//! two endpoints' classes, since a cross-partition link migrates one
+//! component into the other's partition). Updates whose classes meet form
 //! one group, in batch arrival order (the first update of a class fixes
-//! the group's position, so group order is deterministic too). This is
-//! coarser than component-level coloring — two updates on different
-//! components of the same partition share a group — but it is exactly the
-//! granularity at which the structure can be mutated independently, and it
-//! is *closed under migration*: a group's cross-partition links only ever
-//! move components between partitions of that group's own class, so the
+//! the group's position, so group order is deterministic too).
+//!
+//! Escalating to the partition level whenever two components share a bank
+//! makes the fixpoint identical to a union-find over partition ids — the
+//! granularity at which the structure can actually be mutated
+//! independently — so the produced groups are exactly the old
+//! partition-granular ones and every downstream identity argument carries
+//! over unchanged. What changes is the cost: the coloring is a union-find
+//! over the batch's *updates* with one hash probe per endpoint, `O(U·α)`
+//! for `U` surviving updates, independent of the partition count `P`. The
+//! old coloring allocated and swept a `P`-sized union-find per batch,
+//! which stops being noise once adaptive rebalancing
+//! ([`ComponentPartitionedMsf::maybe_rebalance`]) raises effective
+//! partition counts well above the batch size. The grouping stays *closed
+//! under migration*: a group's cross-partition links only ever move
+//! components between partitions of that group's own class, so the
 //! classes stay disjoint for the whole batch (the safety argument of
 //! `pdmsf_core::partition`).
 
@@ -62,24 +77,43 @@ pub(crate) fn color_groups(
     structure: &ComponentPartitionedMsf,
     resolved: &[GroupUpdate],
 ) -> Vec<UpdateGroup> {
-    let num_parts = structure.num_partitions();
-    let mut uf = UnionFind::new(num_parts);
-    for update in resolved {
-        if let GroupUpdate::Link(e) = update {
-            uf.union(
-                structure.home_of(e.u) as usize,
-                structure.home_of(e.v) as usize,
-            );
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+
+    let m = resolved.len();
+    // Union-find over *updates*. Each update resolves its endpoints to
+    // their component representatives' partitions; two updates fuse when a
+    // component of one would touch a partition bank a component of the
+    // other already claimed. `first_touch` maps each claimed bank to the
+    // first update that touched it — one hash probe per endpoint keeps the
+    // whole pass O(U·α), independent of the partition count.
+    let mut uf = UnionFind::new(m);
+    let mut first_touch: HashMap<u32, u32> = HashMap::new();
+    let mut touched: Vec<(u32, u32)> = Vec::with_capacity(m);
+    for (i, update) in resolved.iter().enumerate() {
+        let (pu, pv) = match *update {
+            GroupUpdate::Link(e) => (structure.home_of(e.u), structure.home_of(e.v)),
+            GroupUpdate::Cut { endpoint, .. } => {
+                let p = structure.home_of(endpoint);
+                (p, p)
+            }
+        };
+        touched.push((pu, pv));
+        for p in [pu, pv] {
+            match first_touch.entry(p) {
+                Entry::Occupied(o) => {
+                    uf.union(i, *o.get() as usize);
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(i as u32);
+                }
+            }
         }
     }
-    let mut class_group: Vec<u32> = vec![u32::MAX; num_parts];
+    let mut class_group: Vec<u32> = vec![u32::MAX; m];
     let mut groups: Vec<UpdateGroup> = Vec::new();
-    for update in resolved {
-        let part = match *update {
-            GroupUpdate::Link(e) => structure.home_of(e.u),
-            GroupUpdate::Cut { endpoint, .. } => structure.home_of(endpoint),
-        };
-        let class = uf.find(part as usize);
+    for (i, update) in resolved.iter().enumerate() {
+        let class = uf.find(i);
         let gi = if class_group[class] == u32::MAX {
             class_group[class] = groups.len() as u32;
             groups.push(UpdateGroup {
@@ -91,16 +125,18 @@ pub(crate) fn color_groups(
             class_group[class] as usize
         };
         groups[gi].updates.push(*update);
-    }
-    // Attach each partition to the group owning its class, so the apply
-    // path's debug overlap checks know the full closure (partitions with
-    // no update of their own still belong to a class that has one when a
-    // link unioned them in).
-    for p in 0..num_parts {
-        let class = uf.find(p);
-        if class_group[class] != u32::MAX {
-            groups[class_group[class] as usize].parts.push(p as u32);
+        // Accumulate the group's partition closure from its members'
+        // endpoint homes — exactly the banks the apply path may touch
+        // (migrations only move components between a group's own banks).
+        let (pu, pv) = touched[i];
+        groups[gi].parts.push(pu);
+        if pv != pu {
+            groups[gi].parts.push(pv);
         }
+    }
+    for g in &mut groups {
+        g.parts.sort_unstable();
+        g.parts.dedup();
     }
     groups
 }

@@ -271,6 +271,14 @@ pub struct BatchSummary {
     /// (`applied_updates - update_groups` when grouping ran) — the
     /// conflicts that bounded the batch's apply fan-out.
     pub group_conflicts: usize,
+    /// Component migrations this batch triggered (cross-partition links
+    /// plus post-batch rebalance moves; partitioned engines only).
+    pub migrations: u64,
+    /// Vertices re-homed by those migrations.
+    pub migrated_vertices: u64,
+    /// Rebalance passes after this batch that moved at least one component
+    /// (see `ComponentPartitionedMsf::maybe_rebalance`; 0 or 1).
+    pub rebalances: u64,
 }
 
 /// The result of executing one batch: one [`Outcome`] per input op, in op
@@ -307,6 +315,12 @@ pub struct EngineStats {
     pub update_groups: u64,
     /// Surviving updates that shared a group with an earlier update.
     pub group_conflicts: u64,
+    /// Component migrations (cross-partition links + rebalance moves).
+    pub migrations: u64,
+    /// Vertices re-homed by those migrations.
+    pub migrated_vertices: u64,
+    /// Rebalance passes that moved at least one component.
+    pub rebalances: u64,
 }
 
 /// Minimum unique queries before a snapshot is ever considered.
@@ -497,6 +511,9 @@ struct EngineMetrics {
     snapshots: Arc<obs::Counter>,
     update_groups: Arc<obs::Counter>,
     group_conflicts: Arc<obs::Counter>,
+    migrations: Arc<obs::Counter>,
+    migrated_vertices: Arc<obs::Counter>,
+    rebalances: Arc<obs::Counter>,
 }
 
 impl EngineMetrics {
@@ -541,6 +558,18 @@ impl EngineMetrics {
                 "pdmsf_engine_group_conflicts_total",
                 "surviving updates that shared an update group",
             ),
+            migrations: r.counter(
+                "pdmsf_engine_migrations_total",
+                "component migrations (cross-partition links + rebalance moves)",
+            ),
+            migrated_vertices: r.counter(
+                "pdmsf_engine_migrated_vertices_total",
+                "vertices re-homed by component migrations",
+            ),
+            rebalances: r.counter(
+                "pdmsf_engine_rebalances_total",
+                "post-batch rebalance passes that moved a component",
+            ),
         }
     }
 }
@@ -558,6 +587,11 @@ pub struct Engine {
     /// Force the arrival-order serial apply loop even on a partitioned
     /// engine (the E6 baseline arm and the identity tests).
     serial_apply: bool,
+    /// Run the adaptive partition rebalance pass after every mutating
+    /// batch (partitioned engines; on by default). Note this is *not* tied
+    /// to `serial_apply`: grouped and forced-serial arms must rebalance
+    /// identically for their per-vertex homes to stay comparable.
+    rebalance: bool,
     /// Optional registry-backed instrumentation ([`Engine::enable_metrics`]);
     /// `None` keeps every phase timer a near-no-op.
     metrics: Option<EngineMetrics>,
@@ -629,6 +663,7 @@ impl Engine {
             applied_seq: 0,
             sink: None,
             serial_apply: false,
+            rebalance: true,
             metrics: None,
         }
     }
@@ -650,6 +685,24 @@ impl Engine {
     /// tests can measure/verify exactly that.
     pub fn set_serial_apply(&mut self, serial: bool) {
         self.serial_apply = serial;
+    }
+
+    /// Turn the post-batch adaptive rebalance pass off (or back on). On by
+    /// default for partitioned engines; re-homing never changes outcomes,
+    /// forests or WAL bytes, only where components live. The E6 "static
+    /// partitioning" arm measures with it off.
+    pub fn set_rebalance(&mut self, on: bool) {
+        self.rebalance = on;
+    }
+
+    /// Lower the partitioned structure's rebalance occupancy floor (see
+    /// [`pdmsf_core::ComponentPartitionedMsf::set_rebalance_min`]); no-op
+    /// on single-structure engines. Tests use this to force rebalances on
+    /// tiny graphs.
+    pub fn set_rebalance_min(&mut self, min: u64) {
+        if let EngineStructure::Partitioned(p) = &mut self.msf {
+            p.set_rebalance_min(min);
+        }
     }
 
     /// Assemble an engine from restored parts (the checkpoint/restore path
@@ -703,6 +756,7 @@ impl Engine {
             applied_seq,
             sink: None,
             serial_apply: false,
+            rebalance: true,
             metrics: None,
         })
     }
@@ -945,12 +999,25 @@ impl Engine {
         }
         // Owned spans (Arc clones), not borrowed timers: the timed phases
         // need `&mut self` while a borrowed guard would pin `&self.metrics`.
+        let pstats_before = self.partition_stats_snapshot();
         let apply_span = Span::start(self.metrics.as_ref().map(|m| m.apply_ns.clone()));
         let apply_tspan =
             obs::trace::TSpan::start(obs::trace::Phase::Apply, plan.updates.len() as u64, 0);
         let (applied, update_groups, group_conflicts) = self.apply_updates(&plan.updates);
         apply_tspan.stop();
         apply_span.stop();
+        // The deterministic between-batch point: with every group retired
+        // and no query snapshot taken yet, spread concentrated state back
+        // across partitions. Gated on a mutating batch so replay — which
+        // only sees logged (mutating) batches — re-runs the identical
+        // sequence of rebalance decisions. Runs under `serial_apply` too:
+        // grouped and forced-serial arms must keep identical homes.
+        if self.rebalance && !plan.updates.is_empty() {
+            if let EngineStructure::Partitioned(p) = &mut self.msf {
+                p.maybe_rebalance();
+            }
+        }
+        let pstats = self.partition_stats_snapshot();
 
         if !plan.unique_queries.is_empty() {
             let unique = plan.unique_queries.len();
@@ -997,6 +1064,9 @@ impl Engine {
             unique_queries: plan.unique_queries.len(),
             update_groups,
             group_conflicts,
+            migrations: pstats.migrations - pstats_before.migrations,
+            migrated_vertices: pstats.migrated_vertices - pstats_before.migrated_vertices,
+            rebalances: pstats.rebalances - pstats_before.rebalances,
         };
         self.bump_stats(&summary);
         self.stats.cancelled_pairs += summary.cancelled_pairs as u64;
@@ -1019,6 +1089,9 @@ impl Engine {
             m.queries.add(summary.queries as u64);
             m.update_groups.add(summary.update_groups as u64);
             m.group_conflicts.add(summary.group_conflicts as u64);
+            m.migrations.add(summary.migrations);
+            m.migrated_vertices.add(summary.migrated_vertices);
+            m.rebalances.add(summary.rebalances);
         }
         BatchResult {
             outcomes: plan.outcomes,
@@ -1259,6 +1332,9 @@ impl Engine {
             unique_queries: queries,
             update_groups: 0,
             group_conflicts: 0,
+            migrations: 0,
+            migrated_vertices: 0,
+            rebalances: 0,
         };
         self.bump_stats(&summary);
         BatchResult { outcomes, summary }
@@ -1283,6 +1359,19 @@ impl Engine {
         self.stats.queries += summary.queries as u64;
         self.stats.update_groups += summary.update_groups as u64;
         self.stats.group_conflicts += summary.group_conflicts as u64;
+        self.stats.migrations += summary.migrations;
+        self.stats.migrated_vertices += summary.migrated_vertices;
+        self.stats.rebalances += summary.rebalances;
+    }
+
+    /// The partitioned structure's migration counters (zeros on a
+    /// single-structure engine) — the before/after pair around a batch
+    /// yields the per-batch deltas stamped into [`BatchSummary`].
+    fn partition_stats_snapshot(&self) -> pdmsf_core::PartitionStats {
+        match &self.msf {
+            EngineStructure::Single(_) => pdmsf_core::PartitionStats::default(),
+            EngineStructure::Partitioned(p) => p.partition_stats(),
+        }
     }
 }
 
@@ -1616,6 +1705,88 @@ mod tests {
         assert!(partitioned.is_partitioned());
         assert!(partitioned.partitioned_structure().is_some());
         assert!(!single.is_partitioned());
+    }
+
+    #[test]
+    fn rebalance_restores_grouping_after_migration_pileup() {
+        // 32 vertices, 4 block partitions, one 8-vertex chain per block.
+        let mut engine = Engine::with_partitioned_execution(32, 4, 4, ExecMode::Simulated);
+        engine.set_rebalance_min(1);
+        let mut chains = Vec::new();
+        for b in 0..4u32 {
+            for i in 0..7 {
+                chains.push(link(8 * b + i, 8 * b + i + 1, (8 * b + i) as i64 + 1));
+            }
+        }
+        let r1 = engine.execute(&chains);
+        assert_eq!(r1.summary.update_groups, 4);
+        assert_eq!(r1.summary.rebalances, 0);
+
+        // Bridges drag every chain into one partition (smaller/tied side —
+        // the `u` side — moves toward vertex 0's home every time). The
+        // piled-up partition holds a single connected component, so the
+        // trigger fires but correctly declines to split it.
+        let r2 = engine.execute(&[link(8, 0, 100), link(16, 0, 101), link(24, 0, 102)]);
+        assert_eq!(r2.summary.update_groups, 1);
+        assert_eq!(r2.summary.migrations, 3);
+        assert_eq!(r2.summary.rebalances, 0);
+
+        // Cutting the bridges (ids 28..31 follow the 28 chain links) leaves
+        // four independent chains stranded in one partition; the post-batch
+        // rebalance spreads them back out.
+        let r3 = engine.execute(&[
+            Op::Cut { id: EdgeId(28) },
+            Op::Cut { id: EdgeId(29) },
+            Op::Cut { id: EdgeId(30) },
+        ]);
+        assert_eq!(r3.summary.rebalances, 1);
+        assert_eq!(r3.summary.migrations, 3);
+        assert!(r3.summary.migrated_vertices > 0);
+
+        // With homes spread again, per-chain links re-color into 4 groups.
+        let r4 = engine.execute(&[
+            link(0, 2, 200),
+            link(8, 10, 201),
+            link(16, 18, 202),
+            link(24, 26, 203),
+        ]);
+        assert_eq!(r4.summary.update_groups, 4);
+        assert_eq!(engine.stats().rebalances, 1);
+        assert_eq!(engine.stats().migrations, 6);
+        engine.validate_structure();
+
+        // A forced-serial twin of the same stream lands on identical homes
+        // and forests (rebalance runs on both paths).
+        let mut serial = Engine::with_partitioned_execution(32, 4, 4, ExecMode::Simulated);
+        serial.set_rebalance_min(1);
+        serial.set_serial_apply(true);
+        serial.execute(&chains);
+        serial.execute(&[link(8, 0, 100), link(16, 0, 101), link(24, 0, 102)]);
+        serial.execute(&[
+            Op::Cut { id: EdgeId(28) },
+            Op::Cut { id: EdgeId(29) },
+            Op::Cut { id: EdgeId(30) },
+        ]);
+        serial.execute(&[
+            link(0, 2, 200),
+            link(8, 10, 201),
+            link(16, 18, 202),
+            link(24, 26, 203),
+        ]);
+        assert_eq!(engine.forest_edges(), serial.forest_edges());
+        let (p, s) = (
+            engine.partitioned_structure().unwrap(),
+            serial.partitioned_structure().unwrap(),
+        );
+        for v in 0..32u32 {
+            assert_eq!(
+                p.home_of(VertexId(v)),
+                s.home_of(VertexId(v)),
+                "home of {v}"
+            );
+        }
+        assert_eq!(p.occupancy(), s.occupancy());
+        serial.validate_structure();
     }
 
     #[test]

@@ -189,7 +189,9 @@ fn concretise(n: usize, raw_batches: &[Vec<RawOp>]) -> Vec<Vec<Op>> {
 /// `part_serial` are partitioned engines — the first applies batches as
 /// concurrent conflict-free groups, the second is forced onto the
 /// arrival-order serial loop — and both must stay bit-for-bit in lockstep
-/// with the single-structure engine and the references.
+/// with the single-structure engine and the references. Returns the two
+/// partitioned engines so callers can assert on their cumulative stats
+/// (e.g. that a migration-heavy stream really did rebalance).
 fn check_lockstep(
     n: usize,
     batches: &[Vec<Op>],
@@ -197,7 +199,7 @@ fn check_lockstep(
     mut serial: Engine,
     mut grouped: Engine,
     mut part_serial: Engine,
-) {
+) -> (Engine, Engine) {
     part_serial.set_serial_apply(true);
     let mut reference = Reference::new(n);
     for (b, ops) in batches.iter().enumerate() {
@@ -253,6 +255,7 @@ fn check_lockstep(
     }
     grouped.validate_structure();
     part_serial.validate_structure();
+    (grouped, part_serial)
 }
 
 proptest! {
@@ -296,6 +299,80 @@ proptest! {
             Engine::with_partitioned_execution(n, 4, 2, ExecMode::Simulated),
         );
     }
+
+    /// Migration/rebalance stress: with the rebalance occupancy floor
+    /// forced to 1, the partitioned engines re-home components after
+    /// nearly every occupancy-skewed batch. Grouped and forced-serial
+    /// apply must make identical rebalance decisions (the per-vertex home
+    /// equality inside `check_lockstep`) while both stay in lockstep with
+    /// the flat engine, the one-by-one reference and Kruskal.
+    #[test]
+    fn rebalancing_engines_stay_in_lockstep(
+        raw in proptest::collection::vec(proptest::collection::vec(raw_op(), 0..32), 1..8)
+    ) {
+        let n = 12;
+        let batches = concretise(n, &raw);
+        let mut grouped = Engine::new_partitioned(n, 4);
+        grouped.set_rebalance_min(1);
+        let mut part_serial = Engine::new_partitioned(n, 4);
+        part_serial.set_rebalance_min(1);
+        check_lockstep(n, &batches, Engine::new(n), Engine::new(n), grouped, part_serial);
+    }
+}
+
+/// A scripted pile-up: bridge links drag every block's chain into vertex
+/// 0's partition (the smaller side migrates, `u` on ties), the cut batch
+/// strands all four chains there, and the post-batch rebalance spreads
+/// them back out — observably (the returned stats must show it) and
+/// invisibly (full lockstep with the flat engine and references,
+/// including grouped == forced-serial homes after every batch).
+#[test]
+fn forced_migration_pileup_rebalances_in_lockstep() {
+    let n = 16;
+    let mk = || {
+        let mut e = Engine::new_partitioned(n, 4);
+        e.set_rebalance_min(1);
+        e
+    };
+    let link = |u: u32, v: u32, w: i64| Op::Link {
+        u: VertexId(u),
+        v: VertexId(v),
+        weight: Weight::new(w),
+    };
+    let batches = vec![
+        // Chains per 4-vertex block, ids 0..11 — one component per
+        // partition.
+        (0..4u32)
+            .flat_map(|b| (0..3u32).map(move |i| (4 * b + i, 4 * b + i + 1)))
+            .enumerate()
+            .map(|(i, (u, v))| link(u, v, i as i64 + 1))
+            .collect::<Vec<_>>(),
+        // Bridges (ids 12..14) pile every chain into vertex 0's partition.
+        vec![link(4, 0, 100), link(8, 0, 101), link(12, 0, 102)],
+        // Cutting them leaves four components stranded in one partition —
+        // the rebalance trigger.
+        vec![
+            Op::Cut { id: EdgeId(12) },
+            Op::Cut { id: EdgeId(13) },
+            Op::Cut { id: EdgeId(14) },
+        ],
+        // Block-local churn rides on the rebalanced layout.
+        vec![
+            link(0, 2, 50),
+            link(5, 7, 51),
+            link(9, 11, 52),
+            link(13, 15, 53),
+        ],
+    ];
+    let (grouped, part_serial) =
+        check_lockstep(n, &batches, Engine::new(n), Engine::new(n), mk(), mk());
+    assert!(
+        grouped.stats().rebalances > 0,
+        "the stranded pile-up must trigger a rebalance"
+    );
+    assert!(grouped.stats().migrations >= 3, "bridges must migrate");
+    assert_eq!(grouped.stats().rebalances, part_serial.stats().rebalances);
+    assert_eq!(grouped.stats().migrations, part_serial.stats().migrations);
 }
 
 /// The generator-produced batch streams (the E1 workloads) also hold the

@@ -734,6 +734,64 @@ pub fn phase_durations(events: &[TraceEvent]) -> Vec<(Phase, u64)> {
         .collect()
 }
 
+/// Wall-clock per-phase durations: for each phase, the total length of the
+/// **union** of its closed spans across all threads, as `(phase, union_ns)`
+/// pairs in phase order.
+///
+/// Contrast with [`phase_durations`], which sums *thread-time*: a phase
+/// running on `k` workers concurrently contributes `k×` there, so its share
+/// of a batch can legitimately exceed 1.0. Here an instant covered by any
+/// number of overlapping spans counts once, so each phase's union is
+/// bounded by the batch's wall-clock span and its share is always ≤ 1.0.
+/// Thread-time answers "where did the CPUs go", wall-time answers "what was
+/// the batch waiting on".
+pub fn phase_wall_durations(events: &[TraceEvent]) -> Vec<(Phase, u64)> {
+    // Close spans exactly like `phase_durations` (nearest open Begin with
+    // matching tid/trace/phase), but keep the raw intervals per phase.
+    let mut intervals: [Vec<(u64, u64)>; 10] = Default::default();
+    let mut open: Vec<&TraceEvent> = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::Begin => open.push(e),
+            EventKind::End => {
+                let found = open
+                    .iter()
+                    .rposition(|b| b.tid == e.tid && b.trace == e.trace && b.phase == e.phase);
+                if let Some(i) = found {
+                    let b = open.remove(i);
+                    if e.ts_ns > b.ts_ns {
+                        intervals[b.phase as usize].push((b.ts_ns, e.ts_ns));
+                    }
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+    // Sweep each phase's intervals in start order, merging overlaps.
+    let mut out = Vec::new();
+    for (i, spans) in intervals.iter_mut().enumerate() {
+        if spans.is_empty() {
+            continue;
+        }
+        spans.sort_unstable();
+        let mut union = 0u64;
+        let (mut lo, mut hi) = spans[0];
+        for &(s, e) in &spans[1..] {
+            if s <= hi {
+                hi = hi.max(e);
+            } else {
+                union += hi - lo;
+                (lo, hi) = (s, e);
+            }
+        }
+        union += hi - lo;
+        if let Some(p) = Phase::from_u8(i as u8) {
+            out.push((p, union));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,6 +973,34 @@ mod tests {
         ];
         let durs = phase_durations(&events);
         assert_eq!(durs, vec![(Phase::Apply, 400), (Phase::WalFsync, 250)]);
+    }
+
+    #[test]
+    fn phase_wall_durations_merge_overlapping_spans_across_threads() {
+        let events = [
+            // Two workers applying concurrently: [0,100] and [50,180]
+            // overlap, so thread-time is 230 but wall-time is 180.
+            ev(1, 0, 1, 3, Phase::Apply, EventKind::Begin, 0, 0),
+            ev(2, 50, 2, 3, Phase::Apply, EventKind::Begin, 0, 0),
+            ev(3, 100, 1, 3, Phase::Apply, EventKind::End, 0, 0),
+            ev(4, 180, 2, 3, Phase::Apply, EventKind::End, 0, 0),
+            // Disjoint second apply window on worker 1: [300,350].
+            ev(5, 300, 1, 3, Phase::Apply, EventKind::Begin, 0, 0),
+            ev(6, 350, 1, 3, Phase::Apply, EventKind::End, 0, 0),
+            // Single-threaded phase: wall == thread time.
+            ev(7, 400, 1, 3, Phase::WalFsync, EventKind::Begin, 0, 0),
+            ev(8, 650, 1, 3, Phase::WalFsync, EventKind::End, 0, 0),
+            // Unclosed span contributes nothing.
+            ev(9, 700, 1, 3, Phase::Plan, EventKind::Begin, 0, 0),
+        ];
+        assert_eq!(
+            phase_wall_durations(&events),
+            vec![(Phase::Apply, 230), (Phase::WalFsync, 250)]
+        );
+        assert_eq!(
+            phase_durations(&events),
+            vec![(Phase::Apply, 280), (Phase::WalFsync, 250)]
+        );
     }
 
     #[test]

@@ -130,6 +130,10 @@ fn decode_engine(payload: &[u8]) -> Result<Engine, PersistError> {
         snapshots: d.u64()?,
         update_groups: d.u64()?,
         group_conflicts: d.u64()?,
+        // Not part of the format: checkpoints exist only for
+        // single-structure engines, where the partitioned structure's
+        // migration/rebalance counters are identically zero.
+        ..EngineStats::default()
     };
     let graph_image = DynGraphImage {
         edge_u: d.lane_u32()?,

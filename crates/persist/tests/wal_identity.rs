@@ -116,6 +116,128 @@ fn grouped_serial_and_single_apply_write_identical_log_bytes() {
     replay_grouped.validate_structure();
 }
 
+/// Pile-up workload over the same 32-vertex/4-block layout: per-block
+/// chains, bridge links that drag every component into vertex 0's
+/// partition, cuts that strand them there (the rebalance trigger), then
+/// block-local churn and a second pile-up cycle. With the rebalance floor
+/// forced to 1 the partitioned engines re-home components mid-stream.
+fn migration_batches() -> Vec<Vec<Op>> {
+    let mut chains = Vec::new();
+    for b in 0..4u32 {
+        for i in 0..7u32 {
+            // ids 0..27
+            chains.push(link(8 * b + i, 8 * b + i + 1, (8 * b + i) as i64 + 1));
+        }
+    }
+    vec![
+        chains,
+        // Bridges, ids 28..30: each migrates one block's chain into
+        // vertex 0's partition.
+        vec![link(8, 0, 100), link(16, 0, 101), link(24, 0, 102)],
+        // Cuts strand four components in one partition → rebalance.
+        vec![
+            Op::Cut { id: EdgeId(28) },
+            Op::Cut { id: EdgeId(29) },
+            Op::Cut { id: EdgeId(30) },
+            Op::QueryForestWeight,
+        ],
+        // Block-local churn on the rebalanced layout, ids 31..34.
+        vec![
+            link(0, 2, 50),
+            link(9, 11, 51),
+            link(17, 19, 52),
+            link(25, 27, 53),
+        ],
+        // Second cycle, ids 35..37 — rebalancing happens mid-stream, not
+        // just once at the end.
+        vec![link(8, 0, 103), link(16, 0, 104), link(24, 0, 105)],
+        vec![
+            Op::Cut { id: EdgeId(35) },
+            Op::Cut { id: EdgeId(36) },
+            Op::Cut { id: EdgeId(37) },
+        ],
+    ]
+}
+
+/// Rebalancing must be WAL-invisible: re-homing components between
+/// batches re-inserts the same edges in ascending `WKey` order and never
+/// touches the plan, so a rebalancing engine, a forced-serial rebalancing
+/// engine and a single-structure engine (which never migrates at all)
+/// write **byte-identical** logs — and replay, itself rebalancing under
+/// the same floor, reconstructs identical forests *and* identical homes.
+#[test]
+fn migration_and_rebalance_heavy_stream_keeps_wal_bytes_identical() {
+    let n = 32;
+    let run = |mut engine: Engine| -> (SharedDisk, Engine) {
+        let disk = SharedDisk::new();
+        engine.set_sink(Box::new(
+            OpLogWriter::create(disk.clone(), 0, FlushPolicy::EveryBatch).unwrap(),
+        ));
+        for ops in migration_batches() {
+            engine.execute(&ops);
+        }
+        (disk, engine)
+    };
+    let mut grouped = Engine::new_partitioned(n, 4);
+    grouped.set_rebalance_min(1);
+    let mut forced_serial = Engine::new_partitioned(n, 4);
+    forced_serial.set_serial_apply(true);
+    forced_serial.set_rebalance_min(1);
+    let single = Engine::new(n);
+
+    let (grouped_disk, grouped) = run(grouped);
+    let (serial_disk, forced_serial) = run(forced_serial);
+    let (single_disk, single) = run(single);
+
+    let bytes = grouped_disk.snapshot();
+    assert!(!bytes.is_empty());
+    assert_eq!(
+        bytes,
+        serial_disk.snapshot(),
+        "grouped vs forced-serial rebalancing diverged in WAL bytes"
+    );
+    assert_eq!(
+        bytes,
+        single_disk.snapshot(),
+        "rebalancing partitioned vs single-structure engine diverged in WAL bytes"
+    );
+
+    // The stream really exercised the machinery, and it stayed invisible.
+    assert!(grouped.stats().rebalances >= 2, "two pile-up cycles");
+    assert!(grouped.stats().migrations >= 6);
+    assert_eq!(grouped.stats().rebalances, forced_serial.stats().rebalances);
+    assert_eq!(grouped.forest_edges(), single.forest_edges());
+    assert_eq!(grouped.forest_weight(), single.forest_weight());
+    assert_eq!(forced_serial.forest_edges(), single.forest_edges());
+    grouped.validate_structure();
+    forced_serial.validate_structure();
+
+    // Replay under the same rebalance floor reproduces not just the
+    // forest but the exact component homes — the rebalance decision
+    // sequence is a pure function of the logged update stream.
+    let report = read_log(&bytes).unwrap();
+    assert_eq!(report.dropped_bytes, 0);
+    let mut replay = Engine::new_partitioned(n, 4);
+    replay.set_rebalance_min(1);
+    for record in &report.records {
+        replay.replay_logged(record).unwrap();
+    }
+    assert_eq!(replay.forest_edges(), grouped.forest_edges());
+    assert_eq!(replay.forest_weight(), grouped.forest_weight());
+    let (rp, gp) = (
+        replay.partitioned_structure().unwrap(),
+        grouped.partitioned_structure().unwrap(),
+    );
+    for v in 0..n as u32 {
+        assert_eq!(
+            rp.home_of(VertexId(v)),
+            gp.home_of(VertexId(v)),
+            "replay diverged from live execution on the home of vertex {v}"
+        );
+    }
+    replay.validate_structure();
+}
+
 #[test]
 fn partitioned_checkpoint_is_refused_gracefully() {
     let mut engine = Engine::new_partitioned(8, 2);

@@ -185,6 +185,13 @@ pub struct ShardSummary {
     /// Surviving updates beyond the first of their group — updates that
     /// *shared* a group because their partition classes collided.
     pub group_conflicts: usize,
+    /// Component migrations in the shard's partitioned structure this
+    /// batch (cross-partition links + rebalance moves; zero otherwise).
+    pub migrations: u64,
+    /// Vertices re-homed by those migrations.
+    pub migrated_vertices: u64,
+    /// Post-batch rebalance passes that moved a component (0 or 1).
+    pub rebalances: u64,
     /// Opposing link/cut pairs the shard's planner cancelled.
     pub cancelled_pairs: usize,
     /// Operations the shard engine rejected (dead/duplicate cuts).
@@ -216,6 +223,13 @@ pub struct ServiceSummary {
     /// Updates that shared a group across all shards (see
     /// [`ShardSummary::group_conflicts`]).
     pub group_conflicts: usize,
+    /// Component migrations across all shards' partitioned structures
+    /// (see [`ShardSummary::migrations`]).
+    pub migrations: u64,
+    /// Vertices re-homed across all shards.
+    pub migrated_vertices: u64,
+    /// Rebalance passes across all shards.
+    pub rebalances: u64,
     /// Opposing pairs cancelled across all shards.
     pub cancelled_pairs: usize,
     /// Rejected operations (router rejections + shard rejections).
@@ -850,6 +864,9 @@ impl ShardedService {
                     applied_updates: s.applied_updates,
                     update_groups: s.update_groups,
                     group_conflicts: s.group_conflicts,
+                    migrations: s.migrations,
+                    migrated_vertices: s.migrated_vertices,
+                    rebalances: s.rebalances,
                     cancelled_pairs: s.cancelled_pairs,
                     rejected: s.rejected,
                     queries: s.queries,
@@ -868,6 +885,9 @@ impl ShardedService {
             applied_updates: per_shard.iter().map(|s| s.applied_updates).sum(),
             update_groups: per_shard.iter().map(|s| s.update_groups).sum(),
             group_conflicts: per_shard.iter().map(|s| s.group_conflicts).sum(),
+            migrations: per_shard.iter().map(|s| s.migrations).sum(),
+            migrated_vertices: per_shard.iter().map(|s| s.migrated_vertices).sum(),
+            rebalances: per_shard.iter().map(|s| s.rebalances).sum(),
             cancelled_pairs: per_shard.iter().map(|s| s.cancelled_pairs).sum(),
             rejected: routed.router_rejected + per_shard.iter().map(|s| s.rejected).sum::<usize>(),
             router_rejected: routed.router_rejected,

@@ -136,19 +136,37 @@
 //! partitions** — a cross-partition link first *migrates* the smaller
 //! component (lockstep bidirectional BFS picks it deterministically; its
 //! edges re-insert in Kruskal order, rebuilding the identical unique MSF).
-//! Per batch the engine **conflict-colors** the surviving updates (a
-//! union-find over partition ids) into groups whose partition classes are
-//! disjoint and applies the groups as **concurrent pool jobs** — nested
-//! inside shard jobs when the sharded layer dispatches them — serially in
-//! arrival order within each group. Because migrations stay inside a
-//! group's own class, the per-partition operation sequences are identical
-//! whether groups run concurrently or the whole batch applies serially, so
-//! outcomes, forests and WAL bytes are **bit-for-bit identical** to serial
-//! apply (the WAL is written at plan time, before any apply, and a
-//! byte-identity test pins all three paths). Single-group batches and
-//! width-1 pools fall back to inline apply. Experiment E6 (`experiments --
-//! e6`) measures grouped vs forced-serial apply over block-mixed streams
-//! at pool widths 4 and 1, recording `BENCH_intra_batch.json`.
+//! Per batch the engine **conflict-colors** the surviving updates — a
+//! union-find over the batch's updates keyed by the endpoints' *component*
+//! representatives (via the partition `home` map), escalating to partition
+//! level only when two components share a bank — into groups whose
+//! partition classes are disjoint, and applies the groups as **concurrent
+//! pool jobs** — nested inside shard jobs when the sharded layer dispatches
+//! them — serially in arrival order within each group. Because migrations
+//! stay inside a group's own class, the per-partition operation sequences
+//! are identical whether groups run concurrently or the whole batch applies
+//! serially, so outcomes, forests and WAL bytes are **bit-for-bit
+//! identical** to serial apply (the WAL is written at plan time, before any
+//! apply, and a byte-identity test pins all three paths). Single-group
+//! batches and width-1 pools fall back to inline apply.
+//!
+//! Migration has a failure mode: workloads that repeatedly link across
+//! partitions drag every component into one partition, collapsing the
+//! batch to a single group forever. The structure therefore keeps
+//! per-partition **live-edge occupancy counters** and, between
+//! update-carrying batches, **rebalances**: when the fullest partition
+//! exceeds twice the mean (above a floor), its components re-home
+//! smallest-first into the least-loaded partitions through the same
+//! migration path — ascending-`WKey` re-insertion, so the forest is
+//! untouched and **no WAL bytes** are written. The decision is a pure
+//! function of structure state, so grouped, forced-serial and replay
+//! executions rebalance identically (pinned by a lockstep proptest arm and
+//! a migration-heavy WAL byte-identity test that also checks replayed
+//! component homes). [`Engine::set_rebalance`] disables it for A/B runs.
+//! Experiment E6 (`experiments -- e6`) measures grouped vs forced-serial
+//! apply over block-mixed streams at pool widths 4 and 1, plus adaptive vs
+//! static rebalancing on a migration-churn stream, recording
+//! `BENCH_intra_batch.json`.
 //!
 //! ## The sharded serving layer
 //!
